@@ -1,0 +1,47 @@
+//! Criterion bench for experiment E6 (timing half): the exponential blow-up
+//! of the optimal minimax planner as signature diversity grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jim_bench::runner::Workbench;
+use jim_core::strategy::optimal::OptimalPlanner;
+use jim_synth::random_db::{generate, RandomDbConfig};
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_planner");
+    group.sample_size(10);
+    for (arity, rows) in [(1usize, 8usize), (2, 8), (2, 16), (3, 8)] {
+        let db = generate(&RandomDbConfig::uniform(2, arity, rows, 2, 7));
+        let wb = Workbench::new(db, &["r1", "r2"]);
+        let engine = wb.engine();
+        let sigs = engine.num_groups();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{arity}x{rows}_sigs{sigs}")),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    // Fresh planner each iteration: memo reuse would hide
+                    // the exponential cost being measured. The budget keeps
+                    // iterations bounded; instances that overflow it are
+                    // timed as "time to burn the budget" (the cliff).
+                    let mut planner = OptimalPlanner::with_budget(50_000);
+                    planner.worst_case_depth(std::hint::black_box(engine))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The heuristic the planner is compared against, for scale.
+fn bench_lookahead_choice(c: &mut Criterion) {
+    let db = generate(&RandomDbConfig::uniform(2, 3, 8, 2, 7));
+    let wb = Workbench::new(db, &["r1", "r2"]);
+    let engine = wb.engine();
+    c.bench_function("lookahead_choice_same_instance", |b| {
+        let mut s = jim_core::strategy::StrategyKind::LookaheadMinPrune.build();
+        b.iter(|| s.choose(std::hint::black_box(&engine)));
+    });
+}
+
+criterion_group!(benches, bench_planner, bench_lookahead_choice);
+criterion_main!(benches);

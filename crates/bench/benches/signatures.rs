@@ -1,0 +1,92 @@
+//! Criterion bench for ablation A2: signature computation and
+//! signature-grouped engine construction vs product size — the cost of the
+//! "group tuples by Θ(t)" design against a per-tuple strawman.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jim_bench::runner::Workbench;
+use jim_core::{AtomUniverse, Engine, EngineOptions};
+use jim_synth::tpch;
+
+fn workbench(scale: f64) -> Workbench {
+    let db = tpch::generate(tpch::TpchConfig { scale, seed: 21 });
+    Workbench::new(db, &["customer", "orders"])
+}
+
+/// Raw signature computation throughput (tuples/second).
+fn bench_signature_computation(c: &mut Criterion) {
+    let wb = workbench(1.0);
+    let product = wb.product();
+    let universe = AtomUniverse::cross_relation(product.schema().clone()).expect("atoms exist");
+    let tuples: Vec<_> = product.iter().map(|(_, t)| t).collect();
+
+    let mut group = c.benchmark_group("signature");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("compute_all", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in &tuples {
+                acc += universe.signature(std::hint::black_box(t)).len();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Engine construction (signature grouping) across product sizes.
+fn bench_engine_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_build");
+    group.sample_size(10);
+    for scale in [0.5f64, 1.0, 2.0, 4.0] {
+        let wb = workbench(scale);
+        let size = wb.product().size();
+        group.throughput(Throughput::Elements(size));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &wb, |b, wb| {
+            b.iter(|| Engine::new(wb.product(), &EngineOptions::default()).expect("in bounds"))
+        });
+    }
+    group.finish();
+}
+
+/// A2 strawman: classify every tuple individually through the version
+/// space (no signature grouping) — what label propagation would cost per
+/// answer without the signature table.
+fn bench_per_tuple_classification(c: &mut Criterion) {
+    let wb = workbench(1.0);
+    let engine = wb.engine();
+    let product = wb.product();
+    let universe = engine.universe().clone();
+    let vs = engine.version_space().clone();
+    let tuples: Vec<_> = product.iter().map(|(_, t)| t).collect();
+
+    let mut group = c.benchmark_group("propagation");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("per_tuple_strawman", |b| {
+        b.iter(|| {
+            let mut informative = 0u64;
+            for t in &tuples {
+                let sig = universe.signature(std::hint::black_box(t));
+                if vs.classify(&sig) == jim_core::TupleClass::Informative {
+                    informative += 1;
+                }
+            }
+            informative
+        })
+    });
+    group.bench_function("grouped_engine", |b| {
+        // The engine's propagation path: reclassify signature groups only.
+        b.iter(|| {
+            let groups = engine.informative_groups();
+            groups.iter().map(|c| c.count).sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signature_computation,
+    bench_engine_build,
+    bench_per_tuple_classification
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for experiment E4 (timing half): strategy-choice
+//! latency and full-inference wall time per strategy, on the TPC-H
+//! customer × orders instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jim_bench::runner::{run_instrumented, Workbench};
+use jim_core::strategy::StrategyKind;
+use jim_core::JoinPredicate;
+use jim_synth::tpch;
+
+fn fixture(scale: f64) -> (Workbench, JoinPredicate) {
+    let db = tpch::generate(tpch::TpchConfig { scale, seed: 21 });
+    let wb = Workbench::new(db, &["customer", "orders"]);
+    let u = wb.engine().universe().clone();
+    let fk = u
+        .id_by_names((0, "c_custkey"), (1, "o_custkey"))
+        .expect("schema attr");
+    (wb, JoinPredicate::of(u, [fk]))
+}
+
+fn strategy_kinds() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Random { seed: 1 },
+        StrategyKind::LocalGeneral,
+        StrategyKind::LocalSpecific,
+        StrategyKind::LookaheadMinPrune,
+        StrategyKind::LookaheadEntropy { alpha: 1.0 },
+    ]
+}
+
+/// One `choose` call on a fresh engine (the paper's per-interaction cost).
+fn bench_choose(c: &mut Criterion) {
+    let (wb, _) = fixture(1.0);
+    let engine = wb.engine();
+    let mut group = c.benchmark_group("choose");
+    for kind in strategy_kinds() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut strategy = kind.build();
+            b.iter(|| strategy.choose(std::hint::black_box(&engine)));
+        });
+    }
+    group.finish();
+}
+
+/// Complete inference runs (engine build excluded), scale sweep.
+fn bench_full_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_inference");
+    group.sample_size(20);
+    for scale in [0.5f64, 1.0, 2.0] {
+        let (wb, goal) = fixture(scale);
+        let size = wb.product().size();
+        group.bench_with_input(
+            BenchmarkId::new("lookahead-minprune", size),
+            &size,
+            |b, _| b.iter(|| run_instrumented(&wb, StrategyKind::LookaheadMinPrune, &goal)),
+        );
+        group.bench_with_input(BenchmarkId::new("local-general", size), &size, |b, _| {
+            b.iter(|| run_instrumented(&wb, StrategyKind::LocalGeneral, &goal))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_choose, bench_full_inference);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerate the experiment tables of EXPERIMENTS.md.
+//!
+//! Usage:
+//!   reproduce            # run everything
+//!   reproduce e1 e3 a1   # run selected experiments
+//!   reproduce --list     # list experiment ids
+
+use jim_bench::experiments as ex;
+use jim_bench::tables::Table;
+
+/// One experiment: id, description, generator.
+type Entry = (&'static str, &'static str, fn() -> Table);
+
+fn catalog() -> Vec<Entry> {
+    vec![
+        ("e1", "paper §2 walkthrough (Figure 1)", ex::e1_walkthrough as fn() -> Table),
+        ("e2", "benefit of a strategy (Figures 3–4)", ex::e2_interaction_modes),
+        ("e3", "strategy comparison across complexity", ex::e3_strategy_comparison),
+        ("e4", "scalability: time per interaction", ex::e4_scalability),
+        ("e5", "joining sets of pictures (Figure 5)", ex::e5_set_cards),
+        ("e6", "optimal planner blow-up", ex::e6_optimal),
+        ("e7", "crowd cost under noise", ex::e7_crowd_cost),
+        ("a1", "ablation: pruning off/on", ex::a1_pruning_ablation),
+        ("a3", "ablation: entropy order α", ex::a3_alpha_sweep),
+        ("a4", "ablation: lookahead depth / hybrid", ex::a4_lookahead_depth),
+        ("a5", "ablation: statistics-guided strategy", ex::a5_data_aware),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let catalog = catalog();
+
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for (id, what, _) in &catalog {
+            println!("{id}  {what}");
+        }
+        return;
+    }
+
+    let selected: Vec<&Entry> = if args.is_empty() {
+        catalog.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for a in &args {
+            match catalog.iter().find(|(id, _, _)| id == &a.to_lowercase()) {
+                Some(entry) => picked.push(entry),
+                None => {
+                    eprintln!("unknown experiment `{a}` (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+
+    println!("JIM reproduction — experiment tables (see EXPERIMENTS.md)\n");
+    for (id, _, run) in selected {
+        let start = std::time::Instant::now();
+        let table = run();
+        println!("{table}");
+        println!("[{id} regenerated in {:?}]\n", start.elapsed());
+    }
+}

@@ -1,0 +1,19 @@
+//! # `jim-bench` — the reproduction harness
+//!
+//! Regenerates every table and figure claimed in EXPERIMENTS.md:
+//!
+//! * the `reproduce` binary prints the experiment tables (interaction
+//!   counts, crowd costs, planner blow-up — quantities criterion cannot
+//!   express),
+//! * the criterion benches (`strategies`, `signatures`, `join`, `optimal`)
+//!   measure the timing figures.
+//!
+//! The [`experiments`] functions are deterministic (seeded) so EXPERIMENTS.md
+//! stays reproducible run-to-run on the same machine.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+pub mod tables;

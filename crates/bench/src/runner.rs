@@ -1,0 +1,176 @@
+//! Instrumented inference runs shared by the `reproduce` binary and the
+//! criterion benches.
+
+use jim_core::session::{run_free, RandomPicker};
+use jim_core::strategy::StrategyKind;
+use jim_core::{Engine, EngineOptions, GoalOracle, JoinPredicate, Label};
+use jim_relation::{Database, Product};
+use std::time::{Duration, Instant};
+
+/// A database plus the relation occurrences to join — owns the data so
+/// experiments can build fresh borrowing engines repeatedly.
+#[derive(Debug, Clone)]
+pub struct Workbench {
+    /// The instance.
+    pub db: Database,
+    /// Relation names (may repeat for self-joins).
+    pub view: Vec<String>,
+}
+
+impl Workbench {
+    /// Bundle a database with the join view to infer over.
+    pub fn new(db: Database, view: &[&str]) -> Self {
+        Workbench { db, view: view.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// The cartesian product of the view.
+    pub fn product(&self) -> Product<'_> {
+        let names: Vec<&str> = self.view.iter().map(String::as_str).collect();
+        let (rels, _) = self.db.join_view(&names).expect("view names exist");
+        Product::new(rels).expect("non-empty view")
+    }
+
+    /// A fresh engine over the full product.
+    pub fn engine(&self) -> Engine<'_> {
+        self.engine_with(&EngineOptions::default())
+    }
+
+    /// A fresh engine with custom options.
+    pub fn engine_with(&self, options: &EngineOptions) -> Engine<'_> {
+        Engine::new(self.product(), options).expect("product within bounds")
+    }
+}
+
+/// Metrics of one instrumented inference run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMetrics {
+    /// Membership queries answered.
+    pub interactions: u64,
+    /// Wall time of the whole run (engine steps + strategy choices).
+    pub total: Duration,
+    /// Mean strategy-choice latency (the paper's "time per interaction").
+    pub mean_choose: Duration,
+    /// Whether the inferred predicate is instance-equivalent to the goal.
+    pub correct: bool,
+}
+
+/// Run strategy-driven inference (interaction mode 4) with timing.
+pub fn run_instrumented(
+    workbench: &Workbench,
+    kind: StrategyKind,
+    goal: &JoinPredicate,
+) -> RunMetrics {
+    let mut engine = workbench.engine();
+    let mut strategy = kind.build();
+    let start = Instant::now();
+    let mut choose_total = Duration::ZERO;
+    let mut interactions = 0u64;
+    loop {
+        let t0 = Instant::now();
+        let pick = strategy.choose(&engine);
+        choose_total += t0.elapsed();
+        let Some(id) = pick else { break };
+        let tuple = engine.product().tuple(id).expect("strategy returns valid ids");
+        let label = Label::from_bool(goal.selects(&tuple));
+        engine.label(id, label).expect("truthful labels are consistent");
+        interactions += 1;
+    }
+    let total = start.elapsed();
+    let correct = engine
+        .result()
+        .instance_equivalent(goal, engine.product())
+        .expect("evaluable predicates");
+    RunMetrics {
+        interactions,
+        total,
+        mean_choose: if interactions > 0 {
+            choose_total / (interactions as u32 + 1)
+        } else {
+            choose_total
+        },
+        correct,
+    }
+}
+
+/// Number of interactions a free-form user (mode 1 / mode 2) needs,
+/// averaged over picker seeds.
+pub fn free_mode_interactions(
+    workbench: &Workbench,
+    goal: &JoinPredicate,
+    gray_out: bool,
+    seeds: u64,
+) -> f64 {
+    let mut total = 0u64;
+    for seed in 0..seeds {
+        let engine = workbench.engine();
+        let mut picker = RandomPicker::seeded(seed);
+        let mut oracle = GoalOracle::new(goal.clone());
+        let out = run_free(engine, gray_out, &mut picker, &mut oracle)
+            .expect("truthful labels are consistent");
+        total += out.interactions;
+    }
+    total as f64 / seeds as f64
+}
+
+/// Mean interactions of mode 4 for a strategy over fresh engines (random
+/// strategies get distinct seeds).
+pub fn mean_interactions(
+    workbench: &Workbench,
+    kind: StrategyKind,
+    goal: &JoinPredicate,
+    repeats: u64,
+) -> f64 {
+    let mut total = 0u64;
+    for r in 0..repeats {
+        let kind = match kind {
+            StrategyKind::Random { seed } => StrategyKind::Random { seed: seed ^ r },
+            other => other,
+        };
+        total += run_instrumented(workbench, kind, goal).interactions;
+    }
+    total as f64 / repeats as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_synth::flights;
+
+    fn bench_fixture() -> (Workbench, JoinPredicate) {
+        let wb = Workbench::new(flights::database(), &["flights", "hotels"]);
+        let goal = flights::q2(wb.engine().universe());
+        (wb, goal)
+    }
+
+    #[test]
+    fn instrumented_run_converges_correctly() {
+        let (wb, goal) = bench_fixture();
+        let m = run_instrumented(&wb, StrategyKind::LookaheadMinPrune, &goal);
+        assert!(m.correct);
+        assert!(m.interactions >= 2);
+        assert!(m.total >= m.mean_choose);
+    }
+
+    #[test]
+    fn free_mode_gray_out_never_worse() {
+        let (wb, goal) = bench_fixture();
+        let noisy = free_mode_interactions(&wb, &goal, false, 6);
+        let gray = free_mode_interactions(&wb, &goal, true, 6);
+        assert!(gray <= noisy, "gray {gray} vs noisy {noisy}");
+    }
+
+    #[test]
+    fn mean_interactions_varies_random_seed() {
+        let (wb, goal) = bench_fixture();
+        let mean = mean_interactions(&wb, StrategyKind::Random { seed: 3 }, &goal, 4);
+        assert!(mean >= 2.0);
+    }
+
+    #[test]
+    fn workbench_reuses_database() {
+        let (wb, _) = bench_fixture();
+        let e1 = wb.engine();
+        let e2 = wb.engine();
+        assert_eq!(e1.stats().total_tuples, e2.stats().total_tuples);
+    }
+}

@@ -1,0 +1,89 @@
+//! Plain-text result tables — the rows/series each experiment prints, in
+//! the same layout EXPERIMENTS.md records.
+
+use std::fmt;
+
+/// A titled ASCII table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id + description, printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (ragged rows are padded when printed).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}\n", self.title)?;
+        let body = jim_relation::display::ascii_table(&self.headers, &self.rows, None);
+        f.write_str(&body)
+    }
+}
+
+/// Format a float with sensible precision for interaction counts.
+pub fn fnum(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fdur(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.0}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.1}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_title_and_rows() {
+        let mut t = Table::new("E0 — smoke", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## E0 — smoke"));
+        assert!(s.contains("| a"));
+        assert!(s.contains("| 1"));
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fnum(3.17), "3.2");
+        assert_eq!(fnum(250.4), "250");
+    }
+
+    #[test]
+    fn duration_formats() {
+        use std::time::Duration;
+        assert_eq!(fdur(Duration::from_micros(120)), "120µs");
+        assert_eq!(fdur(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fdur(Duration::from_secs(2)), "2.00s");
+    }
+}

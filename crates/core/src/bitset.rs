@@ -1,0 +1,392 @@
+//! Packed bitsets over an atom universe.
+//!
+//! Everything JIM computes — signatures `Θ(t)`, the upper bound `U`, negative
+//! antichains, predicates — is a subset of one fixed, small atom universe, so
+//! a packed `u64` bitset with subset/intersection kernels is the workhorse
+//! data structure. All binary operations require both operands to come from
+//! the same universe (equal capacity); this is enforced with assertions.
+
+use std::fmt;
+
+/// A set of atom indices within a fixed-capacity universe.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomSet {
+    /// Number of valid bits.
+    nbits: u32,
+    /// Packed storage, little-endian blocks; trailing bits beyond `nbits`
+    /// are always zero (the invariant every mutator maintains).
+    blocks: Box<[u64]>,
+}
+
+impl AtomSet {
+    /// The empty set in a universe of `nbits` atoms.
+    pub fn empty(nbits: usize) -> Self {
+        let words = nbits.div_ceil(64).max(1);
+        AtomSet {
+            nbits: nbits as u32,
+            blocks: vec![0u64; words].into_boxed_slice(),
+        }
+    }
+
+    /// The full set (all `nbits` atoms present).
+    pub fn full(nbits: usize) -> Self {
+        let mut s = AtomSet::empty(nbits);
+        for b in s.blocks.iter_mut() {
+            *b = u64::MAX;
+        }
+        s.clear_tail();
+        s
+    }
+
+    /// Build from explicit indices.
+    pub fn from_indices(nbits: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = AtomSet::empty(nbits);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Zero out the bits beyond `nbits` in the last block.
+    fn clear_tail(&mut self) {
+        let tail = self.nbits as usize % 64;
+        if tail != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        if self.nbits == 0 {
+            for b in self.blocks.iter_mut() {
+                *b = 0;
+            }
+        }
+    }
+
+    /// Universe capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.nbits as usize
+    }
+
+    /// Number of atoms present.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True iff no atom is present.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// True iff atom `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits as usize, "index {i} out of capacity {}", self.nbits);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Add atom `i`. Panics (debug) if out of capacity.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.nbits as usize, "index {i} out of capacity {}", self.nbits);
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Remove atom `i`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.nbits as usize, "index {i} out of capacity {}", self.nbits);
+        self.blocks[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    fn check_same_universe(&self, other: &AtomSet) {
+        assert_eq!(
+            self.nbits, other.nbits,
+            "bitset operands come from different universes ({} vs {} bits)",
+            self.nbits, other.nbits
+        );
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &AtomSet) -> bool {
+        self.check_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// `self ⊇ other`.
+    pub fn is_superset(&self, other: &AtomSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Strict subset.
+    pub fn is_proper_subset(&self, other: &AtomSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// New set `self ∩ other`.
+    pub fn intersection(&self, other: &AtomSet) -> AtomSet {
+        self.check_same_universe(other);
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &AtomSet) {
+        self.check_same_universe(other);
+        for (a, &b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// New set `self ∪ other`.
+    pub fn union(&self, other: &AtomSet) -> AtomSet {
+        self.check_same_universe(other);
+        let mut out = self.clone();
+        for (a, &b) in out.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a |= b;
+        }
+        out
+    }
+
+    /// New set `self \ other`.
+    pub fn difference(&self, other: &AtomSet) -> AtomSet {
+        self.check_same_universe(other);
+        let mut out = self.clone();
+        for (a, &b) in out.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// True iff the sets share at least one atom.
+    pub fn intersects(&self, other: &AtomSet) -> bool {
+        self.check_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_len(&self, other: &AtomSet) -> usize {
+        self.check_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterate over present atom indices in increasing order.
+    pub fn iter(&self) -> AtomSetIter<'_> {
+        AtomSetIter { set: self, word: 0, bits: self.blocks.first().copied().unwrap_or(0) }
+    }
+}
+
+impl fmt::Debug for AtomSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AtomSet{{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}/{}", self.nbits)
+    }
+}
+
+/// Iterator over the indices present in an [`AtomSet`].
+pub struct AtomSetIter<'a> {
+    set: &'a AtomSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for AtomSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + tz);
+            }
+            self.word += 1;
+            if self.word >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.word];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a AtomSet {
+    type Item = usize;
+    type IntoIter = AtomSetIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Keep only the maximal elements (under `⊆`) of a list of sets — the
+/// antichain reduction the version space applies to negative signatures.
+/// Preserves first-seen order among survivors and drops duplicates.
+pub fn maximal_antichain(mut sets: Vec<AtomSet>) -> Vec<AtomSet> {
+    let mut out: Vec<AtomSet> = Vec::with_capacity(sets.len());
+    // Sort descending by popcount so any dominator precedes its dominated.
+    sets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    for s in sets {
+        if !out.iter().any(|kept| s.is_subset(kept)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = AtomSet::empty(70);
+        let f = AtomSet::full(70);
+        assert_eq!(e.len(), 0);
+        assert_eq!(f.len(), 70);
+        assert!(e.is_empty());
+        assert!(e.is_subset(&f));
+        assert!(!f.is_subset(&e));
+        assert_eq!(f.capacity(), 70);
+    }
+
+    #[test]
+    fn full_clears_tail_bits() {
+        // Capacity not a multiple of 64: trailing bits must be zero so that
+        // equality and popcount are exact.
+        let f = AtomSet::full(65);
+        assert_eq!(f.len(), 65);
+        let mut g = AtomSet::empty(65);
+        for i in 0..65 {
+            g.insert(i);
+        }
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AtomSet::empty(10);
+        s.insert(3);
+        s.insert(9);
+        assert!(s.contains(3));
+        assert!(s.contains(9));
+        assert!(!s.contains(4));
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        AtomSet::empty(4).insert(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn cross_universe_ops_panic() {
+        let a = AtomSet::empty(4);
+        let b = AtomSet::empty(5);
+        let _ = a.is_subset(&b);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = AtomSet::from_indices(130, [1, 64, 129]);
+        let b = AtomSet::from_indices(130, [1, 5, 64, 129]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(b.is_superset(&a));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AtomSet::from_indices(100, [1, 2, 70]);
+        let b = AtomSet::from_indices(100, [2, 70, 99]);
+        assert_eq!(a.intersection(&b), AtomSet::from_indices(100, [2, 70]));
+        assert_eq!(a.union(&b), AtomSet::from_indices(100, [1, 2, 70, 99]));
+        assert_eq!(a.difference(&b), AtomSet::from_indices(100, [1]));
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&AtomSet::from_indices(100, [50])));
+    }
+
+    #[test]
+    fn intersect_with_in_place() {
+        let mut a = AtomSet::from_indices(10, [1, 2, 3]);
+        a.intersect_with(&AtomSet::from_indices(10, [2, 3, 4]));
+        assert_eq!(a, AtomSet::from_indices(10, [2, 3]));
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let s = AtomSet::from_indices(200, [199, 0, 64, 63, 128]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 63, 64, 128, 199]);
+        assert_eq!((&s).into_iter().count(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_set() {
+        let s = AtomSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let f = AtomSet::full(0);
+        assert!(f.is_empty());
+        assert_eq!(s, f);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = AtomSet::from_indices(8, [1, 3]);
+        assert_eq!(format!("{s:?}"), "AtomSet{1,3}/8");
+    }
+
+    #[test]
+    fn antichain_keeps_maximal_only() {
+        let u = 8;
+        let sets = vec![
+            AtomSet::from_indices(u, [1]),
+            AtomSet::from_indices(u, [1, 2]),
+            AtomSet::from_indices(u, [3]),
+            AtomSet::from_indices(u, [1, 2]),
+            AtomSet::from_indices(u, [2, 3, 4]),
+        ];
+        let m = maximal_antichain(sets);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&AtomSet::from_indices(u, [1, 2])));
+        assert!(m.contains(&AtomSet::from_indices(u, [2, 3, 4])));
+    }
+
+    #[test]
+    fn antichain_of_identical_sets() {
+        let u = 4;
+        let m = maximal_antichain(vec![
+            AtomSet::from_indices(u, [0, 1]),
+            AtomSet::from_indices(u, [0, 1]),
+        ]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn ordering_is_consistent_for_btree_use() {
+        let a = AtomSet::from_indices(8, [0]);
+        let b = AtomSet::from_indices(8, [1]);
+        assert_ne!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+}

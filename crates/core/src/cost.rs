@@ -1,0 +1,103 @@
+//! Crowdsourcing cost accounting.
+//!
+//! The paper's §1: "minimizing the number of interactions entails lower
+//! financial costs" for crowdsourced joins. This module prices a session's
+//! question volume so experiment E7 can express strategy differences in
+//! money instead of counts.
+
+use std::fmt;
+
+/// A simple crowd pricing model: a flat price per elementary question
+/// (each vote of a majority-vote scheme is one question).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Price of one question, in hundredths of a cent (micro-pricing is
+    /// common on crowd platforms; 100 = 1¢).
+    pub price_per_question_centicents: u64,
+}
+
+impl CostModel {
+    /// A model priced in whole cents per question.
+    pub fn cents_per_question(cents: u64) -> Self {
+        CostModel { price_per_question_centicents: cents * 100 }
+    }
+
+    /// Total cost of `questions` elementary questions.
+    pub fn cost(&self, questions: u64) -> Cost {
+        Cost { centicents: questions * self.price_per_question_centicents }
+    }
+}
+
+impl Default for CostModel {
+    /// The commonly cited micro-task price point: 1¢ per question.
+    fn default() -> Self {
+        CostModel::cents_per_question(1)
+    }
+}
+
+/// A monetary amount (exact, in hundredths of a cent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Cost {
+    centicents: u64,
+}
+
+impl Cost {
+    /// The amount in dollars (lossy, for display and plotting).
+    pub fn dollars(&self) -> f64 {
+        self.centicents as f64 / 10_000.0
+    }
+
+    /// The exact amount in hundredths of a cent.
+    pub fn centicents(&self) -> u64 {
+        self.centicents
+    }
+
+    /// Saturating difference (how much one strategy saves over another).
+    pub fn saving_over(&self, more_expensive: &Cost) -> Cost {
+        Cost { centicents: more_expensive.centicents.saturating_sub(self.centicents) }
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost { centicents: self.centicents + rhs.centicents }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.4}", self.dollars())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pricing() {
+        let m = CostModel::cents_per_question(2);
+        let c = m.cost(50);
+        assert_eq!(c.dollars(), 1.0);
+        assert_eq!(c.centicents(), 10_000);
+        assert_eq!(c.to_string(), "$1.0000");
+    }
+
+    #[test]
+    fn default_is_one_cent() {
+        let c = CostModel::default().cost(100);
+        assert_eq!(c.dollars(), 1.0);
+    }
+
+    #[test]
+    fn savings_and_addition() {
+        let m = CostModel::default();
+        let cheap = m.cost(10);
+        let pricey = m.cost(60);
+        assert_eq!(cheap.saving_over(&pricey).dollars(), 0.5);
+        assert_eq!(pricey.saving_over(&cheap).dollars(), 0.0); // saturates
+        assert_eq!((cheap + pricey).dollars(), 0.7);
+    }
+}

@@ -1,0 +1,711 @@
+//! The interactive inference engine — the loop of the paper's Figure 2.
+//!
+//! The engine groups the candidate tuples of a cartesian product by their
+//! signature `Θ(t)` (tuples with equal signatures are indistinguishable to
+//! every join predicate), maintains the [`VersionSpace`], absorbs labels,
+//! propagates them (graying out newly-certain tuples) and reports progress.
+//! Strategies query it through [`Engine::informative_groups`] and
+//! [`Engine::simulate`].
+
+use crate::atoms::{AtomScope, AtomUniverse};
+use crate::bitset::AtomSet;
+use crate::error::{InferenceError, Result};
+use crate::label::Label;
+use crate::predicate::JoinPredicate;
+use crate::stats::{InteractionRecord, ProgressStats};
+use crate::version_space::{TupleClass, VersionSpace};
+use jim_relation::{Product, ProductId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Construction options for [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Which attribute pairs are candidate atoms.
+    pub scope: AtomScope,
+    /// Refuse to enumerate products larger than this (callers should
+    /// [`Product::sample`] first). Default: 5,000,000.
+    pub max_product: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { scope: AtomScope::CrossRelation, max_product: 5_000_000 }
+    }
+}
+
+/// One signature group: all candidate tuples sharing `Θ(t)`.
+#[derive(Debug, Clone)]
+struct Group {
+    /// The full (unrestricted) signature — immutable for the whole run.
+    sig: AtomSet,
+    /// The product tuples carrying this signature, in rank order.
+    ids: Vec<ProductId>,
+    /// Current classification under the version space.
+    class: TupleClass,
+    /// Tuples of this group explicitly labeled by the user.
+    labeled: u64,
+}
+
+impl Group {
+    fn count(&self) -> u64 {
+        self.ids.len() as u64
+    }
+}
+
+/// What a label did to the instance (returned by [`Engine::label`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelOutcome {
+    /// Whether the labeled tuple was informative (a strategy-driven session
+    /// only ever labels informative tuples; free-form users may not).
+    pub was_informative: bool,
+    /// Tuples that this label made certain (newly grayed out), including
+    /// the labeled tuple itself.
+    pub pruned: u64,
+    /// Informative tuples remaining after propagation.
+    pub informative_remaining: u64,
+    /// True iff inference is complete (no informative tuple remains).
+    pub resolved: bool,
+}
+
+/// A view of one informative candidate offered to strategies: the signature
+/// restricted to the current `U`, the number of tuples carrying it, and a
+/// representative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// `Θ(t) ∩ U` — all tuples with this restricted signature are
+    /// interchangeable.
+    pub restricted_sig: AtomSet,
+    /// Number of product tuples in this equivalence class.
+    pub count: u64,
+    /// A representative tuple id (the one a session would display).
+    pub representative: ProductId,
+}
+
+/// The interactive join-inference engine.
+#[derive(Debug, Clone)]
+pub struct Engine<'a> {
+    product: Product<'a>,
+    universe: Arc<AtomUniverse>,
+    vs: VersionSpace,
+    groups: Vec<Group>,
+    by_sig: HashMap<AtomSet, usize>,
+    labels: HashMap<ProductId, Label>,
+    stats: ProgressStats,
+}
+
+impl<'a> Engine<'a> {
+    /// Build an engine over the full cartesian product of `product`.
+    pub fn new(product: Product<'a>, options: &EngineOptions) -> Result<Self> {
+        if product.size() > options.max_product {
+            return Err(InferenceError::ProductTooLarge {
+                size: product.size(),
+                limit: options.max_product,
+            });
+        }
+        let ids: Vec<ProductId> = (0..product.size()).map(ProductId).collect();
+        Engine::from_ids(product, &ids, options)
+    }
+
+    /// Build an engine over an explicit subset of product tuples (e.g. a
+    /// uniform sample of a product too large to enumerate).
+    pub fn from_ids(
+        product: Product<'a>,
+        ids: &[ProductId],
+        options: &EngineOptions,
+    ) -> Result<Self> {
+        let universe = AtomUniverse::new(product.schema().clone(), options.scope)?;
+        let vs = VersionSpace::new(universe.clone());
+
+        let mut groups: Vec<Group> = Vec::new();
+        let mut by_sig: HashMap<AtomSet, usize> = HashMap::new();
+        for &id in ids {
+            let tuple = product.tuple(id)?;
+            let sig = universe.signature(&tuple);
+            match by_sig.get(&sig) {
+                Some(&g) => groups[g].ids.push(id),
+                None => {
+                    let class = vs.classify(&sig);
+                    by_sig.insert(sig.clone(), groups.len());
+                    groups.push(Group { sig, ids: vec![id], class, labeled: 0 });
+                }
+            }
+        }
+
+        let mut engine = Engine {
+            product,
+            universe,
+            vs,
+            groups,
+            by_sig,
+            labels: HashMap::new(),
+            stats: ProgressStats { total_tuples: ids.len() as u64, ..Default::default() },
+        };
+        engine.refresh_counters();
+        Ok(engine)
+    }
+
+    /// The product being inferred over.
+    pub fn product(&self) -> &Product<'a> {
+        &self.product
+    }
+
+    /// The shared atom universe.
+    pub fn universe(&self) -> &Arc<AtomUniverse> {
+        &self.universe
+    }
+
+    /// The current version space.
+    pub fn version_space(&self) -> &VersionSpace {
+        &self.vs
+    }
+
+    /// Progress statistics (the demo UI's counters).
+    pub fn stats(&self) -> &ProgressStats {
+        &self.stats
+    }
+
+    /// Number of distinct signatures observed in the instance.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The label previously given to `id`, if any.
+    pub fn label_of(&self, id: ProductId) -> Option<Label> {
+        self.labels.get(&id).copied()
+    }
+
+    /// Classify a tuple id under the current labels.
+    pub fn classify(&self, id: ProductId) -> Result<TupleClass> {
+        let g = self.group_of(id)?;
+        Ok(self.groups[g].class)
+    }
+
+    /// True iff labeling `id` could still narrow the version space.
+    pub fn is_informative(&self, id: ProductId) -> Result<bool> {
+        Ok(self.classify(id)? == TupleClass::Informative && !self.labels.contains_key(&id))
+    }
+
+    /// True iff no informative tuple remains — the paper's termination
+    /// condition (all consistent predicates are instance-equivalent).
+    pub fn is_resolved(&self) -> bool {
+        self.groups.iter().all(|g| g.class.is_certain())
+    }
+
+    /// The inferred query: the canonical (maximal) consistent predicate.
+    /// Meaningful once [`Engine::is_resolved`] returns true, but callable at
+    /// any time (it is the most specific hypothesis consistent so far).
+    pub fn result(&self) -> JoinPredicate {
+        self.vs.canonical()
+    }
+
+    /// Every tuple id entailed positive at the moment — the inferred join
+    /// result on this instance (labeled positives + certain positives).
+    pub fn entailed_positive_ids(&self) -> Vec<ProductId> {
+        let mut out = Vec::new();
+        for g in &self.groups {
+            if g.class == TupleClass::CertainPositive {
+                out.extend_from_slice(&g.ids);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The informative candidates, one per *restricted* signature
+    /// (`Θ(t) ∩ U`), with per-class tuple counts aggregated. This is the
+    /// interface strategies choose from; an empty result means resolved.
+    pub fn informative_groups(&self) -> Vec<Candidate> {
+        let mut agg: HashMap<AtomSet, (u64, ProductId)> = HashMap::new();
+        let mut order: Vec<AtomSet> = Vec::new();
+        for g in &self.groups {
+            if g.class != TupleClass::Informative {
+                continue;
+            }
+            let restricted = self.vs.restrict(&g.sig);
+            match agg.get_mut(&restricted) {
+                Some(entry) => {
+                    entry.0 += g.count();
+                    // Keep the smallest representative for determinism.
+                    if g.ids[0] < entry.1 {
+                        entry.1 = g.ids[0];
+                    }
+                }
+                None => {
+                    agg.insert(restricted.clone(), (g.count(), g.ids[0]));
+                    order.push(restricted);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|sig| {
+                let (count, rep) = agg[&sig];
+                Candidate { restricted_sig: sig, count, representative: rep }
+            })
+            .collect()
+    }
+
+    /// How many tuples would become certain if a tuple with the given
+    /// *restricted* signature were labeled `(positive, negative)` — the
+    /// one-step lookahead the paper's lookahead strategies score
+    /// ("labeling which tuple allows us to prune as many tuples as
+    /// possible?"). Counts include the labeled tuple's own group. Both
+    /// branches are computed without mutating the engine.
+    pub fn simulate(&self, restricted_sig: &AtomSet) -> (u64, u64) {
+        let candidates = self.informative_groups();
+        let negs = self.vs.negatives();
+
+        let mut pruned_pos = 0u64;
+        let mut pruned_neg = 0u64;
+        for c in &candidates {
+            let r = &c.restricted_sig;
+            // Positive branch: U' = restricted_sig. Tuple class of r under
+            // (U', negs): certain-positive iff U' ⊆ r; certain-negative iff
+            // r ∩ U' ⊆ n for some n.
+            let inter = r.intersection(restricted_sig);
+            let becomes_pos = restricted_sig.is_subset(r);
+            let becomes_neg = negs.iter().any(|n| inter.is_subset(n));
+            if becomes_pos || becomes_neg {
+                pruned_pos += c.count;
+            }
+            // Negative branch: negs' = negs ∪ {restricted_sig}.
+            if r.is_subset(restricted_sig) {
+                pruned_neg += c.count;
+            }
+        }
+        (pruned_pos, pruned_neg)
+    }
+
+    /// Absorb a user label for tuple `id` and propagate it (gray out every
+    /// tuple whose class becomes certain).
+    pub fn label(&mut self, id: ProductId, label: Label) -> Result<LabelOutcome> {
+        if self.labels.contains_key(&id) {
+            return Err(InferenceError::AlreadyLabeled { tuple: id });
+        }
+        let g = self.group_of(id)?;
+        let was_informative = self.groups[g].class == TupleClass::Informative;
+        let sig = self.groups[g].sig.clone();
+
+        match label {
+            Label::Positive => self.vs.add_positive(id, &sig)?,
+            Label::Negative => self.vs.add_negative(id, &sig)?,
+        }
+
+        self.labels.insert(id, label);
+        self.groups[g].labeled += 1;
+        match label {
+            Label::Positive => self.stats.labeled_positive += 1,
+            Label::Negative => self.stats.labeled_negative += 1,
+        }
+
+        // Propagate: reclassify every group under the updated version space.
+        let before_certain = self.certain_tuple_count();
+        for group in &mut self.groups {
+            group.class = self.vs.classify(&group.sig);
+        }
+        let after_certain = self.certain_tuple_count();
+        let pruned = after_certain.saturating_sub(before_certain);
+
+        self.refresh_counters();
+        let outcome = LabelOutcome {
+            was_informative,
+            pruned,
+            informative_remaining: self.stats.informative,
+            resolved: self.is_resolved(),
+        };
+        self.stats.log.push(InteractionRecord {
+            tuple: id,
+            label,
+            informative: was_informative,
+            pruned,
+        });
+        Ok(outcome)
+    }
+
+    /// Absorb additional candidate tuples mid-session — freshly arrived
+    /// data, or a widened sample of a huge product. Each new tuple is
+    /// classified under the labels given *so far*: tuples whose label is
+    /// already entailed arrive grayed out and are never asked about.
+    /// Ids already known are skipped. Returns the number of tuples added.
+    pub fn absorb_ids(&mut self, ids: &[ProductId]) -> Result<u64> {
+        let known: std::collections::HashSet<ProductId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.ids.iter().copied())
+            .collect();
+        let mut added = 0u64;
+        for &id in ids {
+            if known.contains(&id) {
+                continue;
+            }
+            let tuple = self.product.tuple(id)?;
+            let sig = self.universe.signature(&tuple);
+            match self.by_sig.get(&sig) {
+                Some(&g) => self.groups[g].ids.push(id),
+                None => {
+                    let class = self.vs.classify(&sig);
+                    self.by_sig.insert(sig.clone(), self.groups.len());
+                    self.groups.push(Group { sig, ids: vec![id], class, labeled: 0 });
+                }
+            }
+            added += 1;
+        }
+        self.stats.total_tuples += added;
+        self.refresh_counters();
+        Ok(added)
+    }
+
+    /// Tuple ids currently *visible* to a free-form user: everything not
+    /// yet explicitly labeled, and — when `gray_out` — not entailed either.
+    /// (Interaction modes 1 and 2 of Figure 3.)
+    pub fn visible_ids(&self, gray_out: bool) -> Vec<ProductId> {
+        let mut out = Vec::new();
+        for g in &self.groups {
+            if gray_out && g.class.is_certain() {
+                continue;
+            }
+            for &id in &g.ids {
+                if !self.labels.contains_key(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Check that a goal predicate is still consistent with every label
+    /// absorbed so far (the soundness invariant: the true goal can never be
+    /// eliminated by correct answers).
+    pub fn consistent_with(&self, goal: &JoinPredicate) -> bool {
+        self.vs.is_consistent(goal.atoms())
+    }
+
+    fn group_of(&self, id: ProductId) -> Result<usize> {
+        let tuple = self.product.tuple(id)?;
+        let sig = self.universe.signature(&tuple);
+        self.by_sig
+            .get(&sig)
+            .copied()
+            .ok_or(InferenceError::UnknownTuple { tuple: id })
+    }
+
+    fn certain_tuple_count(&self) -> u64 {
+        self.groups
+            .iter()
+            .filter(|g| g.class.is_certain())
+            .map(|g| g.count())
+            .sum()
+    }
+
+    fn refresh_counters(&mut self) {
+        let labeled = self.labels.len() as u64;
+        let certain = self.certain_tuple_count();
+        self.stats.pruned = certain.saturating_sub(labeled);
+        self.stats.informative = self
+            .groups
+            .iter()
+            .filter(|g| g.class == TupleClass::Informative)
+            .map(|g| g.count())
+            .sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_relation::{tup, DataType, Relation, RelationSchema};
+
+    fn flights() -> Relation {
+        Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Lille", "NYC", "AA"],
+                tup!["NYC", "Paris", "AA"],
+                tup!["Paris", "NYC", "AF"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn hotels() -> Relation {
+        Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+        )
+        .unwrap()
+    }
+
+    fn engine<'a>(f: &'a Relation, h: &'a Relation) -> Engine<'a> {
+        let p = Product::new(vec![f, h]).unwrap();
+        Engine::new(p, &EngineOptions::default()).unwrap()
+    }
+
+    /// Paper tuple (k), 1-based, to rank.
+    fn t(k: u64) -> ProductId {
+        ProductId(k - 1)
+    }
+
+    #[test]
+    fn builds_signature_groups() {
+        let (f, h) = (flights(), hotels());
+        let e = engine(&f, &h);
+        // Signatures in Figure 1: ∅ ×3 (tuples 1,5,9), {FC} ×3 (2,6,11),
+        // {TC,AD} ×2 (3,4), {FC,AD} ×1 (7), {TC} ×2 (8,10), {AD} ×1 (12).
+        assert_eq!(e.num_groups(), 6);
+        assert_eq!(e.stats().total_tuples, 12);
+        assert_eq!(e.stats().informative, 12);
+    }
+
+    #[test]
+    fn paper_example_tuple4_uninformative_after_3_positive() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        assert!(e.is_informative(t(3)).unwrap());
+        let out = e.label(t(3), Label::Positive).unwrap();
+        assert!(out.was_informative);
+        // Tuple (4) has the same signature as (3): certain-positive now.
+        assert_eq!(e.classify(t(4)).unwrap(), TupleClass::CertainPositive);
+        assert!(!e.is_informative(t(4)).unwrap());
+    }
+
+    #[test]
+    fn paper_example_label_12_positive_prunes_3_4_7() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        let out = e.label(t(12), Label::Positive).unwrap();
+        // Pruned tuples: (3), (4), (7) — plus the labeled (12) itself.
+        assert_eq!(out.pruned, 4);
+        for k in [3, 4, 7] {
+            assert_eq!(e.classify(t(k)).unwrap(), TupleClass::CertainPositive, "tuple {k}");
+        }
+        for k in [1, 2, 5, 6, 8, 9, 10, 11] {
+            assert_eq!(e.classify(t(k)).unwrap(), TupleClass::Informative, "tuple {k}");
+        }
+    }
+
+    #[test]
+    fn paper_example_label_12_negative_prunes_1_5_9() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        let out = e.label(t(12), Label::Negative).unwrap();
+        assert_eq!(out.pruned, 4); // (1),(5),(9) + (12) itself
+        for k in [1, 5, 9] {
+            assert_eq!(e.classify(t(k)).unwrap(), TupleClass::CertainNegative, "tuple {k}");
+        }
+        for k in [2, 3, 4, 6, 7, 8, 10, 11] {
+            assert_eq!(e.classify(t(k)).unwrap(), TupleClass::Informative, "tuple {k}");
+        }
+    }
+
+    #[test]
+    fn paper_termination_with_three_labels() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        e.label(t(3), Label::Positive).unwrap();
+        e.label(t(7), Label::Negative).unwrap();
+        let out = e.label(t(8), Label::Negative).unwrap();
+        assert!(out.resolved);
+        assert!(e.is_resolved());
+        // The unique consistent predicate is Q2 = To≍City ∧ Airline≍Discount.
+        let result = e.result();
+        assert_eq!(result.to_string(), "flights.To ≍ hotels.City ∧ flights.Airline ≍ hotels.Discount");
+        // And it selects exactly tuples (3),(4).
+        assert_eq!(
+            e.entailed_positive_ids(),
+            vec![t(3), t(4)]
+        );
+    }
+
+    #[test]
+    fn simulate_matches_paper_prune_counts() {
+        let (f, h) = (flights(), hotels());
+        let e = engine(&f, &h);
+        // Tuple (12) has signature {AD}; from the empty state its restricted
+        // signature is itself.
+        let tuple12 = e.product().tuple(t(12)).unwrap();
+        let sig12 = e.universe().signature(&tuple12);
+        let (pos, neg) = e.simulate(&sig12);
+        // Positive: prunes (3),(4),(7),(12) -> 4; negative: (1),(5),(9),(12) -> 4.
+        assert_eq!((pos, neg), (4, 4));
+    }
+
+    #[test]
+    fn simulate_agrees_with_actual_labeling() {
+        let (f, h) = (flights(), hotels());
+        let e = engine(&f, &h);
+        for c in e.informative_groups() {
+            let (pos, neg) = e.simulate(&c.restricted_sig);
+            let mut e_pos = e.clone();
+            let out = e_pos.label(c.representative, Label::Positive).unwrap();
+            assert_eq!(out.pruned, pos, "positive branch of {:?}", c.restricted_sig);
+            let mut e_neg = e.clone();
+            let out = e_neg.label(c.representative, Label::Negative).unwrap();
+            assert_eq!(out.pruned, neg, "negative branch of {:?}", c.restricted_sig);
+        }
+    }
+
+    #[test]
+    fn inconsistent_label_is_rejected_and_state_unchanged() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        e.label(t(3), Label::Positive).unwrap();
+        let before = e.stats().clone();
+        // (4) is certain-positive; labeling it negative is inconsistent.
+        let err = e.label(t(4), Label::Negative);
+        assert!(matches!(err, Err(InferenceError::InconsistentLabel { .. })));
+        assert_eq!(e.stats(), &before);
+        // But labeling it positive is fine (wasted yet consistent).
+        let out = e.label(t(4), Label::Positive).unwrap();
+        assert!(!out.was_informative);
+        assert_eq!(out.pruned, 0);
+        assert_eq!(e.stats().wasted_interactions(), 1);
+    }
+
+    #[test]
+    fn double_label_rejected() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        e.label(t(3), Label::Positive).unwrap();
+        assert!(matches!(
+            e.label(t(3), Label::Positive),
+            Err(InferenceError::AlreadyLabeled { .. })
+        ));
+    }
+
+    #[test]
+    fn visible_ids_gray_out() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        assert_eq!(e.visible_ids(false).len(), 12);
+        assert_eq!(e.visible_ids(true).len(), 12);
+        e.label(t(12), Label::Positive).unwrap();
+        // Without gray-out the user still sees 11 unlabeled tuples; with
+        // gray-out, (3),(4),(7) disappear too.
+        assert_eq!(e.visible_ids(false).len(), 11);
+        assert_eq!(e.visible_ids(true).len(), 8);
+    }
+
+    #[test]
+    fn goal_remains_consistent_under_correct_answers() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        let u = e.universe().clone();
+        let tc = u.id_by_names((0, "To"), (1, "City")).unwrap();
+        let ad = u.id_by_names((0, "Airline"), (1, "Discount")).unwrap();
+        let goal = JoinPredicate::of(u, [tc, ad]);
+        // Answer every query truthfully w.r.t. the goal.
+        for k in [12u64, 8, 7, 3, 2] {
+            if e.label_of(t(k)).is_some() {
+                continue;
+            }
+            let tuple = e.product().tuple(t(k)).unwrap();
+            let lbl = Label::from_bool(goal.selects(&tuple));
+            e.label(t(k), lbl).unwrap();
+            assert!(e.consistent_with(&goal));
+        }
+    }
+
+    #[test]
+    fn product_too_large_guard() {
+        let (f, h) = (flights(), hotels());
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let opts = EngineOptions { max_product: 5, ..Default::default() };
+        assert!(matches!(
+            Engine::new(p, &opts),
+            Err(InferenceError::ProductTooLarge { size: 12, limit: 5 })
+        ));
+    }
+
+    #[test]
+    fn from_ids_subset() {
+        let (f, h) = (flights(), hotels());
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let ids = [t(1), t(3), t(8)];
+        let e = Engine::from_ids(p, &ids, &EngineOptions::default()).unwrap();
+        assert_eq!(e.stats().total_tuples, 3);
+        assert_eq!(e.num_groups(), 3);
+        // A tuple outside the subset is unknown.
+        assert!(e.classify(t(2)).is_ok() || e.classify(t(2)).is_err());
+    }
+
+    #[test]
+    fn absorb_ids_classifies_under_current_labels() {
+        let (f, h) = (flights(), hotels());
+        let p = Product::new(vec![&f, &h]).unwrap();
+        // Start from a 4-tuple sample; label (3)+ ((3) is rank 2).
+        let ids = [t(3), t(1), t(8), t(12)];
+        let mut e = Engine::from_ids(p, &ids, &EngineOptions::default()).unwrap();
+        e.label(t(3), Label::Positive).unwrap();
+        assert_eq!(e.stats().total_tuples, 4);
+
+        // Absorb the rest of the product; (4) shares (3)'s signature and
+        // must arrive certain-positive (never asked).
+        let rest: Vec<ProductId> = (0..12).map(ProductId).collect();
+        let added = e.absorb_ids(&rest).unwrap();
+        assert_eq!(added, 8);
+        assert_eq!(e.stats().total_tuples, 12);
+        assert_eq!(e.classify(t(4)).unwrap(), TupleClass::CertainPositive);
+        assert!(!e.is_informative(t(4)).unwrap());
+        // Duplicates are skipped idempotently.
+        assert_eq!(e.absorb_ids(&rest).unwrap(), 0);
+        assert_eq!(e.stats().total_tuples, 12);
+    }
+
+    #[test]
+    fn absorb_then_converge_equals_full_engine_result() {
+        let (f, h) = (flights(), hotels());
+        let u_goal;
+        // Converge on a sampled-then-absorbed engine.
+        let mut e = {
+            let p = Product::new(vec![&f, &h]).unwrap();
+            let mut e =
+                Engine::from_ids(p, &[t(3), t(8)], &EngineOptions::default()).unwrap();
+            u_goal = {
+                let u = e.universe().clone();
+                let tc = u.id_by_names((0, "To"), (1, "City")).unwrap();
+                let ad = u.id_by_names((0, "Airline"), (1, "Discount")).unwrap();
+                JoinPredicate::of(u, [tc, ad])
+            };
+            e.absorb_ids(&(0..12).map(ProductId).collect::<Vec<_>>()).unwrap();
+            e
+        };
+        // Answer every informative tuple truthfully.
+        while let Some(c) = e.informative_groups().into_iter().next() {
+            let tuple = e.product().tuple(c.representative).unwrap();
+            e.label(c.representative, Label::from_bool(u_goal.selects(&tuple)))
+                .unwrap();
+        }
+        assert!(e.is_resolved());
+        assert!(e
+            .result()
+            .instance_equivalent(&u_goal, e.product())
+            .unwrap());
+    }
+
+    #[test]
+    fn informative_groups_merge_after_upper_shrinks() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        let before = e.informative_groups().len();
+        assert_eq!(before, 6);
+        // Labeling (12)+ sets U = {AD}; signatures {FC} and ∅ restrict to ∅
+        // and merge; {TC,AD} and {FC,AD} become certain.
+        e.label(t(12), Label::Positive).unwrap();
+        let after = e.informative_groups();
+        // Remaining informative restricted signatures: ∅ (from ∅, {FC}, {TC}).
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].count, 8);
+    }
+}

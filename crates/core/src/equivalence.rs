@@ -1,0 +1,147 @@
+//! Instance-equivalence: the paper's termination notion.
+//!
+//! Inference stops when "there exists a unique (up to instance-equivalence
+//! \[3\]) join predicate consistent with the user's labels". Two predicates
+//! are instance-equivalent when they select the same tuples of the given
+//! instance. This module verifies that property over the whole consistent
+//! class (for small universes) — used by tests and by the `reproduce`
+//! binary to certify results.
+
+use crate::bitset::AtomSet;
+use crate::engine::Engine;
+use crate::predicate::JoinPredicate;
+
+/// Enumerate the consistent predicates (up to `limit` subsets of `U`), or
+/// `None` if the universe is too large to enumerate.
+pub fn consistent_class(engine: &Engine<'_>, limit: usize) -> Option<Vec<JoinPredicate>> {
+    let vs = engine.version_space();
+    let sets = vs.enumerate_consistent(limit)?;
+    let u = engine.universe().clone();
+    Some(
+        sets.into_iter()
+            .map(|atoms| JoinPredicate::new(u.clone(), atoms))
+            .collect(),
+    )
+}
+
+/// Check that every consistent predicate selects exactly the same tuples of
+/// the engine's instance — i.e. the consistent class is a single
+/// instance-equivalence class. This is the correctness certificate for a
+/// resolved engine; on an unresolved engine it returns `Some(false)`.
+pub fn class_is_instance_equivalent(engine: &Engine<'_>, limit: usize) -> Option<bool> {
+    let class = consistent_class(engine, limit)?;
+    let Some((first, rest)) = class.split_first() else {
+        // Empty class: cannot happen with consistent labels, but an empty
+        // class is vacuously equivalent.
+        return Some(true);
+    };
+    // Evaluate via signatures: θ selects t iff θ ⊆ Θ(t). Using the engine's
+    // grouping avoids re-running joins per predicate.
+    let groups = all_signatures(engine);
+    for theta in rest {
+        for sig in &groups {
+            if first.selects_sig(sig) != theta.selects_sig(sig) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
+}
+
+/// The distinct full signatures present in the instance.
+fn all_signatures(engine: &Engine<'_>) -> Vec<AtomSet> {
+    let u = engine.universe();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (_, tuple) in engine.product().iter() {
+        let sig = u.signature(&tuple);
+        if seen.insert(sig.clone()) {
+            out.push(sig);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::label::Label;
+    use jim_relation::{tup, DataType, Product, ProductId, Relation, RelationSchema};
+
+    fn paper_instance() -> (Relation, Relation) {
+        let flights = Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Lille", "NYC", "AA"],
+                tup!["NYC", "Paris", "AA"],
+                tup!["Paris", "NYC", "AF"],
+            ],
+        )
+        .unwrap();
+        let hotels = Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+        )
+        .unwrap();
+        (flights, hotels)
+    }
+
+    #[test]
+    fn unresolved_engine_class_not_equivalent() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        assert_eq!(class_is_instance_equivalent(&e, 1 << 10), Some(false));
+        // 2^6 predicates are consistent initially.
+        assert_eq!(consistent_class(&e, 1 << 10).unwrap().len(), 64);
+    }
+
+    #[test]
+    fn resolved_engine_class_is_equivalent() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut e = Engine::new(p, &EngineOptions::default()).unwrap();
+        e.label(ProductId(2), Label::Positive).unwrap();
+        e.label(ProductId(6), Label::Negative).unwrap();
+        e.label(ProductId(7), Label::Negative).unwrap();
+        assert!(e.is_resolved());
+        assert_eq!(class_is_instance_equivalent(&e, 1 << 10), Some(true));
+        // Here the class is even a singleton.
+        assert_eq!(consistent_class(&e, 1 << 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn resolved_but_non_singleton_class() {
+        // A one-row instance: labeling its only tuple positive resolves the
+        // inference, yet many consistent predicates remain — all
+        // instance-equivalent (they all select the single tuple).
+        let a = Relation::new(
+            RelationSchema::of("a", &[("x", DataType::Int)]).unwrap(),
+            vec![tup![1]],
+        )
+        .unwrap();
+        let b = Relation::new(
+            RelationSchema::of("b", &[("y", DataType::Int)]).unwrap(),
+            vec![tup![1]],
+        )
+        .unwrap();
+        let p = Product::new(vec![&a, &b]).unwrap();
+        let mut e = Engine::new(p, &EngineOptions::default()).unwrap();
+        e.label(ProductId(0), Label::Positive).unwrap();
+        assert!(e.is_resolved());
+        assert_eq!(class_is_instance_equivalent(&e, 1 << 10), Some(true));
+        // θ = ∅ and θ = {x≍y} are both consistent.
+        assert_eq!(consistent_class(&e, 1 << 10).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Explanations: *why* is a tuple certain or informative?
+//!
+//! The demo UI grays tuples out; a trustworthy tool should also be able to
+//! say why. This module derives human-readable justifications from the
+//! version-space state:
+//!
+//! * certain-positive — every atom of `U` holds in the tuple, so every
+//!   consistent predicate (all of which are ⊆ `U`) selects it;
+//! * certain-negative — the atoms the tuple satisfies (within `U`) are
+//!   covered by the signature of an earlier negative example, so any
+//!   predicate selecting it would also have selected that negative;
+//! * informative — a concrete pair of consistent predicates that disagree
+//!   on the tuple (a witness for each answer).
+
+use crate::atoms::AtomId;
+use crate::bitset::AtomSet;
+use crate::engine::Engine;
+use crate::error::Result;
+use crate::version_space::TupleClass;
+use jim_relation::ProductId;
+use std::fmt;
+
+/// A justification for a tuple's classification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Explanation {
+    /// Selected by every consistent predicate.
+    CertainPositive {
+        /// The atoms of `U` — all of them hold in the tuple.
+        upper_atoms: Vec<String>,
+    },
+    /// Selected by no consistent predicate.
+    CertainNegative {
+        /// The atoms the tuple satisfies within `U`.
+        satisfied: Vec<String>,
+        /// The dominating negative signature (every satisfied atom also
+        /// held in that earlier negative example).
+        dominating_negative: Vec<String>,
+    },
+    /// Consistent predicates disagree.
+    Informative {
+        /// A consistent predicate that selects the tuple.
+        selecting: String,
+        /// A consistent predicate that rejects the tuple.
+        rejecting: String,
+    },
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Explanation::CertainPositive { upper_atoms } => {
+                if upper_atoms.is_empty() {
+                    write!(
+                        f,
+                        "certainly in the result: every remaining candidate query is a cross product"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "certainly in the result: it satisfies every atom any consistent query can use ({})",
+                        upper_atoms.join(" ∧ ")
+                    )
+                }
+            }
+            Explanation::CertainNegative { satisfied, dominating_negative } => {
+                let sat = if satisfied.is_empty() {
+                    "nothing".to_string()
+                } else {
+                    satisfied.join(" ∧ ")
+                };
+                write!(
+                    f,
+                    "certainly not in the result: it satisfies only {sat}, and a tuple satisfying {} was already rejected",
+                    if dominating_negative.is_empty() {
+                        "nothing".to_string()
+                    } else {
+                        dominating_negative.join(" ∧ ")
+                    }
+                )
+            }
+            Explanation::Informative { selecting, rejecting } => write!(
+                f,
+                "informative: `{selecting}` would select it but `{rejecting}` would not — your answer decides"
+            ),
+        }
+    }
+}
+
+/// Explain the current classification of tuple `id`.
+pub fn explain(engine: &Engine<'_>, id: ProductId) -> Result<Explanation> {
+    let tuple = engine.product().tuple(id)?;
+    let universe = engine.universe();
+    let vs = engine.version_space();
+    let sig = universe.signature(&tuple);
+    let names = |set: &AtomSet| -> Vec<String> {
+        set.iter()
+            .map(|i| universe.atom_name(AtomId(i as u32)))
+            .collect()
+    };
+
+    Ok(match vs.classify(&sig) {
+        TupleClass::CertainPositive => Explanation::CertainPositive {
+            upper_atoms: names(vs.upper()),
+        },
+        TupleClass::CertainNegative => {
+            let restricted = vs.restrict(&sig);
+            let dominating = vs
+                .negatives()
+                .iter()
+                .find(|n| restricted.is_subset(n))
+                .expect("certain-negative implies a dominating negative");
+            Explanation::CertainNegative {
+                satisfied: names(&restricted),
+                dominating_negative: names(dominating),
+            }
+        }
+        TupleClass::Informative => {
+            // Witness selecting the tuple: the maximal predicate under
+            // Θ(t)∩U is consistent (informative ⇒ not certain-negative).
+            let selecting = vs.restrict(&sig);
+            // Witness rejecting it: U itself (informative ⇒ U ⊄ Θ(t)),
+            // and U is always consistent.
+            let rejecting = vs.upper().clone();
+            Explanation::Informative {
+                selecting: universe.set_name(&selecting),
+                rejecting: universe.set_name(&rejecting),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::label::Label;
+    use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
+
+    fn paper_instance() -> (Relation, Relation) {
+        let flights = Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Lille", "NYC", "AA"],
+                tup!["NYC", "Paris", "AA"],
+                tup!["Paris", "NYC", "AF"],
+            ],
+        )
+        .unwrap();
+        let hotels = Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+        )
+        .unwrap();
+        (flights, hotels)
+    }
+
+    #[test]
+    fn informative_explanation_names_disagreeing_predicates() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let ex = explain(&e, ProductId(2)).unwrap();
+        match &ex {
+            Explanation::Informative { selecting, rejecting } => {
+                assert!(selecting.contains("To ≍ hotels.City"));
+                // Initially the rejecting witness is the full universe.
+                assert!(rejecting.contains("From ≍ hotels.City"));
+            }
+            other => panic!("expected informative, got {other:?}"),
+        }
+        assert!(ex.to_string().contains("your answer decides"));
+    }
+
+    #[test]
+    fn certain_positive_explanation_after_label() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut e = Engine::new(p, &EngineOptions::default()).unwrap();
+        e.label(ProductId(2), Label::Positive).unwrap(); // (3)+
+        let ex = explain(&e, ProductId(3)).unwrap(); // (4) certain-positive
+        match &ex {
+            Explanation::CertainPositive { upper_atoms } => {
+                assert_eq!(upper_atoms.len(), 2);
+            }
+            other => panic!("expected certain-positive, got {other:?}"),
+        }
+        assert!(ex.to_string().contains("certainly in the result"));
+    }
+
+    #[test]
+    fn certain_negative_explanation_names_dominator() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut e = Engine::new(p, &EngineOptions::default()).unwrap();
+        e.label(ProductId(11), Label::Negative).unwrap(); // (12)-: Θ = {AD}
+        let ex = explain(&e, ProductId(0)).unwrap(); // (1): Θ = ∅, pruned
+        match &ex {
+            Explanation::CertainNegative { satisfied, dominating_negative } => {
+                assert!(satisfied.is_empty());
+                assert_eq!(dominating_negative.len(), 1);
+                assert!(dominating_negative[0].contains("Airline ≍ hotels.Discount"));
+            }
+            other => panic!("expected certain-negative, got {other:?}"),
+        }
+        assert!(ex.to_string().contains("already rejected"));
+    }
+
+    #[test]
+    fn explanations_agree_with_witnesses() {
+        // The informative explanation's two witnesses must actually be
+        // consistent and actually disagree.
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut e = Engine::new(p, &EngineOptions::default()).unwrap();
+        e.label(ProductId(2), Label::Positive).unwrap();
+        for (id, tuple) in e.product().clone().iter() {
+            if e.classify(id).unwrap() != TupleClass::Informative {
+                continue;
+            }
+            let vs = e.version_space();
+            let sig = e.universe().signature(&tuple);
+            let selecting = vs.restrict(&sig);
+            let rejecting = vs.upper().clone();
+            assert!(vs.is_consistent(&selecting));
+            assert!(vs.is_consistent(&rejecting));
+            assert!(selecting.is_subset(&sig));
+            assert!(!rejecting.is_subset(&sig));
+        }
+    }
+}

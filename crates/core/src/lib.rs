@@ -1,0 +1,106 @@
+//! # `jim-core` — the JIM join-inference engine
+//!
+//! A faithful reproduction of **JIM (Join Inference Machine)** from
+//! Bonifati, Ciucanu & Staworko, *Interactive Join Query Inference with
+//! JIM*, PVLDB 7(13):1541–1544 (VLDB 2014 demo), and of the algorithms of
+//! its companion paper (EDBT 2014).
+//!
+//! JIM infers an n-ary equi-join predicate by asking the user Boolean
+//! membership queries — "is this tuple part of the join result you have in
+//! mind?" — and minimizes the number of questions by only ever asking
+//! *informative* tuples, chosen by a pluggable [`strategy`].
+//!
+//! ## The pieces
+//!
+//! * [`AtomUniverse`] — the candidate equality atoms over a join schema;
+//!   `Θ(t)` signatures as packed [`AtomSet`] bitsets.
+//! * [`VersionSpace`] — the predicates consistent with the labels so far:
+//!   upper bound `U` plus a maximal antichain of negative signatures;
+//!   classification (certain / informative), consistency checking,
+//!   predicate counting for entropy scores.
+//! * [`Engine`] — signature-grouped instance state, label propagation
+//!   ("graying out"), lookahead simulation, progress statistics.
+//! * [`strategy`] — random / local / lookahead strategies and the
+//!   exponential optimal planner, per the paper's taxonomy.
+//! * [`session`] — the four interaction types of the demo's Figure 3.
+//! * [`oracle`] — simulated users: truthful goal oracles and noisy /
+//!   majority-vote crowd workers.
+//! * [`cost`] — crowd pricing of question volume.
+//! * [`equivalence`] — instance-equivalence certificates for results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jim_core::{Engine, EngineOptions, GoalOracle, JoinPredicate};
+//! use jim_core::session::run_most_informative;
+//! use jim_core::strategy::StrategyKind;
+//! use jim_relation::{csv, Product};
+//!
+//! let flights = csv::read_relation(
+//!     "flights",
+//!     "From,To,Airline\nParis,Lille,AF\nLille,NYC,AA\nNYC,Paris,AA\nParis,NYC,AF\n",
+//! )?;
+//! let hotels = csv::read_relation(
+//!     "hotels",
+//!     "City,Discount\nNYC,AA\nParis,\nLille,AF\n",
+//! )?;
+//! let product = Product::new(vec![&flights, &hotels])?;
+//! let engine = Engine::new(product, &EngineOptions::default())?;
+//!
+//! // The "user": wants packages where the flight lands in the hotel's city.
+//! let universe = engine.universe().clone();
+//! let goal = JoinPredicate::of(
+//!     universe.clone(),
+//!     [universe.id_by_names((0, "To"), (1, "City"))?],
+//! );
+//! let mut oracle = GoalOracle::new(goal.clone());
+//! let mut strategy = StrategyKind::LookaheadMinPrune.build();
+//!
+//! let outcome = run_most_informative(engine, strategy.as_mut(), &mut oracle)?;
+//! assert!(outcome.resolved);
+//! assert!(outcome.inferred.instance_equivalent(&goal, outcome.engine.product())?);
+//! println!("{}", outcome.inferred.to_sql());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod atoms;
+mod bitset;
+pub mod cost;
+mod engine;
+pub mod equivalence;
+mod error;
+pub mod explain;
+mod label;
+pub mod oracle;
+mod predicate;
+pub mod session;
+mod stats;
+pub mod strategy;
+pub mod transcript;
+mod version_space;
+
+pub use atoms::{Atom, AtomId, AtomScope, AtomUniverse};
+pub use bitset::{maximal_antichain, AtomSet, AtomSetIter};
+pub use cost::{Cost, CostModel};
+pub use engine::{Candidate, Engine, EngineOptions, LabelOutcome};
+pub use error::{InferenceError, Result};
+pub use explain::{explain, Explanation};
+pub use label::Label;
+pub use transcript::Transcript;
+pub use oracle::{FnOracle, GoalOracle, MajorityOracle, NoisyOracle, Oracle};
+pub use predicate::JoinPredicate;
+pub use stats::{InteractionRecord, ProgressStats};
+pub use strategy::{Strategy, StrategyKind};
+pub use version_space::{TupleClass, VersionSpace};
+
+/// The commonly used names, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::session::{run_free, run_most_informative, run_top_k};
+    pub use crate::{
+        AtomScope, AtomSet, AtomUniverse, Engine, EngineOptions, GoalOracle, InferenceError,
+        JoinPredicate, Label, Oracle, Strategy, StrategyKind, TupleClass, VersionSpace,
+    };
+}

@@ -1,0 +1,252 @@
+//! Oracles: answerers of membership queries.
+//!
+//! The paper observes that "the user providing the examples in the
+//! experiments from \[3\] is in fact a program that labels tuples w.r.t. a
+//! goal join query" — that program is [`GoalOracle`]. [`NoisyOracle`] and
+//! [`MajorityOracle`] model crowd workers (the paper's crowdsourcing
+//! motivation), who answer wrongly with some probability and whose errors
+//! are mitigated by redundant voting.
+
+use crate::label::Label;
+use crate::predicate::JoinPredicate;
+use jim_relation::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Anything that can answer a Boolean membership query about a candidate
+/// (concatenated) product tuple.
+pub trait Oracle {
+    /// Label one tuple.
+    fn label(&mut self, tuple: &Tuple) -> Label;
+
+    /// How many elementary questions the previous answers cost in total
+    /// (a plain oracle costs one per answer; a majority-vote oracle costs
+    /// `votes` per answer). Used by the crowd cost model.
+    fn questions_asked(&self) -> u64;
+}
+
+/// The paper's simulated user: labels truthfully w.r.t. a goal query.
+#[derive(Debug, Clone)]
+pub struct GoalOracle {
+    goal: JoinPredicate,
+    asked: u64,
+}
+
+impl GoalOracle {
+    /// An oracle that has `goal` "in mind".
+    pub fn new(goal: JoinPredicate) -> Self {
+        GoalOracle { goal, asked: 0 }
+    }
+
+    /// The goal query.
+    pub fn goal(&self) -> &JoinPredicate {
+        &self.goal
+    }
+}
+
+impl Oracle for GoalOracle {
+    fn label(&mut self, tuple: &Tuple) -> Label {
+        self.asked += 1;
+        Label::from_bool(self.goal.selects(tuple))
+    }
+
+    fn questions_asked(&self) -> u64 {
+        self.asked
+    }
+}
+
+/// A crowd worker: truthful with probability `1 − error_rate`, flipped
+/// otherwise.
+#[derive(Debug, Clone)]
+pub struct NoisyOracle {
+    goal: JoinPredicate,
+    error_rate: f64,
+    rng: StdRng,
+    asked: u64,
+}
+
+impl NoisyOracle {
+    /// A worker with the given per-answer error probability.
+    pub fn new(goal: JoinPredicate, error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate), "error rate must be a probability");
+        NoisyOracle { goal, error_rate, rng: StdRng::seed_from_u64(seed), asked: 0 }
+    }
+}
+
+impl Oracle for NoisyOracle {
+    fn label(&mut self, tuple: &Tuple) -> Label {
+        self.asked += 1;
+        let truth = Label::from_bool(self.goal.selects(tuple));
+        if self.rng.gen_bool(self.error_rate) {
+            truth.flip()
+        } else {
+            truth
+        }
+    }
+
+    fn questions_asked(&self) -> u64 {
+        self.asked
+    }
+}
+
+/// Crowd redundancy: ask `votes` independent noisy workers, return the
+/// majority answer. With odd `votes` and error rate `ε < ½`, the effective
+/// error rate drops exponentially in `votes` — the standard quality/cost
+/// trade-off of crowdsourced joins.
+#[derive(Debug, Clone)]
+pub struct MajorityOracle {
+    worker: NoisyOracle,
+    votes: u32,
+    answers: u64,
+}
+
+impl MajorityOracle {
+    /// Majority over `votes` answers (must be odd so ties are impossible).
+    pub fn new(goal: JoinPredicate, error_rate: f64, votes: u32, seed: u64) -> Self {
+        assert!(votes % 2 == 1, "vote count must be odd");
+        MajorityOracle { worker: NoisyOracle::new(goal, error_rate, seed), votes, answers: 0 }
+    }
+
+    /// The vote count per question.
+    pub fn votes(&self) -> u32 {
+        self.votes
+    }
+}
+
+impl Oracle for MajorityOracle {
+    fn label(&mut self, tuple: &Tuple) -> Label {
+        self.answers += 1;
+        let mut positive = 0u32;
+        for _ in 0..self.votes {
+            if self.worker.label(tuple).is_positive() {
+                positive += 1;
+            }
+        }
+        Label::from_bool(positive * 2 > self.votes)
+    }
+
+    fn questions_asked(&self) -> u64 {
+        self.worker.questions_asked()
+    }
+}
+
+/// Adapter for closures (handy in tests and interactive UIs).
+pub struct FnOracle<F: FnMut(&Tuple) -> Label> {
+    f: F,
+    asked: u64,
+}
+
+impl<F: FnMut(&Tuple) -> Label> FnOracle<F> {
+    /// Wrap a closure as an oracle.
+    pub fn new(f: F) -> Self {
+        FnOracle { f, asked: 0 }
+    }
+}
+
+impl<F: FnMut(&Tuple) -> Label> Oracle for FnOracle<F> {
+    fn label(&mut self, tuple: &Tuple) -> Label {
+        self.asked += 1;
+        (self.f)(tuple)
+    }
+
+    fn questions_asked(&self) -> u64 {
+        self.asked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::AtomUniverse;
+    use jim_relation::{tup, DataType, JoinSchema, RelationSchema};
+
+    fn goal() -> JoinPredicate {
+        let js = JoinSchema::new(vec![
+            RelationSchema::of("a", &[("x", DataType::Int)]).unwrap(),
+            RelationSchema::of("b", &[("y", DataType::Int)]).unwrap(),
+        ])
+        .unwrap();
+        let u = AtomUniverse::cross_relation(js).unwrap();
+        let id = u.id_by_names((0, "x"), (1, "y")).unwrap();
+        JoinPredicate::of(u, [id])
+    }
+
+    fn sel() -> Tuple {
+        tup![1, 1]
+    }
+
+    fn unsel() -> Tuple {
+        tup![1, 2]
+    }
+
+    #[test]
+    fn goal_oracle_is_truthful() {
+        let mut o = GoalOracle::new(goal());
+        assert_eq!(o.label(&sel()), Label::Positive);
+        assert_eq!(o.label(&unsel()), Label::Negative);
+        assert_eq!(o.questions_asked(), 2);
+        assert_eq!(o.goal(), &goal());
+    }
+
+    #[test]
+    fn zero_noise_oracle_is_truthful() {
+        let mut o = NoisyOracle::new(goal(), 0.0, 42);
+        for _ in 0..20 {
+            assert_eq!(o.label(&sel()), Label::Positive);
+        }
+    }
+
+    #[test]
+    fn full_noise_oracle_always_flips() {
+        let mut o = NoisyOracle::new(goal(), 1.0, 42);
+        for _ in 0..20 {
+            assert_eq!(o.label(&sel()), Label::Negative);
+        }
+    }
+
+    #[test]
+    fn noise_rate_is_approximately_respected() {
+        let mut o = NoisyOracle::new(goal(), 0.3, 7);
+        let flips = (0..2000)
+            .filter(|_| o.label(&sel()) == Label::Negative)
+            .count();
+        let rate = flips as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed {rate}");
+    }
+
+    #[test]
+    fn majority_vote_suppresses_noise() {
+        let mut single = NoisyOracle::new(goal(), 0.2, 1);
+        let mut majority = MajorityOracle::new(goal(), 0.2, 5, 1);
+        let n = 500;
+        let single_errors = (0..n).filter(|_| single.label(&sel()) != Label::Positive).count();
+        let majority_errors = (0..n).filter(|_| majority.label(&sel()) != Label::Positive).count();
+        assert!(
+            majority_errors * 2 < single_errors,
+            "majority {majority_errors} vs single {single_errors}"
+        );
+        // Cost accounting: 5 questions per answer.
+        assert_eq!(majority.questions_asked(), 5 * n as u64);
+        assert_eq!(majority.votes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_votes_rejected() {
+        MajorityOracle::new(goal(), 0.1, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_error_rate_rejected() {
+        NoisyOracle::new(goal(), 1.5, 0);
+    }
+
+    #[test]
+    fn fn_oracle_adapts_closures() {
+        let mut o = FnOracle::new(|t: &Tuple| Label::from_bool(t[0] == t[1]));
+        assert_eq!(o.label(&sel()), Label::Positive);
+        assert_eq!(o.label(&unsel()), Label::Negative);
+        assert_eq!(o.questions_asked(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Join predicates: atom sets with semantics, display, execution and
+//! containment/equivalence reasoning.
+
+use crate::atoms::{AtomId, AtomUniverse};
+use crate::bitset::AtomSet;
+use crate::error::Result;
+use jim_relation::{sql, Product, ProductId, Relation, Tuple};
+use std::fmt;
+use std::sync::Arc;
+
+/// An equi-join predicate: a set of atoms over a shared [`AtomUniverse`].
+///
+/// Semantics: the predicate *selects* a product tuple `t` iff every one of
+/// its atoms holds in `t` — equivalently, iff `atoms ⊆ Θ(t)`.
+#[derive(Clone)]
+pub struct JoinPredicate {
+    universe: Arc<AtomUniverse>,
+    atoms: AtomSet,
+}
+
+impl JoinPredicate {
+    /// Build from an atom set (must come from `universe`).
+    pub fn new(universe: Arc<AtomUniverse>, atoms: AtomSet) -> Self {
+        assert_eq!(
+            atoms.capacity(),
+            universe.len(),
+            "atom set does not belong to this universe"
+        );
+        JoinPredicate { universe, atoms }
+    }
+
+    /// The always-true predicate (selects the whole product).
+    pub fn always(universe: Arc<AtomUniverse>) -> Self {
+        let atoms = universe.empty_set();
+        JoinPredicate { universe, atoms }
+    }
+
+    /// Build from atom ids.
+    pub fn of(universe: Arc<AtomUniverse>, ids: impl IntoIterator<Item = AtomId>) -> Self {
+        let atoms = universe.set_of(ids);
+        JoinPredicate { universe, atoms }
+    }
+
+    /// The shared universe.
+    pub fn universe(&self) -> &Arc<AtomUniverse> {
+        &self.universe
+    }
+
+    /// The atom set.
+    pub fn atoms(&self) -> &AtomSet {
+        &self.atoms
+    }
+
+    /// Number of atoms (the paper's measure of query complexity).
+    pub fn arity(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Does this predicate select the concatenated tuple `t`?
+    pub fn selects(&self, t: &Tuple) -> bool {
+        self.atoms.is_subset(&self.universe.signature(t))
+    }
+
+    /// Does this predicate select a tuple with signature `sig`?
+    pub fn selects_sig(&self, sig: &AtomSet) -> bool {
+        self.atoms.is_subset(sig)
+    }
+
+    /// Evaluate on a product (hash join), returning selected tuple ids.
+    pub fn eval(&self, product: &Product<'_>) -> Result<Vec<ProductId>> {
+        Ok(self.universe.to_spec(&self.atoms).eval_hash(product)?)
+    }
+
+    /// Materialize the selected tuples as a relation.
+    pub fn materialize(&self, product: &Product<'_>, name: &str) -> Result<Relation> {
+        let spec = self.universe.to_spec(&self.atoms);
+        let ids = spec.eval_hash(product)?;
+        Ok(spec.materialize(product, &ids, name)?)
+    }
+
+    /// **Result containment** (on every instance): `self ⊑ other` iff every
+    /// tuple selected by `self` is selected by `other`, which for equi-join
+    /// predicates holds iff `other`'s atoms are a subset of `self`'s
+    /// (more atoms = more constrained = fewer results). The paper uses this
+    /// to argue negatives are necessary: `Q2 ⊑ Q1`.
+    pub fn contained_in(&self, other: &JoinPredicate) -> bool {
+        other.atoms.is_subset(&self.atoms)
+    }
+
+    /// **Instance equivalence** (the paper's termination criterion): do the
+    /// two predicates select exactly the same tuples of this product?
+    pub fn instance_equivalent(&self, other: &JoinPredicate, product: &Product<'_>) -> Result<bool> {
+        Ok(self.eval(product)? == other.eval(product)?)
+    }
+
+    /// Render as SQL over the universe's schema.
+    pub fn to_sql(&self) -> String {
+        sql::to_select(self.universe.schema(), &self.universe.to_spec(&self.atoms))
+            .expect("atoms come from the schema")
+    }
+
+    /// Render as a GAV mapping rule with the given target name.
+    pub fn to_gav(&self, target: &str) -> String {
+        sql::to_gav_rule(self.universe.schema(), &self.universe.to_spec(&self.atoms), target)
+            .expect("atoms come from the schema")
+    }
+}
+
+impl PartialEq for JoinPredicate {
+    fn eq(&self, other: &Self) -> bool {
+        self.atoms == other.atoms
+    }
+}
+
+impl Eq for JoinPredicate {}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.universe.set_name(&self.atoms))
+    }
+}
+
+impl fmt::Debug for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinPredicate({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_relation::{tup, DataType, JoinSchema, RelationSchema};
+
+    fn universe() -> Arc<AtomUniverse> {
+        let js = JoinSchema::new(vec![
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+        ])
+        .unwrap();
+        AtomUniverse::cross_relation(js).unwrap()
+    }
+
+    fn flights_rel() -> Relation {
+        Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Lille", "NYC", "AA"],
+                tup!["NYC", "Paris", "AA"],
+                tup!["Paris", "NYC", "AF"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn hotels_rel() -> Relation {
+        Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+        )
+        .unwrap()
+    }
+
+    fn q1(u: &Arc<AtomUniverse>) -> JoinPredicate {
+        let tc = u.id_by_names((0, "To"), (1, "City")).unwrap();
+        JoinPredicate::of(u.clone(), [tc])
+    }
+
+    fn q2(u: &Arc<AtomUniverse>) -> JoinPredicate {
+        let tc = u.id_by_names((0, "To"), (1, "City")).unwrap();
+        let ad = u.id_by_names((0, "Airline"), (1, "Discount")).unwrap();
+        JoinPredicate::of(u.clone(), [tc, ad])
+    }
+
+    #[test]
+    fn selects_by_signature_subset() {
+        let u = universe();
+        let t3 = tup!["Paris", "Lille", "AF", "Lille", "AF"];
+        let t8 = tup!["NYC", "Paris", "AA", "Paris", "None"];
+        assert!(q1(&u).selects(&t3));
+        assert!(q2(&u).selects(&t3));
+        assert!(q1(&u).selects(&t8));
+        assert!(!q2(&u).selects(&t8)); // the paper's distinguishing tuple
+    }
+
+    #[test]
+    fn always_selects_everything() {
+        let u = universe();
+        let p = JoinPredicate::always(u);
+        assert!(p.selects(&tup!["a", "b", "c", "d", "e"]));
+        assert_eq!(p.arity(), 0);
+    }
+
+    #[test]
+    fn q2_contained_in_q1() {
+        let u = universe();
+        assert!(q2(&u).contained_in(&q1(&u)));
+        assert!(!q1(&u).contained_in(&q2(&u)));
+        assert!(q1(&u).contained_in(&q1(&u)));
+    }
+
+    #[test]
+    fn eval_against_paper_instance() {
+        let u = universe();
+        let f = flights_rel();
+        let h = hotels_rel();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let ids1 = q1(&u).eval(&p).unwrap();
+        let ids2 = q2(&u).eval(&p).unwrap();
+        assert_eq!(ids1.iter().map(|i| i.0).collect::<Vec<_>>(), vec![2, 3, 7, 9]);
+        assert_eq!(ids2.iter().map(|i| i.0).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn instance_equivalence_detects_difference() {
+        let u = universe();
+        let f = flights_rel();
+        let h = hotels_rel();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        assert!(!q1(&u).instance_equivalent(&q2(&u), &p).unwrap());
+        assert!(q1(&u).instance_equivalent(&q1(&u), &p).unwrap());
+    }
+
+    #[test]
+    fn sql_and_gav_rendering() {
+        let u = universe();
+        let sql = q2(&u).to_sql();
+        assert!(sql.contains("r1.To = r2.City"));
+        assert!(sql.contains("r1.Airline = r2.Discount"));
+        let gav = q1(&u).to_gav("Package");
+        assert!(gav.starts_with("Package("));
+        assert!(gav.contains(":- flights("));
+    }
+
+    #[test]
+    fn equality_ignores_universe_pointer() {
+        let u = universe();
+        assert_eq!(q1(&u), q1(&u));
+        assert_ne!(q1(&u), q2(&u));
+    }
+
+    #[test]
+    fn materialize_selected_rows() {
+        let u = universe();
+        let f = flights_rel();
+        let h = hotels_rel();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let rel = q2(&u).materialize(&p, "packages").unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

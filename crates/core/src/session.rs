@@ -1,0 +1,353 @@
+//! Interactive sessions: the four interaction types of the paper's
+//! Figure 3, driven to completion against an [`Oracle`].
+//!
+//! 1. **Free labeling** — the user picks any unlabeled tuple, in any order;
+//!    nothing is grayed out, so effort is routinely wasted on uninformative
+//!    tuples.
+//! 2. **Free labeling with gray-out** — same, but after each label JIM
+//!    interactively grays out the tuples that became uninformative.
+//! 3. **Top-k proposals** — JIM computes the top-k informative tuples and
+//!    the user labels the whole batch.
+//! 4. **Most informative** — the core loop of Figure 2: JIM proposes one
+//!    maximally informative tuple at a time.
+//!
+//! All four stop the moment the goal is identified (no informative tuple
+//! left); the differences in interaction counts are exactly what the demo's
+//! Figure 4 visualizes.
+
+use crate::engine::Engine;
+use crate::error::Result;
+use crate::oracle::Oracle;
+use crate::predicate::JoinPredicate;
+use crate::stats::ProgressStats;
+use crate::strategy::Strategy;
+use jim_relation::ProductId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a free-form user (modes 1 and 2) picks the next tuple to label from
+/// the rows still shown on screen.
+pub trait TuplePicker {
+    /// Choose one of `visible` (non-empty) to label next.
+    fn pick(&mut self, visible: &[ProductId]) -> ProductId;
+}
+
+/// Scans the table top-to-bottom — the diligent reader.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialPicker;
+
+impl TuplePicker for SequentialPicker {
+    fn pick(&mut self, visible: &[ProductId]) -> ProductId {
+        visible[0]
+    }
+}
+
+/// Clicks around uniformly at random — the browsing reader.
+#[derive(Debug, Clone)]
+pub struct RandomPicker {
+    rng: StdRng,
+}
+
+impl RandomPicker {
+    /// Seeded for reproducible experiments.
+    pub fn seeded(seed: u64) -> Self {
+        RandomPicker { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl TuplePicker for RandomPicker {
+    fn pick(&mut self, visible: &[ProductId]) -> ProductId {
+        visible[self.rng.gen_range(0..visible.len())]
+    }
+}
+
+/// The result of a completed session.
+#[derive(Debug)]
+pub struct SessionOutcome<'a> {
+    /// The engine in its final state (inspect stats, entailed tuples, …).
+    pub engine: Engine<'a>,
+    /// The inferred query (the canonical consistent predicate).
+    pub inferred: JoinPredicate,
+    /// Number of membership queries the user answered.
+    pub interactions: u64,
+    /// Elementary questions asked of the oracle (≥ `interactions` for
+    /// majority-vote crowd oracles).
+    pub questions: u64,
+    /// Whether the session reached the unique-query termination condition.
+    pub resolved: bool,
+}
+
+impl SessionOutcome<'_> {
+    /// Final progress statistics.
+    pub fn stats(&self) -> &ProgressStats {
+        self.engine.stats()
+    }
+}
+
+fn ask(engine: &mut Engine<'_>, oracle: &mut dyn Oracle, id: ProductId) -> Result<()> {
+    let tuple = engine.product().tuple(id)?;
+    let label = oracle.label(&tuple);
+    engine.label(id, label)?;
+    Ok(())
+}
+
+/// Mode 4 — the core interactive scenario (Figure 2): repeatedly ask the
+/// most informative tuple according to `strategy` until the query is
+/// uniquely identified.
+pub fn run_most_informative<'a>(
+    mut engine: Engine<'a>,
+    strategy: &mut dyn Strategy,
+    oracle: &mut dyn Oracle,
+) -> Result<SessionOutcome<'a>> {
+    while let Some(id) = strategy.choose(&engine) {
+        ask(&mut engine, oracle, id)?;
+    }
+    finish(engine, oracle)
+}
+
+/// Mode 3 — top-k proposals: JIM proposes the `k` most informative tuples,
+/// the user labels the whole batch (even entries that earlier answers in
+/// the same batch made uninformative — that slack is the point of the
+/// demonstration), then a fresh batch is computed.
+pub fn run_top_k<'a>(
+    mut engine: Engine<'a>,
+    k: usize,
+    strategy: &mut dyn Strategy,
+    oracle: &mut dyn Oracle,
+) -> Result<SessionOutcome<'a>> {
+    assert!(k > 0, "k must be positive");
+    loop {
+        let batch = strategy.top_k(&engine, k);
+        if batch.is_empty() {
+            break;
+        }
+        for id in batch {
+            if engine.label_of(id).is_none() {
+                ask(&mut engine, oracle, id)?;
+            }
+        }
+        if engine.is_resolved() {
+            break;
+        }
+    }
+    finish(engine, oracle)
+}
+
+/// Modes 1 and 2 — free labeling. With `gray_out` the user only sees (and
+/// can only pick) informative tuples; without it they may waste effort.
+/// Stops when the query is identified or nothing is left to label.
+pub fn run_free<'a>(
+    mut engine: Engine<'a>,
+    gray_out: bool,
+    picker: &mut dyn TuplePicker,
+    oracle: &mut dyn Oracle,
+) -> Result<SessionOutcome<'a>> {
+    while !engine.is_resolved() {
+        let visible = engine.visible_ids(gray_out);
+        if visible.is_empty() {
+            break;
+        }
+        let id = picker.pick(&visible);
+        ask(&mut engine, oracle, id)?;
+    }
+    finish(engine, oracle)
+}
+
+fn finish<'a>(engine: Engine<'a>, oracle: &mut dyn Oracle) -> Result<SessionOutcome<'a>> {
+    let outcome = SessionOutcome {
+        inferred: engine.result(),
+        interactions: engine.stats().interactions(),
+        questions: oracle.questions_asked(),
+        resolved: engine.is_resolved(),
+        engine,
+    };
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::oracle::GoalOracle;
+    use crate::strategy::{LookaheadMinPrune, StrategyKind};
+    use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
+
+    fn paper_instance() -> (Relation, Relation) {
+        let flights = Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Lille", "NYC", "AA"],
+                tup!["NYC", "Paris", "AA"],
+                tup!["Paris", "NYC", "AF"],
+            ],
+        )
+        .unwrap();
+        let hotels = Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+        )
+        .unwrap();
+        (flights, hotels)
+    }
+
+    fn q2_goal(engine: &Engine<'_>) -> JoinPredicate {
+        let u = engine.universe().clone();
+        let tc = u.id_by_names((0, "To"), (1, "City")).unwrap();
+        let ad = u.id_by_names((0, "Airline"), (1, "Discount")).unwrap();
+        JoinPredicate::of(u, [tc, ad])
+    }
+
+    fn fresh_engine<'a>(f: &'a Relation, h: &'a Relation) -> Engine<'a> {
+        let p = Product::new(vec![f, h]).unwrap();
+        Engine::new(p, &EngineOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn mode4_infers_q2() {
+        let (f, h) = paper_instance();
+        let engine = fresh_engine(&f, &h);
+        let goal = q2_goal(&engine);
+        let mut oracle = GoalOracle::new(goal.clone());
+        let out =
+            run_most_informative(engine, &mut LookaheadMinPrune, &mut oracle).unwrap();
+        assert!(out.resolved);
+        assert!(out
+            .inferred
+            .instance_equivalent(&goal, out.engine.product())
+            .unwrap());
+        assert_eq!(out.interactions, out.questions);
+        assert!(out.interactions <= 6);
+    }
+
+    #[test]
+    fn mode3_batches_until_resolved() {
+        let (f, h) = paper_instance();
+        let engine = fresh_engine(&f, &h);
+        let goal = q2_goal(&engine);
+        let mut strategy = StrategyKind::LookaheadMinPrune.build();
+        let mut oracle = GoalOracle::new(goal.clone());
+        let out = run_top_k(engine, 3, strategy.as_mut(), &mut oracle).unwrap();
+        assert!(out.resolved);
+        assert!(out
+            .inferred
+            .instance_equivalent(&goal, out.engine.product())
+            .unwrap());
+    }
+
+    #[test]
+    fn mode1_wastes_effort_mode2_does_not() {
+        let (f, h) = paper_instance();
+        // Mode 1: sequential labeling of everything visible.
+        let e1 = fresh_engine(&f, &h);
+        let goal = q2_goal(&e1);
+        let mut oracle1 = GoalOracle::new(goal.clone());
+        let out1 = run_free(e1, false, &mut SequentialPicker, &mut oracle1).unwrap();
+        // Mode 2: same picker, but gray-out hides uninformative tuples.
+        let e2 = fresh_engine(&f, &h);
+        let mut oracle2 = GoalOracle::new(goal.clone());
+        let out2 = run_free(e2, true, &mut SequentialPicker, &mut oracle2).unwrap();
+
+        assert!(out1.resolved && out2.resolved);
+        assert!(
+            out2.interactions <= out1.interactions,
+            "gray-out should never cost more ({} vs {})",
+            out2.interactions,
+            out1.interactions
+        );
+        assert_eq!(out2.stats().wasted_interactions(), 0);
+    }
+
+    #[test]
+    fn mode2_never_worse_than_mode1_random_picker() {
+        let (f, h) = paper_instance();
+        let goal = q2_goal(&fresh_engine(&f, &h));
+        for seed in 0..5u64 {
+            let out1 = run_free(
+                fresh_engine(&f, &h),
+                false,
+                &mut RandomPicker::seeded(seed),
+                &mut GoalOracle::new(goal.clone()),
+            )
+            .unwrap();
+            let out2 = run_free(
+                fresh_engine(&f, &h),
+                true,
+                &mut RandomPicker::seeded(seed),
+                &mut GoalOracle::new(goal.clone()),
+            )
+            .unwrap();
+            assert!(out1.resolved && out2.resolved);
+            assert_eq!(out2.stats().wasted_interactions(), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mode4_never_worse_than_mode2() {
+        let (f, h) = paper_instance();
+        let goal = q2_goal(&fresh_engine(&f, &h));
+        let out4 = run_most_informative(
+            fresh_engine(&f, &h),
+            &mut LookaheadMinPrune,
+            &mut GoalOracle::new(goal.clone()),
+        )
+        .unwrap();
+        for seed in 0..5u64 {
+            let out2 = run_free(
+                fresh_engine(&f, &h),
+                true,
+                &mut RandomPicker::seeded(seed),
+                &mut GoalOracle::new(goal.clone()),
+            )
+            .unwrap();
+            assert!(
+                out4.interactions <= out2.interactions + 1,
+                "strategy should be competitive (mode4 {} vs mode2 {})",
+                out4.interactions,
+                out2.interactions
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_work_for_every_heuristic() {
+        let (f, h) = paper_instance();
+        let goal = q2_goal(&fresh_engine(&f, &h));
+        for kind in StrategyKind::heuristics(3) {
+            let mut s = kind.build();
+            let out = run_most_informative(
+                fresh_engine(&f, &h),
+                s.as_mut(),
+                &mut GoalOracle::new(goal.clone()),
+            )
+            .unwrap();
+            assert!(out.resolved, "{kind}");
+            assert!(
+                out.inferred
+                    .instance_equivalent(&goal, out.engine.product())
+                    .unwrap(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn top_k_zero_rejected() {
+        let (f, h) = paper_instance();
+        let engine = fresh_engine(&f, &h);
+        let goal = q2_goal(&engine);
+        let mut s = StrategyKind::LocalGeneral.build();
+        let mut o = GoalOracle::new(goal);
+        let _ = run_top_k(engine, 0, s.as_mut(), &mut o);
+    }
+}

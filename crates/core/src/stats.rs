@@ -1,0 +1,156 @@
+//! Progress statistics — the paper's "basic statistics about the progress of
+//! learning: the total number (and the relative percentage) of tuples that
+//! have been explicitly labeled by the user or deemed as uninformative".
+
+use crate::label::Label;
+use jim_relation::ProductId;
+use std::fmt;
+
+/// One user interaction (an answered membership query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InteractionRecord {
+    /// The tuple that was labeled.
+    pub tuple: ProductId,
+    /// The label the user gave.
+    pub label: Label,
+    /// Whether the tuple was informative when labeled (mode-1 users may
+    /// waste effort on uninformative tuples; strategies never do).
+    pub informative: bool,
+    /// Tuples that became certain (were grayed out) due to this label,
+    /// including the labeled tuple itself.
+    pub pruned: u64,
+}
+
+/// Cumulative progress of one inference run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgressStats {
+    /// Total number of candidate tuples in the instance.
+    pub total_tuples: u64,
+    /// Explicit positive labels given.
+    pub labeled_positive: u64,
+    /// Explicit negative labels given.
+    pub labeled_negative: u64,
+    /// Tuples currently entailed (uninformative) but not explicitly
+    /// labeled — the grayed-out rows.
+    pub pruned: u64,
+    /// Tuples still informative.
+    pub informative: u64,
+    /// Interaction log, in order.
+    pub log: Vec<InteractionRecord>,
+}
+
+impl ProgressStats {
+    /// Total explicit labels (= number of user interactions).
+    pub fn interactions(&self) -> u64 {
+        self.labeled_positive + self.labeled_negative
+    }
+
+    /// Interactions that carried no information (labels on already-certain
+    /// tuples) — what a strategy saves over free-form labeling.
+    pub fn wasted_interactions(&self) -> u64 {
+        self.log.iter().filter(|r| !r.informative).count() as u64
+    }
+
+    /// Fraction of the instance resolved (labeled or entailed), in `[0,1]`.
+    pub fn resolved_fraction(&self) -> f64 {
+        if self.total_tuples == 0 {
+            return 1.0;
+        }
+        let resolved = self.labeled_positive + self.labeled_negative + self.pruned;
+        resolved as f64 / self.total_tuples as f64
+    }
+
+    /// Percentage of tuples explicitly labeled.
+    pub fn labeled_percent(&self) -> f64 {
+        if self.total_tuples == 0 {
+            return 0.0;
+        }
+        100.0 * self.interactions() as f64 / self.total_tuples as f64
+    }
+
+    /// Percentage of tuples deemed uninformative without labeling.
+    pub fn pruned_percent(&self) -> f64 {
+        if self.total_tuples == 0 {
+            return 0.0;
+        }
+        100.0 * self.pruned as f64 / self.total_tuples as f64
+    }
+}
+
+impl fmt::Display for ProgressStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} interactions ({}+ / {}-), {} tuples grayed out ({:.1}%), {} informative left of {} total ({:.1}% resolved)",
+            self.interactions(),
+            self.labeled_positive,
+            self.labeled_negative,
+            self.pruned,
+            self.pruned_percent(),
+            self.informative,
+            self.total_tuples,
+            100.0 * self.resolved_fraction(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ProgressStats {
+        ProgressStats {
+            total_tuples: 12,
+            labeled_positive: 1,
+            labeled_negative: 2,
+            pruned: 9,
+            informative: 0,
+            log: vec![
+                InteractionRecord {
+                    tuple: ProductId(2),
+                    label: Label::Positive,
+                    informative: true,
+                    pruned: 3,
+                },
+                InteractionRecord {
+                    tuple: ProductId(6),
+                    label: Label::Negative,
+                    informative: true,
+                    pruned: 4,
+                },
+                InteractionRecord {
+                    tuple: ProductId(7),
+                    label: Label::Negative,
+                    informative: false,
+                    pruned: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = stats();
+        assert_eq!(s.interactions(), 3);
+        assert_eq!(s.wasted_interactions(), 1);
+        assert!((s.resolved_fraction() - 1.0).abs() < 1e-12);
+        assert!((s.labeled_percent() - 25.0).abs() < 1e-12);
+        assert!((s.pruned_percent() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instance_is_fully_resolved() {
+        let s = ProgressStats::default();
+        assert_eq!(s.resolved_fraction(), 1.0);
+        assert_eq!(s.labeled_percent(), 0.0);
+        assert_eq!(s.pruned_percent(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = stats();
+        let text = s.to_string();
+        assert!(text.contains("3 interactions"));
+        assert!(text.contains("grayed out"));
+    }
+}

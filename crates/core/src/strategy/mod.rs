@@ -1,0 +1,374 @@
+//! Interaction strategies — the paper's `Υ`: "a function that, given a set
+//! of tuples and some labels, returns an informative tuple".
+//!
+//! The paper classifies strategies as **local** (simple, based on fixed
+//! orders over the signature lattice), **lookahead** (score the quantity of
+//! information a label would bring, via prune counts or a generalized
+//! entropy), the **random** baseline, and the **optimal** exponential-time
+//! planner. All of them are implemented here behind one trait.
+
+mod data_aware;
+mod local;
+mod lookahead;
+mod lookahead2;
+pub mod optimal;
+mod random;
+
+pub use data_aware::DataAware;
+pub use local::{LocalFrequency, LocalGeneral, LocalSpecific};
+pub use lookahead::{LookaheadEntropy, LookaheadExpected, LookaheadMinPrune};
+pub use lookahead2::{HybridStrategy, LookaheadTwoStep};
+pub use optimal::OptimalStrategy;
+pub use random::RandomStrategy;
+
+use crate::engine::{Candidate, Engine};
+use jim_relation::ProductId;
+use std::fmt;
+
+/// A strategy proposes the next tuple for the user to label.
+pub trait Strategy {
+    /// Stable identifier used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Pick the next informative tuple, or `None` when inference is
+    /// complete (no informative tuple remains).
+    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId>;
+
+    /// Rank the informative candidates best-first and return the top `k`
+    /// (the demo's "top-k informative tuples" interaction, Figure 3.3).
+    /// Default implementation returns the single best choice.
+    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+        self.choose(engine).into_iter().take(k).collect()
+    }
+}
+
+/// Pick the best candidate under a score, breaking ties by the smallest
+/// restricted signature and then representative — fully deterministic.
+pub(crate) fn argmax_by_score<S: PartialOrd + Copy>(
+    candidates: &[Candidate],
+    score: impl Fn(&Candidate) -> S,
+) -> Option<ProductId> {
+    ranked(candidates, score).first().map(|c| c.representative)
+}
+
+/// All candidates sorted best-first under a score with deterministic ties.
+pub(crate) fn ranked<S: PartialOrd + Copy>(
+    candidates: &[Candidate],
+    score: impl Fn(&Candidate) -> S,
+) -> Vec<Candidate> {
+    let mut scored: Vec<(S, &Candidate)> = candidates.iter().map(|c| (score(c), c)).collect();
+    scored.sort_by(|(sa, ca), (sb, cb)| {
+        sb.partial_cmp(sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| ca.restricted_sig.cmp(&cb.restricted_sig))
+            .then_with(|| ca.representative.cmp(&cb.representative))
+    });
+    scored.into_iter().map(|(_, c)| c.clone()).collect()
+}
+
+/// Enumerates every implemented strategy; the uniform handle experiments
+/// sweep over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// Uniformly random informative tuple (the paper's baseline).
+    Random {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// Local: most general informative signature first (fewest atoms).
+    LocalGeneral,
+    /// Local: most specific informative signature first (most atoms).
+    LocalSpecific,
+    /// Local: most frequent informative signature first.
+    LocalFrequency,
+    /// Lookahead: maximize the worst-case prune count (maximin).
+    LookaheadMinPrune,
+    /// Lookahead: maximize the mean prune count across the two answers.
+    LookaheadExpected,
+    /// Lookahead: maximize the generalized entropy of the version-space
+    /// split (`alpha` = 1.0 is Shannon entropy).
+    LookaheadEntropy {
+        /// Tsallis order of the generalized entropy.
+        alpha: f64,
+    },
+    /// Lookahead: depth-2 minimax on remaining informative tuples.
+    LookaheadTwoStep,
+    /// Local choice on large candidate sets, lookahead on small ones.
+    Hybrid {
+        /// Candidate-set size at which lookahead kicks in.
+        threshold: usize,
+    },
+    /// Statistics-guided: probe the rarest (most key-like) atoms first.
+    DataAware,
+    /// Exponential-time minimax planner (optimal worst-case interactions).
+    Optimal,
+}
+
+impl StrategyKind {
+    /// Instantiate the strategy.
+    pub fn build(self) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::Random { seed } => Box::new(RandomStrategy::seeded(seed)),
+            StrategyKind::LocalGeneral => Box::new(LocalGeneral),
+            StrategyKind::LocalSpecific => Box::new(LocalSpecific),
+            StrategyKind::LocalFrequency => Box::new(LocalFrequency),
+            StrategyKind::LookaheadMinPrune => Box::new(LookaheadMinPrune),
+            StrategyKind::LookaheadExpected => Box::new(LookaheadExpected),
+            StrategyKind::LookaheadEntropy { alpha } => Box::new(LookaheadEntropy::new(alpha)),
+            StrategyKind::LookaheadTwoStep => Box::new(LookaheadTwoStep),
+            StrategyKind::Hybrid { threshold } => Box::new(HybridStrategy::new(threshold)),
+            StrategyKind::DataAware => Box::new(DataAware::new()),
+            StrategyKind::Optimal => Box::new(OptimalStrategy::default()),
+        }
+    }
+
+    /// The polynomial-time strategies the paper's experiments compare
+    /// (everything except the exponential planner).
+    pub fn heuristics(seed: u64) -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::Random { seed },
+            StrategyKind::LocalGeneral,
+            StrategyKind::LocalSpecific,
+            StrategyKind::LocalFrequency,
+            StrategyKind::LookaheadMinPrune,
+            StrategyKind::LookaheadExpected,
+            StrategyKind::LookaheadEntropy { alpha: 1.0 },
+        ]
+    }
+
+    /// The heuristics plus this reproduction's extensions (depth-2
+    /// lookahead and the hybrid) — what ablation A4 sweeps.
+    pub fn extended(seed: u64) -> Vec<StrategyKind> {
+        let mut all = StrategyKind::heuristics(seed);
+        all.push(StrategyKind::LookaheadTwoStep);
+        all.push(StrategyKind::Hybrid { threshold: 16 });
+        all.push(StrategyKind::DataAware);
+        all
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyKind::Random { .. } => f.write_str("random"),
+            StrategyKind::LocalGeneral => f.write_str("local-general"),
+            StrategyKind::LocalSpecific => f.write_str("local-specific"),
+            StrategyKind::LocalFrequency => f.write_str("local-frequency"),
+            StrategyKind::LookaheadMinPrune => f.write_str("lookahead-minprune"),
+            StrategyKind::LookaheadExpected => f.write_str("lookahead-expected"),
+            StrategyKind::LookaheadEntropy { alpha } => write!(f, "lookahead-entropy(α={alpha})"),
+            StrategyKind::LookaheadTwoStep => f.write_str("lookahead-2step"),
+            StrategyKind::Hybrid { .. } => f.write_str("hybrid"),
+            StrategyKind::DataAware => f.write_str("data-aware"),
+            StrategyKind::Optimal => f.write_str("optimal"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::label::Label;
+    use crate::predicate::JoinPredicate;
+    use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
+
+    fn flights() -> Relation {
+        Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Lille", "NYC", "AA"],
+                tup!["NYC", "Paris", "AA"],
+                tup!["Paris", "NYC", "AF"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn hotels() -> Relation {
+        Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+        )
+        .unwrap()
+    }
+
+    /// Run a full inference loop against a goal; return #interactions.
+    fn run_to_convergence(kind: StrategyKind, goal_atoms: &[(usize, &str, usize, &str)]) -> u64 {
+        let f = flights();
+        let h = hotels();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut engine = Engine::new(p, &EngineOptions::default()).unwrap();
+        let u = engine.universe().clone();
+        let ids: Vec<_> = goal_atoms
+            .iter()
+            .map(|&(ra, a, rb, b)| u.id_by_names((ra, a), (rb, b)).unwrap())
+            .collect();
+        let goal = JoinPredicate::of(u, ids);
+
+        let mut strategy = kind.build();
+        let mut steps = 0u64;
+        while let Some(id) = strategy.choose(&engine) {
+            let tuple = engine.product().tuple(id).unwrap();
+            let label = Label::from_bool(goal.selects(&tuple));
+            engine.label(id, label).unwrap();
+            steps += 1;
+            assert!(steps <= 12, "{kind}: runaway loop");
+            assert!(engine.consistent_with(&goal), "{kind}: goal eliminated");
+        }
+        assert!(engine.is_resolved(), "{kind}: not resolved");
+        // The inferred query must be instance-equivalent to the goal.
+        let inferred = engine.result();
+        assert!(
+            inferred
+                .instance_equivalent(&goal, engine.product())
+                .unwrap(),
+            "{kind}: inferred {inferred} not equivalent to goal {goal}"
+        );
+        steps
+    }
+
+    #[test]
+    fn every_strategy_infers_q1() {
+        for kind in StrategyKind::extended(7)
+            .into_iter()
+            .chain([StrategyKind::Optimal])
+        {
+            let steps = run_to_convergence(kind, &[(0, "To", 1, "City")]);
+            assert!(steps >= 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn every_strategy_infers_q2() {
+        for kind in StrategyKind::extended(7)
+            .into_iter()
+            .chain([StrategyKind::Optimal])
+        {
+            let steps = run_to_convergence(
+                kind,
+                &[(0, "To", 1, "City"), (0, "Airline", 1, "Discount")],
+            );
+            assert!(steps >= 2, "{kind}: Q2 needs at least a positive and a negative");
+        }
+    }
+
+    #[test]
+    fn every_strategy_infers_the_empty_join() {
+        // Goal selects nothing that shares values: use From ≍ Discount,
+        // which no tuple of the instance satisfies -> all answers negative.
+        for kind in StrategyKind::heuristics(3)
+            .into_iter()
+            .chain([StrategyKind::Optimal])
+        {
+            run_to_convergence(kind, &[(0, "From", 1, "Discount")]);
+        }
+    }
+
+    #[test]
+    fn strategies_only_propose_informative_tuples() {
+        let f = flights();
+        let h = hotels();
+        for kind in StrategyKind::heuristics(11) {
+            let p = Product::new(vec![&f, &h]).unwrap();
+            let mut engine = Engine::new(p, &EngineOptions::default()).unwrap();
+            let mut strategy = kind.build();
+            // Label (3)+ to create uninformative tuples.
+            engine.label(ProductId(2), Label::Positive).unwrap();
+            for _ in 0..10 {
+                match strategy.choose(&engine) {
+                    None => break,
+                    Some(id) => {
+                        assert!(engine.is_informative(id).unwrap(), "{kind} proposed {id}");
+                        engine.label(id, Label::Negative).ok();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choose_returns_none_when_resolved() {
+        let f = flights();
+        let h = hotels();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut engine = Engine::new(p, &EngineOptions::default()).unwrap();
+        engine.label(ProductId(2), Label::Positive).unwrap();
+        engine.label(ProductId(6), Label::Negative).unwrap();
+        engine.label(ProductId(7), Label::Negative).unwrap();
+        assert!(engine.is_resolved());
+        for kind in StrategyKind::heuristics(1)
+            .into_iter()
+            .chain([StrategyKind::Optimal])
+        {
+            assert_eq!(kind.build().choose(&engine), None, "{kind}");
+        }
+    }
+
+    #[test]
+    fn top_k_returns_distinct_informative() {
+        let f = flights();
+        let h = hotels();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let engine = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut s = StrategyKind::LookaheadMinPrune.build();
+        let top = s.top_k(&engine, 3);
+        assert_eq!(top.len(), 3);
+        let set: std::collections::HashSet<_> = top.iter().collect();
+        assert_eq!(set.len(), 3);
+        for id in top {
+            assert!(engine.is_informative(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(StrategyKind::LocalGeneral.to_string(), "local-general");
+        assert_eq!(
+            StrategyKind::LookaheadEntropy { alpha: 2.0 }.to_string(),
+            "lookahead-entropy(α=2)"
+        );
+        assert_eq!(StrategyKind::Random { seed: 1 }.to_string(), "random");
+        assert_eq!(StrategyKind::Optimal.to_string(), "optimal");
+        assert_eq!(StrategyKind::LookaheadTwoStep.to_string(), "lookahead-2step");
+        assert_eq!(StrategyKind::Hybrid { threshold: 16 }.to_string(), "hybrid");
+    }
+
+    #[test]
+    fn extended_superset_of_heuristics() {
+        let h = StrategyKind::heuristics(0).len();
+        let e = StrategyKind::extended(0).len();
+        assert_eq!(e, h + 3);
+    }
+
+    #[test]
+    fn deterministic_strategies_repeat_choices() {
+        let f = flights();
+        let h = hotels();
+        for kind in [
+            StrategyKind::LocalGeneral,
+            StrategyKind::LocalSpecific,
+            StrategyKind::LocalFrequency,
+            StrategyKind::LookaheadMinPrune,
+            StrategyKind::LookaheadExpected,
+            StrategyKind::LookaheadEntropy { alpha: 1.0 },
+            StrategyKind::Random { seed: 99 },
+        ] {
+            let p1 = Product::new(vec![&f, &h]).unwrap();
+            let e1 = Engine::new(p1, &EngineOptions::default()).unwrap();
+            let p2 = Product::new(vec![&f, &h]).unwrap();
+            let e2 = Engine::new(p2, &EngineOptions::default()).unwrap();
+            assert_eq!(kind.build().choose(&e1), kind.build().choose(&e2), "{kind}");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The optimal (exponential-time) planner.
+//!
+//! The paper notes: "there exists an algorithm that computes the optimal
+//! strategy of showing tuples to the user, but it requires exponential
+//! time, which unfortunately renders it unusable in practice". This module
+//! implements that algorithm — memoized minimax over version-space states —
+//! both as a [`Strategy`] and as a standalone depth oracle, so experiments
+//! can quantify exactly *how* impractical it is (experiment E6) and how
+//! close the heuristics come to optimal.
+
+use crate::bitset::{maximal_antichain, AtomSet};
+use crate::engine::Engine;
+use crate::error::{InferenceError, Result};
+use crate::strategy::Strategy;
+use jim_relation::ProductId;
+use std::collections::HashMap;
+
+/// A canonical version-space state: everything the worst-case interaction
+/// count depends on. Tuple multiplicities are irrelevant (only *distinct*
+/// informative signatures matter), which is what makes memoization bite.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Current upper bound `U`.
+    upper: AtomSet,
+    /// Maximal negative antichain, sorted.
+    negs: Vec<AtomSet>,
+    /// Distinct informative restricted signatures, sorted.
+    sigs: Vec<AtomSet>,
+}
+
+impl State {
+    fn from_engine(engine: &Engine<'_>) -> State {
+        let vs = engine.version_space();
+        let mut negs: Vec<AtomSet> = vs.negatives().to_vec();
+        negs.sort();
+        let mut sigs: Vec<AtomSet> = engine
+            .informative_groups()
+            .into_iter()
+            .map(|c| c.restricted_sig)
+            .collect();
+        sigs.sort();
+        sigs.dedup();
+        State { upper: vs.upper().clone(), negs, sigs }
+    }
+
+    /// Is a restricted signature informative under `(upper, negs)`?
+    fn informative(upper: &AtomSet, negs: &[AtomSet], sig: &AtomSet) -> bool {
+        sig != upper && !negs.iter().any(|n| sig.is_subset(n))
+    }
+
+    /// The state after answering `+` on signature `s`.
+    fn after_positive(&self, s: &AtomSet) -> State {
+        let upper = s.clone();
+        let mut negs =
+            maximal_antichain(self.negs.iter().map(|n| n.intersection(&upper)).collect());
+        negs.sort();
+        let mut sigs: Vec<AtomSet> = self
+            .sigs
+            .iter()
+            .map(|r| r.intersection(&upper))
+            .filter(|r| State::informative(&upper, &negs, r))
+            .collect();
+        sigs.sort();
+        sigs.dedup();
+        State { upper, negs, sigs }
+    }
+
+    /// The state after answering `−` on signature `s`.
+    fn after_negative(&self, s: &AtomSet) -> State {
+        let mut with_s = self.negs.clone();
+        with_s.push(s.clone());
+        let mut negs = maximal_antichain(with_s);
+        negs.sort();
+        let mut sigs: Vec<AtomSet> = self
+            .sigs
+            .iter()
+            .filter(|r| State::informative(&self.upper, &negs, r))
+            .cloned()
+            .collect();
+        sigs.sort();
+        sigs.dedup();
+        State { upper: self.upper.clone(), negs, sigs }
+    }
+}
+
+/// Memoized minimax planner. Reusable across the steps of one inference run
+/// (each real answer lands in a child state that is usually already
+/// memoized).
+#[derive(Debug)]
+pub struct OptimalPlanner {
+    memo: HashMap<State, u32>,
+    /// Hard cap on distinct states explored; exceeding it returns
+    /// [`InferenceError::BudgetExceeded`].
+    max_states: usize,
+}
+
+impl Default for OptimalPlanner {
+    fn default() -> Self {
+        OptimalPlanner::with_budget(DEFAULT_MAX_STATES)
+    }
+}
+
+impl OptimalPlanner {
+    /// A planner with the given state budget.
+    pub fn with_budget(max_states: usize) -> Self {
+        OptimalPlanner { memo: HashMap::new(), max_states }
+    }
+
+    /// Number of distinct states explored so far (the experiment E6
+    /// "exponential blow-up" metric).
+    pub fn states_explored(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// The optimal worst-case number of membership queries from the
+    /// engine's current state.
+    pub fn worst_case_depth(&mut self, engine: &Engine<'_>) -> Result<u32> {
+        let state = State::from_engine(engine);
+        self.depth(&state)
+    }
+
+    /// The signature to query next for optimal worst-case depth, with that
+    /// depth. `None` when already resolved.
+    pub fn best_move(&mut self, engine: &Engine<'_>) -> Result<Option<(AtomSet, u32)>> {
+        let state = State::from_engine(engine);
+        if state.sigs.is_empty() {
+            return Ok(None);
+        }
+        let mut best: Option<(AtomSet, u32)> = None;
+        for s in &state.sigs {
+            let d_pos = self.depth(&state.after_positive(s))?;
+            let d_neg = self.depth(&state.after_negative(s))?;
+            let d = 1 + d_pos.max(d_neg);
+            if best.as_ref().is_none_or(|(_, b)| d < *b) {
+                best = Some((s.clone(), d));
+            }
+        }
+        Ok(best)
+    }
+
+    fn depth(&mut self, state: &State) -> Result<u32> {
+        if state.sigs.is_empty() {
+            return Ok(0);
+        }
+        if let Some(&d) = self.memo.get(state) {
+            return Ok(d);
+        }
+        if self.memo.len() >= self.max_states {
+            return Err(InferenceError::BudgetExceeded { what: "optimal planner states" });
+        }
+        let mut best = u32::MAX;
+        for s in &state.sigs {
+            let d_pos = self.depth(&state.after_positive(s))?;
+            if 1 + d_pos >= best {
+                continue; // cannot improve even if the negative branch is free
+            }
+            let d_neg = self.depth(&state.after_negative(s))?;
+            best = best.min(1 + d_pos.max(d_neg));
+            if best == 1 {
+                break; // one question resolves everything: optimal
+            }
+        }
+        self.memo.insert(state.clone(), best);
+        Ok(best)
+    }
+}
+
+/// Default budget: enough for the tiny instances where the planner is
+/// usable at all (the paper calls it "unusable in practice").
+const DEFAULT_MAX_STATES: usize = 2_000_000;
+
+/// The optimal planner wrapped as a [`Strategy`].
+///
+/// Panics inside `choose` are avoided: when the budget is exceeded, it
+/// falls back to the first informative candidate (and records that it did).
+#[derive(Debug)]
+pub struct OptimalStrategy {
+    planner: OptimalPlanner,
+    fell_back: bool,
+}
+
+impl Default for OptimalStrategy {
+    fn default() -> Self {
+        OptimalStrategy {
+            planner: OptimalPlanner::with_budget(DEFAULT_MAX_STATES),
+            fell_back: false,
+        }
+    }
+}
+
+impl OptimalStrategy {
+    /// A strategy with a custom planner budget.
+    pub fn with_budget(max_states: usize) -> Self {
+        OptimalStrategy { planner: OptimalPlanner::with_budget(max_states), fell_back: false }
+    }
+
+    /// Did any `choose` call exceed the planner budget and fall back?
+    pub fn fell_back(&self) -> bool {
+        self.fell_back
+    }
+
+    /// Access the underlying planner (e.g. for state counts).
+    pub fn planner(&self) -> &OptimalPlanner {
+        &self.planner
+    }
+}
+
+impl Strategy for OptimalStrategy {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+        let candidates = engine.informative_groups();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.planner.best_move(engine) {
+            Ok(Some((sig, _depth))) => candidates
+                .iter()
+                .find(|c| c.restricted_sig == sig)
+                .map(|c| c.representative),
+            Ok(None) => None,
+            Err(_) => {
+                self.fell_back = true;
+                Some(candidates[0].representative)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::label::Label;
+    use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
+
+    fn paper_instance() -> (Relation, Relation) {
+        let flights = Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Lille", "NYC", "AA"],
+                tup!["NYC", "Paris", "AA"],
+                tup!["Paris", "NYC", "AF"],
+            ],
+        )
+        .unwrap();
+        let hotels = Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+        )
+        .unwrap();
+        (flights, hotels)
+    }
+
+    #[test]
+    fn paper_instance_has_small_optimal_depth() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut planner = OptimalPlanner::with_budget(1_000_000);
+        let d = planner.worst_case_depth(&e).unwrap();
+        // 6 distinct signatures: between 3 and 6 questions resolve any goal.
+        assert!(d >= 3, "depth {d}");
+        assert!(d <= 6, "depth {d}");
+        assert!(planner.states_explored() > 0);
+    }
+
+    #[test]
+    fn depth_decreases_monotonically_along_optimal_play() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut planner = OptimalPlanner::with_budget(1_000_000);
+        let mut prev = planner.worst_case_depth(&e).unwrap();
+        // Adversarial answers can never push the remaining depth above
+        // prev - 1.
+        while let Some((sig, _)) = planner.best_move(&e).unwrap() {
+            let rep = e
+                .informative_groups()
+                .into_iter()
+                .find(|c| c.restricted_sig == sig)
+                .unwrap()
+                .representative;
+            // Adversary: pick the branch with larger remaining depth.
+            let mut e_pos = e.clone();
+            e_pos.label(rep, Label::Positive).unwrap();
+            let d_pos = planner.worst_case_depth(&e_pos).unwrap();
+            let mut e_neg = e.clone();
+            e_neg.label(rep, Label::Negative).unwrap();
+            let d_neg = planner.worst_case_depth(&e_neg).unwrap();
+            let (next, d) = if d_pos >= d_neg { (e_pos, d_pos) } else { (e_neg, d_neg) };
+            assert!(d < prev, "depth {d} after a query from depth {prev}");
+            prev = d;
+            e = next;
+            if prev == 0 {
+                break;
+            }
+        }
+        assert!(e.is_resolved());
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut planner = OptimalPlanner::with_budget(1);
+        assert!(matches!(
+            planner.worst_case_depth(&e),
+            Err(InferenceError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn strategy_falls_back_when_over_budget() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut s = OptimalStrategy::with_budget(1);
+        let id = s.choose(&e);
+        assert!(id.is_some());
+        assert!(s.fell_back());
+    }
+
+    #[test]
+    fn resolved_state_is_depth_zero() {
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut e = Engine::new(p, &EngineOptions::default()).unwrap();
+        e.label(ProductId(2), Label::Positive).unwrap();
+        e.label(ProductId(6), Label::Negative).unwrap();
+        e.label(ProductId(7), Label::Negative).unwrap();
+        assert!(e.is_resolved());
+        let mut planner = OptimalPlanner::default();
+        assert_eq!(planner.worst_case_depth(&e).unwrap(), 0);
+    }
+
+    #[test]
+    fn optimal_never_beaten_by_heuristics_on_worst_case() {
+        // The optimal depth is a lower bound on every strategy's worst case
+        // over all goals. Check: for each single-atom goal, the optimal
+        // strategy uses at most `optimal depth` questions.
+        let (f, h) = paper_instance();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let e0 = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut planner = OptimalPlanner::with_budget(1_000_000);
+        let bound = planner.worst_case_depth(&e0).unwrap();
+
+        let u = e0.universe().clone();
+        for atom_idx in 0..u.len() {
+            let goal = crate::predicate::JoinPredicate::of(
+                u.clone(),
+                [crate::atoms::AtomId(atom_idx as u32)],
+            );
+            let mut e = e0.clone();
+            let mut s = OptimalStrategy::with_budget(1_000_000);
+            let mut steps = 0;
+            while let Some(id) = s.choose(&e) {
+                let t = e.product().tuple(id).unwrap();
+                e.label(id, Label::from_bool(goal.selects(&t))).unwrap();
+                steps += 1;
+                assert!(steps <= bound, "goal {goal}: exceeded optimal bound {bound}");
+            }
+            assert!(!s.fell_back());
+            assert!(e.is_resolved());
+        }
+    }
+}

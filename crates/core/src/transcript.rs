@@ -1,0 +1,253 @@
+//! Session transcripts: a durable, human-readable record of the labels a
+//! user gave, replayable onto a fresh engine.
+//!
+//! The demo replays user sessions to show "how many interactions she would
+//! have done" under other strategies (Figure 4); crowd platforms likewise
+//! need an audit log of paid answers. The format is a plain text file —
+//! one label per line — with a header binding it to the instance:
+//!
+//! ```text
+//! #jim-transcript v1
+//! #schema flights × hotels
+//! #tuples 12
+//! + 2
+//! - 6
+//! - 7
+//! ```
+//!
+//! Tuples are identified by their product rank, which is stable for a
+//! given database and join view (the product enumerates relations in
+//! order, last fastest).
+
+use crate::engine::Engine;
+use crate::error::{InferenceError, Result};
+use crate::label::Label;
+use jim_relation::ProductId;
+use std::fmt;
+
+/// A recorded labeling session.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Transcript {
+    /// Human-readable schema description (checked on replay).
+    pub schema: String,
+    /// Instance size when recorded (checked on replay).
+    pub tuples: u64,
+    /// The labels, in the order they were given.
+    pub labels: Vec<(ProductId, Label)>,
+}
+
+impl Transcript {
+    /// Capture the session recorded inside an engine (its interaction
+    /// log, in order).
+    pub fn capture(engine: &Engine<'_>) -> Transcript {
+        Transcript {
+            schema: engine.product().schema().to_string(),
+            tuples: engine.product().size(),
+            labels: engine
+                .stats()
+                .log
+                .iter()
+                .map(|r| (r.tuple, r.label))
+                .collect(),
+        }
+    }
+
+    /// Replay every label onto `engine` (which must be over the same
+    /// instance: schema text and tuple count are verified). Returns the
+    /// number of labels applied.
+    pub fn replay(&self, engine: &mut Engine<'_>) -> Result<usize> {
+        if engine.product().schema().to_string() != self.schema
+            || engine.product().size() != self.tuples
+        {
+            return Err(InferenceError::Relation(jim_relation::RelationError::InvalidJoin {
+                message: format!(
+                    "transcript was recorded over `{}` ({} tuples), engine is over `{}` ({} tuples)",
+                    self.schema,
+                    self.tuples,
+                    engine.product().schema(),
+                    engine.product().size()
+                ),
+            }));
+        }
+        for &(id, label) in &self.labels {
+            engine.label(id, label)?;
+        }
+        Ok(self.labels.len())
+    }
+
+    /// Parse the text format. Unknown `#` header lines are ignored
+    /// (forward compatibility); blank lines are allowed.
+    pub fn parse(text: &str) -> Result<Transcript> {
+        let bad = |line: usize, message: String| {
+            InferenceError::Relation(jim_relation::RelationError::Csv { line, message })
+        };
+        let mut lines = text.lines().enumerate();
+        let Some((_, first)) = lines.next() else {
+            return Err(bad(1, "empty transcript".into()));
+        };
+        if first.trim() != "#jim-transcript v1" {
+            return Err(bad(1, "missing `#jim-transcript v1` header".into()));
+        }
+        let mut t = Transcript::default();
+        for (i, raw) in lines {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(s) = rest.strip_prefix("schema ") {
+                    t.schema = s.trim().to_string();
+                } else if let Some(n) = rest.strip_prefix("tuples ") {
+                    t.tuples = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(i + 1, format!("bad tuple count `{n}`")))?;
+                }
+                continue;
+            }
+            let (sign, rank) = line
+                .split_once(' ')
+                .ok_or_else(|| bad(i + 1, format!("expected `<+|-> <rank>`, got `{line}`")))?;
+            let label = match sign {
+                "+" => Label::Positive,
+                "-" => Label::Negative,
+                other => return Err(bad(i + 1, format!("bad label `{other}`"))),
+            };
+            let rank: u64 = rank
+                .trim()
+                .parse()
+                .map_err(|_| bad(i + 1, format!("bad rank `{rank}`")))?;
+            t.labels.push((ProductId(rank), label));
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for Transcript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "#jim-transcript v1")?;
+        writeln!(f, "#schema {}", self.schema)?;
+        writeln!(f, "#tuples {}", self.tuples)?;
+        for (id, label) in &self.labels {
+            writeln!(f, "{label} {}", id.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
+
+    fn paper_instance() -> (Relation, Relation) {
+        let flights = Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Lille", "NYC", "AA"],
+                tup!["NYC", "Paris", "AA"],
+                tup!["Paris", "NYC", "AF"],
+            ],
+        )
+        .unwrap();
+        let hotels = Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+        )
+        .unwrap();
+        (flights, hotels)
+    }
+
+    fn engine<'a>(f: &'a Relation, h: &'a Relation) -> Engine<'a> {
+        let p = Product::new(vec![f, h]).unwrap();
+        Engine::new(p, &EngineOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn capture_replay_round_trip() {
+        let (f, h) = paper_instance();
+        let mut e = engine(&f, &h);
+        e.label(ProductId(2), Label::Positive).unwrap();
+        e.label(ProductId(6), Label::Negative).unwrap();
+        e.label(ProductId(7), Label::Negative).unwrap();
+        let t = Transcript::capture(&e);
+
+        let mut fresh = engine(&f, &h);
+        assert_eq!(t.replay(&mut fresh).unwrap(), 3);
+        assert!(fresh.is_resolved());
+        assert_eq!(fresh.result(), e.result());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let (f, h) = paper_instance();
+        let mut e = engine(&f, &h);
+        e.label(ProductId(11), Label::Positive).unwrap();
+        let t = Transcript::capture(&e);
+        let text = t.to_string();
+        assert!(text.starts_with("#jim-transcript v1"));
+        assert!(text.contains("+ 11"));
+        let parsed = Transcript::parse(&text).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn replay_rejects_wrong_instance() {
+        let (f, h) = paper_instance();
+        let mut e = engine(&f, &h);
+        e.label(ProductId(0), Label::Negative).unwrap();
+        let t = Transcript::capture(&e);
+
+        // Same relations but a self-join view: different schema string.
+        let p = Product::new(vec![&h, &h]).unwrap();
+        let mut wrong = Engine::new(p, &EngineOptions::default()).unwrap();
+        assert!(t.replay(&mut wrong).is_err());
+    }
+
+    #[test]
+    fn replay_surfaces_inconsistent_transcripts() {
+        // A hand-forged transcript with contradictory labels must fail
+        // replay with the inconsistency error, not corrupt the engine.
+        let (f, h) = paper_instance();
+        let e = engine(&f, &h);
+        let text = format!(
+            "#jim-transcript v1\n#schema {}\n#tuples 12\n+ 2\n- 3\n",
+            e.product().schema()
+        );
+        let t = Transcript::parse(&text).unwrap();
+        let mut fresh = engine(&f, &h);
+        let err = t.replay(&mut fresh);
+        assert!(matches!(err, Err(InferenceError::InconsistentLabel { .. })));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(Transcript::parse("").is_err());
+        assert!(Transcript::parse("#jim\n").is_err());
+        let bad_label = "#jim-transcript v1\n#schema s\n#tuples 1\n? 0\n";
+        assert!(Transcript::parse(bad_label).is_err());
+        let bad_rank = "#jim-transcript v1\n+ x\n";
+        assert!(Transcript::parse(bad_rank).is_err());
+        let bad_count = "#jim-transcript v1\n#tuples many\n";
+        assert!(Transcript::parse(bad_count).is_err());
+    }
+
+    #[test]
+    fn unknown_headers_and_blanks_ignored() {
+        let text = "#jim-transcript v1\n#schema s\n#tuples 1\n#future stuff\n\n+ 0\n";
+        let t = Transcript::parse(text).unwrap();
+        assert_eq!(t.labels.len(), 1);
+        assert_eq!(t.schema, "s");
+    }
+}

@@ -1,0 +1,163 @@
+//! A database: a catalog of named relations.
+
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::JoinSchema;
+use std::fmt;
+
+/// A set of named relation instances.
+///
+/// JIM assumes *no* knowledge of integrity constraints — a `Database` here is
+/// purely a catalog; keys/foreign keys exist only implicitly in the data the
+/// workload generators produce.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Add a relation; names must be unique.
+    pub fn add(&mut self, relation: Relation) -> Result<()> {
+        if self.relations.iter().any(|r| r.name() == relation.name()) {
+            return Err(RelationError::DuplicateRelation {
+                relation: relation.name().to_string(),
+            });
+        }
+        self.relations.push(relation);
+        Ok(())
+    }
+
+    /// Build from a list of relations.
+    pub fn from_relations(relations: Vec<Relation>) -> Result<Self> {
+        let mut db = Database::new();
+        for r in relations {
+            db.add(r)?;
+        }
+        Ok(db)
+    }
+
+    /// All relations, in insertion order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .iter()
+            .find(|r| r.name() == name)
+            .ok_or_else(|| RelationError::UnknownRelation { relation: name.to_string() })
+    }
+
+    /// The relation occurrences to join, by name (names may repeat for
+    /// self-joins), together with the resulting [`JoinSchema`].
+    pub fn join_view(&self, names: &[&str]) -> Result<(Vec<&Relation>, JoinSchema)> {
+        let rels: Vec<&Relation> = names
+            .iter()
+            .map(|n| self.get(n))
+            .collect::<Result<_>>()?;
+        let schema = JoinSchema::new(rels.iter().map(|r| r.schema().clone()).collect())?;
+        Ok((rels, schema))
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.relations {
+            writeln!(f, "{} [{} rows]", r.schema(), r.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tup;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let flights = Relation::new(
+            RelationSchema::of(
+                "flights",
+                &[
+                    ("From", DataType::Text),
+                    ("To", DataType::Text),
+                    ("Airline", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            vec![tup!["Paris", "Lille", "AF"]],
+        )
+        .unwrap();
+        let hotels = Relation::new(
+            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+                .unwrap(),
+            vec![tup!["Lille", "AF"], tup!["Paris", ""]],
+        )
+        .unwrap();
+        Database::from_relations(vec![flights, hotels]).unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let db = db();
+        assert_eq!(db.get("hotels").unwrap().len(), 2);
+        assert!(db.get("cars").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut d = db();
+        let dup = d.get("flights").unwrap().clone();
+        assert!(matches!(
+            d.add(dup),
+            Err(RelationError::DuplicateRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn join_view_builds_schema() {
+        let db = db();
+        let (rels, schema) = db.join_view(&["flights", "hotels"]).unwrap();
+        assert_eq!(rels.len(), 2);
+        assert_eq!(schema.num_attrs(), 5);
+    }
+
+    #[test]
+    fn join_view_supports_self_join() {
+        let db = db();
+        let (rels, schema) = db.join_view(&["hotels", "hotels"]).unwrap();
+        assert_eq!(rels.len(), 2);
+        assert_eq!(schema.num_attrs(), 4);
+    }
+
+    #[test]
+    fn totals() {
+        let db = db();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_rows(), 3);
+        assert!(!db.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! ASCII table rendering for terminal sessions, mirroring the tabular UI of
+//! the paper's Figures 1 and 3.
+
+use crate::product::{Product, ProductId};
+use crate::relation::Relation;
+
+/// Render a table with a header row and unicode-free ASCII rules.
+///
+/// Column widths fit the widest cell. `marks`, when provided, prefixes each
+/// row (used by sessions to show `+` / `-` / grayed-out markers).
+pub fn ascii_table(headers: &[String], rows: &[Vec<String>], marks: Option<&[String]>) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mark_width = marks
+        .map(|ms| ms.iter().map(|m| m.chars().count()).max().unwrap_or(0))
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        if mark_width > 0 {
+            out.push_str(&"-".repeat(mark_width + 1));
+        }
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+
+    rule(&mut out);
+    if mark_width > 0 {
+        out.push_str(&" ".repeat(mark_width + 1));
+    }
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {:<width$} |", h, width = w));
+    }
+    out.push('\n');
+    rule(&mut out);
+    for (r, row) in rows.iter().enumerate() {
+        if let Some(ms) = marks {
+            let m = ms.get(r).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("{:<width$} ", m, width = mark_width));
+        }
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!(" {:<width$} |", cell, width = w));
+        }
+        out.push('\n');
+    }
+    rule(&mut out);
+    out
+}
+
+/// Render a relation as an ASCII table.
+pub fn relation_table(rel: &Relation) -> String {
+    let headers: Vec<String> = rel
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    let rows: Vec<Vec<String>> = rel
+        .rows()
+        .iter()
+        .map(|t| t.values().iter().map(|v| v.to_string()).collect())
+        .collect();
+    ascii_table(&headers, &rows, None)
+}
+
+/// Render selected product tuples (by id) as an ASCII table with qualified
+/// headers and per-row marks — the paper's Figure 1 layout.
+pub fn product_table(product: &Product<'_>, ids: &[ProductId], marks: Option<&[String]>) -> String {
+    let schema = product.schema();
+    let headers: Vec<String> = schema
+        .attrs()
+        .map(|a| schema.qualified_name(a).expect("attr in range"))
+        .collect();
+    let rows: Vec<Vec<String>> = ids
+        .iter()
+        .map(|&id| {
+            product
+                .tuple(id)
+                .expect("id in range")
+                .values()
+                .iter()
+                .map(|v| v.to_string())
+                .collect()
+        })
+        .collect();
+    ascii_table(&headers, &rows, marks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tup;
+    use crate::value::DataType;
+
+    fn rel() -> Relation {
+        Relation::new(
+            RelationSchema::of("t", &[("city", DataType::Text), ("n", DataType::Int)]).unwrap(),
+            vec![tup!["Paris", 1], tup!["Lille", 22]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_has_ruled_header_and_rows() {
+        let s = relation_table(&rel());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6); // rule, header, rule, 2 rows, rule
+        assert!(lines[1].contains("city"));
+        assert!(lines[3].contains("Paris"));
+        assert!(lines[4].contains("22"));
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn marks_column_prefixes_rows() {
+        let headers = vec!["a".to_string()];
+        let rows = vec![vec!["x".to_string()], vec!["y".to_string()]];
+        let marks = vec!["+".to_string(), "-".to_string()];
+        let s = ascii_table(&headers, &rows, Some(&marks));
+        assert!(s.lines().any(|l| l.starts_with("+ |")));
+        assert!(s.lines().any(|l| l.starts_with("- |")));
+    }
+
+    #[test]
+    fn product_table_uses_qualified_headers() {
+        let r = rel();
+        let r2 = rel();
+        let p = Product::new(vec![&r, &r2]).unwrap();
+        let ids: Vec<ProductId> = p.iter().map(|(id, _)| id).collect();
+        let s = product_table(&p, &ids, None);
+        assert!(s.contains("t#1.city"));
+        assert!(s.contains("t#2.n"));
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let s = ascii_table(&["h".to_string()], &[], None);
+        assert!(s.contains("h"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by the relational substrate.
+///
+/// Every fallible operation in `jim-relation` returns this type so callers
+/// (the inference engine, the workload generators, the examples) can handle
+/// schema violations uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A tuple's arity did not match its relation schema.
+    ArityMismatch {
+        /// Relation the tuple was destined for.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A value's type did not match the attribute's declared type.
+    TypeMismatch {
+        /// Relation the tuple was destined for.
+        relation: String,
+        /// Attribute whose type was violated.
+        attribute: String,
+        /// Type declared by the schema.
+        expected: &'static str,
+        /// Type of the offending value.
+        actual: &'static str,
+    },
+    /// An attribute name was not found in a schema.
+    UnknownAttribute {
+        /// Relation that was searched.
+        relation: String,
+        /// The missing attribute name.
+        attribute: String,
+    },
+    /// A relation name was not found in a database.
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// Two attribute names in the same relation collide.
+    DuplicateAttribute {
+        /// Relation in which the collision occurred.
+        relation: String,
+        /// The duplicated attribute name.
+        attribute: String,
+    },
+    /// Two relation names in the same database collide.
+    DuplicateRelation {
+        /// The duplicated relation name.
+        relation: String,
+    },
+    /// A global attribute index was out of range for a join schema.
+    AttrOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Total number of attributes in the join schema.
+        len: usize,
+    },
+    /// CSV text could not be parsed.
+    Csv {
+        /// 1-based line on which parsing failed.
+        line: usize,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// A join predicate referenced an empty set of relations or was
+    /// otherwise unevaluable.
+    InvalidJoin {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { relation, expected, actual } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: schema has {expected} attributes, tuple has {actual}"
+            ),
+            RelationError::TypeMismatch { relation, attribute, expected, actual } => write!(
+                f,
+                "type mismatch for `{relation}.{attribute}`: expected {expected}, got {actual}"
+            ),
+            RelationError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            RelationError::UnknownRelation { relation } => {
+                write!(f, "database has no relation `{relation}`")
+            }
+            RelationError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` declares attribute `{attribute}` twice")
+            }
+            RelationError::DuplicateRelation { relation } => {
+                write!(f, "database declares relation `{relation}` twice")
+            }
+            RelationError::AttrOutOfRange { index, len } => {
+                write!(f, "global attribute index {index} out of range (join schema has {len})")
+            }
+            RelationError::Csv { line, message } => write!(f, "CSV parse error on line {line}: {message}"),
+            RelationError::InvalidJoin { message } => write!(f, "invalid join: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationError::ArityMismatch {
+            relation: "flights".into(),
+            expected: 3,
+            actual: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("flights"));
+        assert!(s.contains('3'));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = RelationError::UnknownRelation { relation: "r".into() };
+        let b = RelationError::UnknownRelation { relation: "r".into() };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(RelationError::InvalidJoin {
+            message: "no relations".into(),
+        });
+        assert!(e.to_string().contains("invalid join"));
+    }
+}

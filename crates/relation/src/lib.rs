@@ -1,0 +1,65 @@
+//! # `jim-relation` — the relational substrate under JIM
+//!
+//! The JIM demo (Bonifati, Ciucanu & Staworko, PVLDB 7(13), 2014) infers
+//! equi-join predicates over the cartesian product of several relations.
+//! This crate provides everything *below* the inference algorithms:
+//!
+//! * typed [`Value`]s with a lawful total order,
+//! * relation and join schemas with global attribute indexing,
+//! * [`Tuple`]s, schema-checked [`Relation`]s and [`Database`] catalogs,
+//! * lazy n-ary cartesian [`Product`]s with a linear tuple-id space,
+//! * equi-join evaluation ([`JoinSpec`]: hash fold + nested-loop reference),
+//! * [`csv`] import/export and [`sql`]/GAV rendering of inferred queries,
+//! * ASCII [`display`] tables mirroring the paper's UI figures.
+//!
+//! The crate is deliberately free of inference logic: `jim-core` builds the
+//! version space and strategies on top of these types.
+//!
+//! ## Example
+//!
+//! ```
+//! use jim_relation::{csv, Product, spec_by_names};
+//!
+//! let flights = csv::read_relation(
+//!     "flights",
+//!     "From,To,Airline\nParis,Lille,AF\nLille,NYC,AA\n",
+//! )?;
+//! let hotels = csv::read_relation("hotels", "City,Discount\nLille,AF\nNYC,AA\n")?;
+//! let product = Product::new(vec![&flights, &hotels])?;
+//! let q1 = spec_by_names(product.schema(), &[((0, "To"), (1, "City"))])?;
+//! assert_eq!(q1.eval_hash(&product)?.len(), 2);
+//! # Ok::<(), jim_relation::RelationError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+mod database;
+pub mod display;
+mod error;
+mod join;
+mod product;
+mod relation;
+mod schema;
+pub mod sql;
+pub mod stats;
+mod tuple;
+mod value;
+
+pub use database::Database;
+pub use error::{RelationError, Result};
+pub use join::{spec_by_names, JoinSpec};
+pub use product::{Product, ProductId, ProductIter};
+pub use relation::Relation;
+pub use schema::{Attribute, GlobalAttr, JoinSchema, RelationSchema};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};
+
+/// The commonly used names, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{
+        Attribute, DataType, Database, GlobalAttr, JoinSchema, JoinSpec, Product, ProductId,
+        Relation, RelationError, RelationSchema, Tuple, Value,
+    };
+}

@@ -1,0 +1,289 @@
+//! Relations: a schema plus a bag of tuples, with schema-checked insertion.
+
+use crate::error::{RelationError, Result};
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A relation instance.
+///
+/// Stored as a `Vec<Tuple>` (bag semantics; [`Relation::dedup`] converts to
+/// set semantics). Insertion checks arity and — unless the value is `Null` —
+/// the declared attribute types, so every downstream consumer can trust the
+/// shape of the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: RelationSchema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn empty(schema: RelationSchema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Build a relation and insert all `rows`, validating each.
+    pub fn new(schema: RelationSchema, rows: Vec<Tuple>) -> Result<Self> {
+        let mut rel = Relation::empty(schema);
+        rel.reserve(rows.len());
+        for row in rows {
+            rel.push(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Relation name (shorthand for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Pre-allocate room for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+
+    /// Validate a tuple against the schema without inserting it.
+    pub fn check(&self, row: &Tuple) -> Result<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: self.name().to_string(),
+                expected: self.schema.arity(),
+                actual: row.arity(),
+            });
+        }
+        for (attr, value) in self.schema.attributes().iter().zip(row.values()) {
+            if let Some(t) = value.data_type() {
+                if t != attr.dtype {
+                    return Err(RelationError::TypeMismatch {
+                        relation: self.name().to_string(),
+                        attribute: attr.name.clone(),
+                        expected: attr.dtype.name(),
+                        actual: value.type_name(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row after validating it.
+    pub fn push(&mut self, row: Tuple) -> Result<()> {
+        self.check(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Row at index `i`, if any.
+    pub fn row(&self, i: usize) -> Option<&Tuple> {
+        self.rows.get(i)
+    }
+
+    /// Remove duplicate rows (order-preserving; keeps first occurrence).
+    pub fn dedup(&mut self) {
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.rows.len());
+        self.rows.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Sort rows lexicographically (deterministic output for printing and
+    /// comparison in tests).
+    pub fn sort(&mut self) {
+        self.rows.sort();
+    }
+
+    /// Project onto the named attributes, returning a new relation called
+    /// `name`. Attribute order in the output follows `attributes`.
+    pub fn project(&self, name: impl Into<String>, attributes: &[&str]) -> Result<Relation> {
+        let positions: Vec<usize> = attributes
+            .iter()
+            .map(|a| self.schema.index_of(a))
+            .collect::<Result<_>>()?;
+        let out_schema = RelationSchema::new(
+            name,
+            positions
+                .iter()
+                .map(|&i| self.schema.attributes()[i].clone())
+                .collect(),
+        )?;
+        let rows = self.rows.iter().map(|t| t.project(&positions)).collect();
+        Relation::new(out_schema, rows)
+    }
+
+    /// Keep only rows satisfying `pred`.
+    pub fn filter(&self, pred: impl Fn(&Tuple) -> bool) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Distinct values appearing in the named attribute.
+    pub fn active_domain(&self, attribute: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(attribute)?;
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if seen.insert(row[idx].clone()) {
+                out.push(row[idx].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+    use crate::value::DataType;
+
+    fn flights_schema() -> RelationSchema {
+        RelationSchema::of(
+            "flights",
+            &[
+                ("From", DataType::Text),
+                ("To", DataType::Text),
+                ("Airline", DataType::Text),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let mut r = Relation::empty(flights_schema());
+        assert!(r.push(tup!["Paris", "Lille", "AF"]).is_ok());
+        let err = r.push(tup!["Paris", "Lille"]);
+        assert!(matches!(err, Err(RelationError::ArityMismatch { .. })));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn push_validates_types() {
+        let mut r = Relation::empty(flights_schema());
+        let err = r.push(tup!["Paris", 42, "AF"]);
+        assert!(matches!(err, Err(RelationError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn null_is_admitted_by_any_type() {
+        let mut r = Relation::empty(flights_schema());
+        assert!(r.push(Tuple::new(vec![Value::Null, Value::text("x"), Value::Null])).is_ok());
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_keeping_order() {
+        let mut r = Relation::new(
+            flights_schema(),
+            vec![
+                tup!["a", "b", "c"],
+                tup!["x", "y", "z"],
+                tup!["a", "b", "c"],
+            ],
+        )
+        .unwrap();
+        r.dedup();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0).unwrap(), &tup!["a", "b", "c"]);
+        assert_eq!(r.row(1).unwrap(), &tup!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let r = Relation::new(flights_schema(), vec![tup!["Paris", "Lille", "AF"]]).unwrap();
+        let p = r.project("routes", &["To", "From"]).unwrap();
+        assert_eq!(p.schema().arity(), 2);
+        assert_eq!(p.row(0).unwrap(), &tup!["Lille", "Paris"]);
+        assert!(r.project("x", &["Nope"]).is_err());
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let r = Relation::new(
+            flights_schema(),
+            vec![tup!["Paris", "Lille", "AF"], tup!["NYC", "Paris", "AA"]],
+        )
+        .unwrap();
+        let f = r.filter(|t| t[2] == Value::text("AF"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn active_domain_distinct_in_order() {
+        let r = Relation::new(
+            flights_schema(),
+            vec![
+                tup!["Paris", "Lille", "AF"],
+                tup!["Paris", "NYC", "AF"],
+                tup!["Lille", "NYC", "AA"],
+            ],
+        )
+        .unwrap();
+        let dom = r.active_domain("From").unwrap();
+        assert_eq!(dom, vec![Value::text("Paris"), Value::text("Lille")]);
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let mut r = Relation::new(
+            flights_schema(),
+            vec![tup!["b", "b", "b"], tup!["a", "a", "a"]],
+        )
+        .unwrap();
+        r.sort();
+        assert_eq!(r.row(0).unwrap(), &tup!["a", "a", "a"]);
+    }
+
+    #[test]
+    fn iteration() {
+        let r = Relation::new(flights_schema(), vec![tup!["a", "b", "c"]]).unwrap();
+        assert_eq!(r.iter().count(), 1);
+        assert_eq!((&r).into_iter().count(), 1);
+    }
+}

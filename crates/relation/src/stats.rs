@@ -1,0 +1,244 @@
+//! Per-attribute statistics and equality selectivity estimation.
+//!
+//! JIM assumes *no* metadata, but a real deployment sitting on raw CSVs
+//! can cheaply collect value histograms and use them to (a) show the user
+//! how selective each candidate atom is, and (b) size join outputs. The
+//! estimates here are exact for the collected sample (full histograms, no
+//! sketches — instances are interactive-scale by construction).
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::{GlobalAttr, JoinSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Histogram-backed statistics of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeStats {
+    /// Total rows observed.
+    pub rows: u64,
+    /// Rows with a NULL in this attribute.
+    pub nulls: u64,
+    /// Value frequencies (excluding NULLs).
+    pub histogram: HashMap<Value, u64>,
+}
+
+impl AttributeStats {
+    /// Collect statistics for attribute `index` of `relation`.
+    pub fn collect(relation: &Relation, index: usize) -> AttributeStats {
+        let mut histogram: HashMap<Value, u64> = HashMap::new();
+        let mut nulls = 0u64;
+        for row in relation.rows() {
+            let v = &row[index];
+            if v.is_null() {
+                nulls += 1;
+            } else {
+                *histogram.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        AttributeStats { rows: relation.len() as u64, nulls, histogram }
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn distinct(&self) -> u64 {
+        self.histogram.len() as u64
+    }
+
+    /// Is the attribute a key of its relation (all values distinct and
+    /// non-NULL)?
+    pub fn is_key(&self) -> bool {
+        self.nulls == 0 && self.distinct() == self.rows
+    }
+
+    /// Exact number of value matches against another attribute's
+    /// histogram: `Σ_v freq_self(v) · freq_other(v)`. NULLs never match
+    /// (SQL semantics; JIM's signature computation treats NULL = NULL as
+    /// equal only within one column pair — see `Value` docs).
+    pub fn equality_matches(&self, other: &AttributeStats) -> u64 {
+        // Iterate the smaller histogram.
+        let (small, large) = if self.histogram.len() <= other.histogram.len() {
+            (&self.histogram, &other.histogram)
+        } else {
+            (&other.histogram, &self.histogram)
+        };
+        small
+            .iter()
+            .map(|(v, &c)| c * large.get(v).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+/// Statistics for every attribute of a join view, plus atom selectivity.
+#[derive(Debug, Clone)]
+pub struct JoinStats {
+    per_attr: Vec<AttributeStats>,
+    schema: JoinSchema,
+    product_size: u64,
+}
+
+impl JoinStats {
+    /// Collect statistics for the given relation occurrences (must match
+    /// the join schema's occurrence order).
+    pub fn collect(relations: &[&Relation], schema: &JoinSchema) -> Result<JoinStats> {
+        let mut per_attr = Vec::with_capacity(schema.num_attrs());
+        for ga in schema.attrs() {
+            let (rel, local) = schema.locate(ga)?;
+            per_attr.push(AttributeStats::collect(relations[rel], local));
+        }
+        let product_size = relations.iter().map(|r| r.len() as u64).product();
+        Ok(JoinStats { per_attr, schema: schema.clone(), product_size })
+    }
+
+    /// Statistics of one attribute.
+    pub fn attr(&self, ga: GlobalAttr) -> &AttributeStats {
+        &self.per_attr[ga.index()]
+    }
+
+    /// Exact selectivity of the atom `a ≍ b` over the cartesian product:
+    /// fraction of product tuples in which the two attributes are equal.
+    /// (Exact because histograms are full, not sampled.)
+    pub fn atom_selectivity(&self, a: GlobalAttr, b: GlobalAttr) -> Result<f64> {
+        let (ra, _) = self.schema.locate(a)?;
+        let (rb, _) = self.schema.locate(b)?;
+        if self.product_size == 0 {
+            return Ok(0.0);
+        }
+        let matches = self.per_attr[a.index()].equality_matches(&self.per_attr[b.index()]);
+        // For cross-relation atoms the pairing is free in the product:
+        // matches × (product of the remaining relations' sizes).
+        let rows_a = self.per_attr[a.index()].rows.max(1);
+        let rows_b = self.per_attr[b.index()].rows.max(1);
+        if ra != rb {
+            Ok(matches as f64 / (rows_a as f64 * rows_b as f64))
+        } else {
+            // Intra-relation atom: matches within one row, i.e. count rows
+            // where both positions are equal.
+            // `equality_matches` over the same relation counts row pairs;
+            // intra selectivity needs a row scan instead, so signal it.
+            Err(crate::error::RelationError::InvalidJoin {
+                message: "intra-relation atom selectivity needs a row scan; use Relation::filter"
+                    .into(),
+            })
+        }
+    }
+
+    /// Estimated join output size for a single cross-relation atom.
+    pub fn atom_output_rows(&self, a: GlobalAttr, b: GlobalAttr) -> Result<f64> {
+        Ok(self.atom_selectivity(a, b)? * self.product_size as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tup;
+    use crate::value::DataType;
+
+    fn customers() -> Relation {
+        Relation::new(
+            RelationSchema::of("c", &[("id", DataType::Int), ("city", DataType::Text)]).unwrap(),
+            vec![
+                tup![1, "Lille"],
+                tup![2, "Paris"],
+                tup![3, "Paris"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn orders() -> Relation {
+        Relation::new(
+            RelationSchema::of("o", &[("cust", DataType::Int), ("dest", DataType::Text)]).unwrap(),
+            vec![
+                tup![1, "Paris"],
+                tup![1, "Lille"],
+                tup![2, "Paris"],
+                tup![9, "Rome"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn attribute_stats_basics() {
+        let c = customers();
+        let s = AttributeStats::collect(&c, 1);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.nulls, 0);
+        assert_eq!(s.distinct(), 2);
+        assert!(!s.is_key());
+        let id = AttributeStats::collect(&c, 0);
+        assert!(id.is_key());
+    }
+
+    #[test]
+    fn nulls_are_counted_not_histogrammed() {
+        let r = Relation::new(
+            RelationSchema::of("r", &[("x", DataType::Int)]).unwrap(),
+            vec![
+                tup![1],
+                crate::Tuple::new(vec![Value::Null]),
+                crate::Tuple::new(vec![Value::Null]),
+            ],
+        )
+        .unwrap();
+        let s = AttributeStats::collect(&r, 0);
+        assert_eq!(s.nulls, 2);
+        assert_eq!(s.distinct(), 1);
+        assert!(!s.is_key());
+    }
+
+    #[test]
+    fn equality_matches_counts_pairs() {
+        let c = customers();
+        let o = orders();
+        let cid = AttributeStats::collect(&c, 0);
+        let ocust = AttributeStats::collect(&o, 0);
+        // id=1 matches 2 orders, id=2 matches 1, id=3 matches 0 -> 3.
+        assert_eq!(cid.equality_matches(&ocust), 3);
+        assert_eq!(ocust.equality_matches(&cid), 3); // symmetric
+    }
+
+    #[test]
+    fn atom_selectivity_is_exact() {
+        let c = customers();
+        let o = orders();
+        let schema = JoinSchema::new(vec![c.schema().clone(), o.schema().clone()]).unwrap();
+        let stats = JoinStats::collect(&[&c, &o], &schema).unwrap();
+        let a = schema.global_by_name(0, "id").unwrap();
+        let b = schema.global_by_name(1, "cust").unwrap();
+        // 3 matching pairs over 12 product tuples.
+        let sel = stats.atom_selectivity(a, b).unwrap();
+        assert!((sel - 0.25).abs() < 1e-12);
+        assert!((stats.atom_output_rows(a, b).unwrap() - 3.0).abs() < 1e-12);
+
+        // Verify against a real join.
+        let p = crate::Product::new(vec![&c, &o]).unwrap();
+        let spec = crate::spec_by_names(p.schema(), &[((0, "id"), (1, "cust"))]).unwrap();
+        assert_eq!(spec.eval_hash(&p).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn intra_relation_selectivity_is_rejected() {
+        let c = customers();
+        let schema = JoinSchema::new(vec![c.schema().clone(), c.schema().clone()]).unwrap();
+        let stats = JoinStats::collect(&[&c, &c], &schema).unwrap();
+        let a = schema.global(0, 0).unwrap();
+        let b = schema.global(0, 1).unwrap();
+        assert!(stats.atom_selectivity(a, b).is_err());
+    }
+
+    #[test]
+    fn empty_product_selectivity_zero() {
+        let empty = Relation::empty(
+            RelationSchema::of("e", &[("x", DataType::Int)]).unwrap(),
+        );
+        let c = customers();
+        let schema = JoinSchema::new(vec![c.schema().clone(), empty.schema().clone()]).unwrap();
+        let stats = JoinStats::collect(&[&c, &empty], &schema).unwrap();
+        let a = schema.global_by_name(0, "id").unwrap();
+        let b = schema.global_by_name(1, "x").unwrap();
+        assert_eq!(stats.atom_selectivity(a, b).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// A row of values. Cheap to clone only via its values (text values are
+/// `Arc<str>`); the container itself is a boxed slice to keep the type at
+/// two words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from owned values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values: values.into_boxed_slice() }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at position `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Concatenate several tuples into one (the product-tuple constructor).
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Tuple>) -> Tuple {
+        let parts: Vec<&Tuple> = parts.into_iter().collect();
+        let total = parts.iter().map(|t| t.arity()).sum();
+        let mut values = Vec::with_capacity(total);
+        for part in parts {
+            values.extend_from_slice(part.values());
+        }
+        Tuple::new(values)
+    }
+
+    /// Project the tuple onto the given positions (positions may repeat).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(positions.iter().map(|&i| self.values[i].clone()).collect())
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Build a [`Tuple`] from a list of expressions convertible to [`Value`].
+///
+/// ```
+/// use jim_relation::tup;
+/// let t = tup!["Paris", 42, true];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn construction_and_access() {
+        let t = tup!["Paris", "Lille", "AF"];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[1], Value::text("Lille"));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn concat_is_product_tuple() {
+        let flight = tup!["Paris", "Lille", "AF"];
+        let hotel = tup!["Lille", "AF"];
+        let joined = Tuple::concat([&flight, &hotel]);
+        assert_eq!(joined.arity(), 5);
+        assert_eq!(joined[3], Value::text("Lille"));
+        assert_eq!(joined[4], Value::text("AF"));
+    }
+
+    #[test]
+    fn concat_empty_is_empty() {
+        let t = Tuple::concat([]);
+        assert_eq!(t.arity(), 0);
+    }
+
+    #[test]
+    fn project_reorders_and_repeats() {
+        let t = tup![1, 2, 3];
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(p, tup![3, 1, 1]);
+    }
+
+    #[test]
+    fn display() {
+        let t = tup!["a", 1];
+        assert_eq!(t.to_string(), "(a, 1)");
+    }
+
+    #[test]
+    fn tuples_order_lexicographically() {
+        let a = tup![1, 2];
+        let b = tup![1, 3];
+        assert!(a < b);
+    }
+}

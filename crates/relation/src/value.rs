@@ -1,0 +1,366 @@
+//! Typed attribute values.
+//!
+//! JIM compares values for *equality only* (equi-join atoms), but the
+//! substrate also gives them a total order so relations can be sorted,
+//! deduplicated and printed deterministically. Floats are ordered with
+//! [`f64::total_cmp`], which makes `Value` a lawful `Ord`/`Hash` key.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float (totally ordered via `total_cmp`).
+    Float,
+    /// UTF-8 text (cheaply clonable, `Arc<str>`).
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Lower-case SQL-ish name of the type.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single attribute value.
+///
+/// `Null` is included because denormalized real-world inputs (the setting the
+/// paper motivates) routinely contain missing values; equality atoms treat
+/// `Null` as equal only to `Null`, mirroring the paper's purely syntactic
+/// value matching (a goal query that must never match a column can be probed
+/// with nulls).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Construct a text value from anything string-like.
+    pub fn text(s: impl AsRef<str>) -> Self {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    /// The [`DataType`] of this value, or `None` for `Null` (null is typeless
+    /// and admitted by every attribute type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Name of this value's type for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self.data_type() {
+            None => "null",
+            Some(t) => t.name(),
+        }
+    }
+
+    /// True iff the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Parse a raw CSV field into the "narrowest" value: empty string becomes
+    /// `Null`, then `Int`, `Float`, `Bool` (case-insensitive `true`/`false`)
+    /// are tried in that order, falling back to `Text`.
+    pub fn infer(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(x) = trimmed.parse::<f64>() {
+            return Value::Float(x);
+        }
+        match trimmed.to_ascii_lowercase().as_str() {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => Value::text(trimmed),
+        }
+    }
+
+    /// Parse a raw field *as a specific declared type*. Empty fields are
+    /// `Null` regardless of the type.
+    pub fn parse_as(raw: &str, dtype: DataType) -> Option<Value> {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Some(Value::Null);
+        }
+        Some(match dtype {
+            DataType::Int => Value::Int(trimmed.parse().ok()?),
+            DataType::Float => Value::Float(trimmed.parse().ok()?),
+            DataType::Bool => match trimmed.to_ascii_lowercase().as_str() {
+                "true" | "1" => Value::Bool(true),
+                "false" | "0" => Value::Bool(false),
+                _ => return None,
+            },
+            DataType::Text => Value::text(trimmed),
+        })
+    }
+
+    /// Render the value as it appears in SQL text (strings quoted with
+    /// single quotes, embedded quotes doubled).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(x) => {
+                // Always keep a decimal point so the literal round-trips as a float.
+                let s = x.to_string();
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Text(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b) == std::cmp::Ordering::Equal,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Float(x) => x.to_bits().hash(state),
+            Value::Text(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::text(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_is_type_strict() {
+        assert_eq!(Value::Int(1), Value::Int(1));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::text("1"), Value::Int(1));
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn nan_equals_itself_under_total_order() {
+        // Join semantics need a lawful Eq; total_cmp gives NaN == NaN.
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(hash_of(&Value::Float(f64::NAN)), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn negative_zero_and_positive_zero_differ() {
+        // total_cmp distinguishes -0.0 from 0.0; hashing must agree with Eq.
+        assert_ne!(Value::Float(-0.0), Value::Float(0.0));
+        assert_ne!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn ordering_is_total_across_types() {
+        let mut vals = [Value::text("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5),
+            Value::Int(1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Int(1));
+        assert_eq!(vals[3], Value::Int(2));
+        assert_eq!(vals[4], Value::Float(1.5));
+        assert_eq!(vals[5], Value::text("b"));
+    }
+
+    #[test]
+    fn infer_narrowest_type() {
+        assert_eq!(Value::infer("42"), Value::Int(42));
+        assert_eq!(Value::infer("-7"), Value::Int(-7));
+        assert_eq!(Value::infer("3.25"), Value::Float(3.25));
+        assert_eq!(Value::infer("true"), Value::Bool(true));
+        assert_eq!(Value::infer("FALSE"), Value::Bool(false));
+        assert_eq!(Value::infer("Paris"), Value::text("Paris"));
+        assert_eq!(Value::infer("  "), Value::Null);
+    }
+
+    #[test]
+    fn parse_as_declared_type() {
+        assert_eq!(Value::parse_as("5", DataType::Int), Some(Value::Int(5)));
+        assert_eq!(Value::parse_as("5", DataType::Text), Some(Value::text("5")));
+        assert_eq!(Value::parse_as("x", DataType::Int), None);
+        assert_eq!(Value::parse_as("1", DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(Value::parse_as("", DataType::Int), Some(Value::Null));
+    }
+
+    #[test]
+    fn sql_literals() {
+        assert_eq!(Value::Int(3).to_sql_literal(), "3");
+        assert_eq!(Value::Float(2.0).to_sql_literal(), "2.0");
+        assert_eq!(Value::text("O'Hare").to_sql_literal(), "'O''Hare'");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Bool(false).to_sql_literal(), "FALSE");
+    }
+
+    #[test]
+    fn display_round_trip_for_text() {
+        let v = Value::text("Lille");
+        assert_eq!(v.to_string(), "Lille");
+        assert_eq!(Value::infer(&v.to_string()), v);
+    }
+
+    #[test]
+    fn data_type_names() {
+        assert_eq!(DataType::Int.to_string(), "int");
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+    }
+
+    #[test]
+    fn text_values_share_storage_on_clone() {
+        let a = Value::text("shared");
+        let b = a.clone();
+        if let (Value::Text(x), Value::Text(y)) = (&a, &b) {
+            assert!(Arc::ptr_eq(x, y));
+        } else {
+            panic!("expected text values");
+        }
+    }
+}

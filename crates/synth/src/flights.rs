@@ -1,0 +1,168 @@
+//! The paper's motivating example (Figure 1): a travel agency building
+//! flight&hotel packages from a denormalized table with no metadata.
+//!
+//! Everything here is verbatim from the paper: four flights, three hotels,
+//! the twelve product tuples, the queries `Q1`/`Q2`, and the labels of the
+//! §2 walkthrough.
+
+use jim_core::{AtomUniverse, JoinPredicate, Label};
+use jim_relation::{tup, DataType, Database, ProductId, Relation, RelationSchema, Tuple, Value};
+use std::sync::Arc;
+
+/// The flights relation: `(From, To, Airline)`, four rows.
+pub fn flights() -> Relation {
+    Relation::new(
+        RelationSchema::of(
+            "flights",
+            &[
+                ("From", DataType::Text),
+                ("To", DataType::Text),
+                ("Airline", DataType::Text),
+            ],
+        )
+        .expect("static schema"),
+        vec![
+            tup!["Paris", "Lille", "AF"],
+            tup!["Lille", "NYC", "AA"],
+            tup!["NYC", "Paris", "AA"],
+            tup!["Paris", "NYC", "AF"],
+        ],
+    )
+    .expect("static rows")
+}
+
+/// The hotels relation: `(City, Discount)`, three rows. The Paris hotel's
+/// `None` discount is a literal string in the paper's Figure 1 — here it is
+/// an SQL NULL, which no airline code ever equals (same semantics).
+pub fn hotels() -> Relation {
+    let paris_no_discount = Tuple::new(vec![Value::text("Paris"), Value::Null]);
+    Relation::new(
+        RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
+            .expect("static schema"),
+        vec![tup!["NYC", "AA"], paris_no_discount, tup!["Lille", "AF"]],
+    )
+    .expect("static rows")
+}
+
+/// Both relations as a database.
+pub fn database() -> Database {
+    Database::from_relations(vec![flights(), hotels()]).expect("distinct names")
+}
+
+/// Convert the paper's 1-based tuple number (Figure 1 rows (1)–(12)) to a
+/// product id (rank). The product enumerates the last relation fastest,
+/// matching the figure's layout exactly.
+pub fn paper_tuple(k: u64) -> ProductId {
+    assert!((1..=12).contains(&k), "Figure 1 has tuples (1)..(12)");
+    ProductId(k - 1)
+}
+
+/// `Q1: To ≍ City` — packages with a flight and a stay in the destination.
+pub fn q1(universe: &Arc<AtomUniverse>) -> JoinPredicate {
+    let tc = universe
+        .id_by_names((0, "To"), (1, "City"))
+        .expect("atom exists");
+    JoinPredicate::of(universe.clone(), [tc])
+}
+
+/// `Q2: To ≍ City ∧ Airline ≍ Discount` — packages combined in a way
+/// allowing a discount.
+pub fn q2(universe: &Arc<AtomUniverse>) -> JoinPredicate {
+    let tc = universe
+        .id_by_names((0, "To"), (1, "City"))
+        .expect("atom exists");
+    let ad = universe
+        .id_by_names((0, "Airline"), (1, "Discount"))
+        .expect("atom exists");
+    JoinPredicate::of(universe.clone(), [tc, ad])
+}
+
+/// The labels of the paper's walkthrough: (3) is positive, (7) and (8) are
+/// negative — after which `Q2` is the unique consistent predicate.
+pub fn walkthrough_labels() -> Vec<(ProductId, Label)> {
+    vec![
+        (paper_tuple(3), Label::Positive),
+        (paper_tuple(7), Label::Negative),
+        (paper_tuple(8), Label::Negative),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_core::{Engine, EngineOptions};
+    use jim_relation::Product;
+
+    #[test]
+    fn figure1_has_twelve_product_tuples() {
+        let f = flights();
+        let h = hotels();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        assert_eq!(p.size(), 12);
+    }
+
+    #[test]
+    fn paper_tuple_3_is_paris_lille_af_lille_af() {
+        let f = flights();
+        let h = hotels();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let t = p.tuple(paper_tuple(3)).unwrap();
+        assert_eq!(t.to_string(), "(Paris, Lille, AF, Lille, AF)");
+    }
+
+    #[test]
+    #[should_panic(expected = "Figure 1")]
+    fn paper_tuple_out_of_range() {
+        paper_tuple(13);
+    }
+
+    #[test]
+    fn q1_and_q2_select_figure1_rows() {
+        let f = flights();
+        let h = hotels();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let u = e.universe();
+        let sel1: Vec<u64> = q1(u).eval(e.product()).unwrap().iter().map(|i| i.0).collect();
+        let sel2: Vec<u64> = q2(u).eval(e.product()).unwrap().iter().map(|i| i.0).collect();
+        assert_eq!(sel1, vec![2, 3, 7, 9]); // paper tuples (3),(4),(8),(10)
+        assert_eq!(sel2, vec![2, 3]); // paper tuples (3),(4)
+    }
+
+    #[test]
+    fn walkthrough_labels_determine_q2() {
+        let f = flights();
+        let h = hotels();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut e = Engine::new(p, &EngineOptions::default()).unwrap();
+        for (id, label) in walkthrough_labels() {
+            e.label(id, label).unwrap();
+        }
+        assert!(e.is_resolved());
+        assert_eq!(e.result(), q2(e.universe()));
+    }
+
+    #[test]
+    fn database_catalogs_both() {
+        let db = database();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get("flights").unwrap().len(), 4);
+        assert_eq!(db.get("hotels").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn null_discount_not_equal_to_any_airline() {
+        // The NULL Paris discount must never satisfy Airline ≍ Discount.
+        let f = flights();
+        let h = hotels();
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let u = e.universe();
+        let ad = u.id_by_names((0, "Airline"), (1, "Discount")).unwrap();
+        for (_, t) in e.product().iter() {
+            if t[4].is_null() {
+                assert!(!u.signature(&t).contains(ad.index()));
+            }
+        }
+    }
+}

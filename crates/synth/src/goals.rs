@@ -1,0 +1,141 @@
+//! Goal-query generation with controlled complexity.
+//!
+//! The companion paper's experiments vary the *complexity of the goal
+//! query* (its number of equality atoms). A random atom set is usually
+//! unsatisfiable on the instance (it would be inferred through negatives
+//! only); the experiments instead want goals with at least one positive
+//! witness, so the generator samples goals **from the signatures actually
+//! present** in the product.
+
+use jim_core::{AtomId, JoinPredicate};
+use jim_core::{Engine, EngineOptions};
+use jim_relation::Product;
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Draw up to `count` distinct goal predicates with exactly `atoms` atoms,
+/// each satisfiable on the instance (some product tuple witnesses it).
+///
+/// Returns fewer than `count` when the instance does not carry enough
+/// distinct satisfiable atom combinations.
+pub fn satisfiable_goals(
+    product: &Product<'_>,
+    atoms: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<JoinPredicate> {
+    let engine = match Engine::new(product.clone(), &EngineOptions::default()) {
+        Ok(e) => e,
+        Err(_) => return Vec::new(),
+    };
+    let universe = engine.universe().clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Candidate signatures with at least `atoms` atoms.
+    let mut witnesses: Vec<Vec<usize>> = engine
+        .informative_groups()
+        .into_iter()
+        .map(|c| c.restricted_sig.iter().collect::<Vec<usize>>())
+        .filter(|s| s.len() >= atoms)
+        .collect();
+    // Also the certain-positive signatures (full ones) qualify as witnesses.
+    witnesses.shuffle(&mut rng);
+
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < count * 50 && !witnesses.is_empty() {
+        attempts += 1;
+        let w = witnesses[attempts % witnesses.len()].clone();
+        let mut picked = w;
+        picked.shuffle(&mut rng);
+        picked.truncate(atoms);
+        picked.sort_unstable();
+        if !seen.insert(picked.clone()) {
+            continue;
+        }
+        let goal = JoinPredicate::of(
+            universe.clone(),
+            picked.into_iter().map(|i| AtomId(i as u32)),
+        );
+        out.push(goal);
+    }
+    out
+}
+
+/// A single satisfiable goal (convenience): the first of
+/// [`satisfiable_goals`], if any.
+pub fn satisfiable_goal(
+    product: &Product<'_>,
+    atoms: usize,
+    seed: u64,
+) -> Option<JoinPredicate> {
+    satisfiable_goals(product, atoms, 1, seed).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_db::{generate, RandomDbConfig};
+
+    #[test]
+    fn goals_have_requested_arity_and_witnesses() {
+        let db = generate(&RandomDbConfig::uniform(2, 3, 15, 3, 11));
+        let (rels, _) = db.join_view(&["r1", "r2"]).unwrap();
+        let p = Product::new(rels).unwrap();
+        for arity in 1..=3 {
+            let goals = satisfiable_goals(&p, arity, 5, 1);
+            assert!(!goals.is_empty(), "no goals of arity {arity}");
+            for g in &goals {
+                assert_eq!(g.arity(), arity);
+                // Witness: at least one product tuple is selected.
+                assert!(
+                    !g.eval(&p).unwrap().is_empty(),
+                    "goal {g} has no positive witness"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn goals_are_distinct() {
+        let db = generate(&RandomDbConfig::uniform(2, 3, 15, 2, 5));
+        let (rels, _) = db.join_view(&["r1", "r2"]).unwrap();
+        let p = Product::new(rels).unwrap();
+        let goals = satisfiable_goals(&p, 2, 8, 3);
+        let set: std::collections::HashSet<String> =
+            goals.iter().map(|g| g.to_string()).collect();
+        assert_eq!(set.len(), goals.len());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let db = generate(&RandomDbConfig::uniform(2, 2, 10, 3, 8));
+        let (rels, _) = db.join_view(&["r1", "r2"]).unwrap();
+        let p = Product::new(rels).unwrap();
+        let a = satisfiable_goals(&p, 1, 4, 9);
+        let b = satisfiable_goals(&p, 1, 4, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn impossible_arity_returns_empty() {
+        let db = generate(&RandomDbConfig::uniform(2, 1, 4, 1000, 2));
+        let (rels, _) = db.join_view(&["r1", "r2"]).unwrap();
+        let p = Product::new(rels).unwrap();
+        // One atom exists at most; arity 5 is impossible.
+        assert!(satisfiable_goals(&p, 5, 3, 1).is_empty());
+    }
+
+    #[test]
+    fn single_goal_convenience() {
+        let db = generate(&RandomDbConfig::uniform(2, 3, 15, 3, 11));
+        let (rels, _) = db.join_view(&["r1", "r2"]).unwrap();
+        let p = Product::new(rels).unwrap();
+        assert!(satisfiable_goal(&p, 1, 0).is_some());
+    }
+}

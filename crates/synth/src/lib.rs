@@ -1,0 +1,24 @@
+//! # `jim-synth` — workloads for the JIM reproduction
+//!
+//! Every dataset the paper's demonstration and experiments touch:
+//!
+//! * [`flights`] — the motivating example of Figure 1, verbatim: four
+//!   flights, three hotels, queries `Q1`/`Q2`, and the §2 walkthrough
+//!   labels.
+//! * [`setgame`] — the 81-card Set deck of Figure 5 ("joining sets of
+//!   pictures"), modeled as tag tuples, with "same features" goals.
+//! * [`tpch`] — a TPC-H-shaped generator standing in for the benchmark
+//!   data of the companion paper's experiments (see DESIGN.md §5).
+//! * [`random_db`] — parameterized random instances whose domain size
+//!   controls signature-lattice richness (the complexity knob of
+//!   experiment E3).
+//! * [`goals`] — satisfiable goal queries of controlled complexity.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flights;
+pub mod goals;
+pub mod random_db;
+pub mod setgame;
+pub mod tpch;

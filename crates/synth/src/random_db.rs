@@ -1,0 +1,150 @@
+//! Parameterized random instances — the "synthetic datasets" of the
+//! companion paper's experiments.
+//!
+//! Values are integers drawn uniformly from a configurable domain. The
+//! domain size is the lever that controls the richness of the signature
+//! lattice: small domains produce many accidental equalities (complex
+//! instances where lookahead pays off), large domains produce sparse
+//! signatures (simple instances where local strategies shine). Experiment
+//! E3 sweeps exactly this knob.
+
+use jim_relation::{Database, DataType, Relation, RelationSchema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one generated relation.
+#[derive(Debug, Clone, Copy)]
+pub struct RelationShape {
+    /// Number of attributes.
+    pub arity: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+/// Configuration of a random instance.
+#[derive(Debug, Clone)]
+pub struct RandomDbConfig {
+    /// One entry per relation (named `r1`, `r2`, … with attributes
+    /// `r1_a1`, `r1_a2`, …).
+    pub relations: Vec<RelationShape>,
+    /// Values are drawn uniformly from `0..domain`.
+    pub domain: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomDbConfig {
+    /// A uniform configuration: `count` relations of identical shape.
+    pub fn uniform(count: usize, arity: usize, rows: usize, domain: i64, seed: u64) -> Self {
+        RandomDbConfig {
+            relations: vec![RelationShape { arity, rows }; count],
+            domain,
+            seed,
+        }
+    }
+}
+
+/// Generate the database.
+pub fn generate(config: &RandomDbConfig) -> Database {
+    assert!(config.domain > 0, "domain must be non-empty");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let relations = config
+        .relations
+        .iter()
+        .enumerate()
+        .map(|(i, shape)| {
+            let name = format!("r{}", i + 1);
+            let attrs: Vec<(String, DataType)> = (0..shape.arity)
+                .map(|a| (format!("{}_a{}", name, a + 1), DataType::Int))
+                .collect();
+            let attr_refs: Vec<(&str, DataType)> =
+                attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let schema = RelationSchema::of(name, &attr_refs).expect("generated names unique");
+            let rows = (0..shape.rows)
+                .map(|_| {
+                    Tuple::new(
+                        (0..shape.arity)
+                            .map(|_| Value::Int(rng.gen_range(0..config.domain)))
+                            .collect(),
+                    )
+                })
+                .collect();
+            Relation::new(schema, rows).expect("rows match schema")
+        })
+        .collect();
+    Database::from_relations(relations).expect("generated names unique")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_core::{Engine, EngineOptions};
+    use jim_relation::Product;
+
+    #[test]
+    fn shape_is_respected() {
+        let db = generate(&RandomDbConfig::uniform(3, 2, 7, 10, 1));
+        assert_eq!(db.len(), 3);
+        for (i, rel) in db.relations().iter().enumerate() {
+            assert_eq!(rel.name(), format!("r{}", i + 1));
+            assert_eq!(rel.schema().arity(), 2);
+            assert_eq!(rel.len(), 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(&RandomDbConfig::uniform(2, 3, 5, 4, 77));
+        let b = generate(&RandomDbConfig::uniform(2, 3, 5, 4, 77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn values_within_domain() {
+        let db = generate(&RandomDbConfig::uniform(1, 4, 50, 3, 5));
+        for row in db.relations()[0].rows() {
+            for v in row.values() {
+                match v {
+                    Value::Int(x) => assert!((0..3).contains(x)),
+                    other => panic!("unexpected value {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_domain_gives_richer_signatures() {
+        // Identical shapes; the 2-value domain must produce at least as
+        // many distinct signatures as the 1000-value domain, where most
+        // signatures are empty.
+        let shapes = |domain, seed| {
+            let db = generate(&RandomDbConfig::uniform(2, 3, 12, domain, seed));
+            let (rels, _) = db.join_view(&["r1", "r2"]).unwrap();
+            let p = Product::new(rels).unwrap();
+            Engine::new(p, &EngineOptions::default()).unwrap().num_groups()
+        };
+        let dense = shapes(2, 3);
+        let sparse = shapes(1000, 3);
+        assert!(dense > sparse, "dense {dense} vs sparse {sparse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn zero_domain_rejected() {
+        generate(&RandomDbConfig::uniform(1, 1, 1, 0, 0));
+    }
+
+    #[test]
+    fn heterogeneous_shapes() {
+        let db = generate(&RandomDbConfig {
+            relations: vec![
+                RelationShape { arity: 1, rows: 2 },
+                RelationShape { arity: 4, rows: 9 },
+            ],
+            domain: 5,
+            seed: 0,
+        });
+        assert_eq!(db.relations()[0].schema().arity(), 1);
+        assert_eq!(db.relations()[1].len(), 9);
+    }
+}

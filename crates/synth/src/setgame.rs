@@ -1,0 +1,153 @@
+//! The Set® card deck — the "joining sets of pictures" demo of the paper's
+//! Figure 5.
+//!
+//! "An example of preloaded database consists of the cards used in the game
+//! Set, which vary in four features: number (one, two, or three), symbol
+//! (diamond, squiggle, oval), shading (solid, striped, or open), and color
+//! (red, green, or purple)." Each tagged picture is modeled as a tuple of
+//! its four tags; joining the deck with itself infers predicates like
+//! "select the pairs of pictures having the same color and the same
+//! shading".
+
+use jim_core::{AtomUniverse, JoinPredicate};
+use jim_relation::{tup, DataType, Relation, RelationSchema};
+use std::sync::Arc;
+
+/// The four feature names, in schema order.
+pub const FEATURES: [&str; 4] = ["number", "symbol", "shading", "color"];
+
+/// Values of each feature, in `FEATURES` order.
+pub const FEATURE_VALUES: [[&str; 3]; 4] = [
+    ["one", "two", "three"],
+    ["diamond", "squiggle", "oval"],
+    ["solid", "striped", "open"],
+    ["red", "green", "purple"],
+];
+
+/// The schema of the deck: `cards(number, symbol, shading, color)`.
+pub fn card_schema() -> RelationSchema {
+    RelationSchema::of(
+        "cards",
+        &[
+            ("number", DataType::Text),
+            ("symbol", DataType::Text),
+            ("shading", DataType::Text),
+            ("color", DataType::Text),
+        ],
+    )
+    .expect("static schema")
+}
+
+/// The full 81-card deck (3⁴ feature combinations), in lexicographic order.
+pub fn deck() -> Relation {
+    let mut rows = Vec::with_capacity(81);
+    for number in FEATURE_VALUES[0] {
+        for symbol in FEATURE_VALUES[1] {
+            for shading in FEATURE_VALUES[2] {
+                for color in FEATURE_VALUES[3] {
+                    rows.push(tup![number, symbol, shading, color]);
+                }
+            }
+        }
+    }
+    Relation::new(card_schema(), rows).expect("static rows")
+}
+
+/// A smaller random sub-deck of `n` distinct cards (for quick demos; the
+/// full 81×81 product has 6561 candidate pairs).
+pub fn subdeck(n: usize, seed: u64) -> Relation {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let full = deck();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rows: Vec<_> = full.rows().to_vec();
+    rows.shuffle(&mut rng);
+    rows.truncate(n.min(81));
+    Relation::new(card_schema(), rows).expect("subset of valid rows")
+}
+
+/// The goal predicate "pairs of pictures with the same `features`", e.g.
+/// `same_features_goal(&u, &["color", "shading"])` is the binary join the
+/// paper trains in Figure 5.
+pub fn same_features_goal(universe: &Arc<AtomUniverse>, features: &[&str]) -> JoinPredicate {
+    let ids = features.iter().map(|f| {
+        universe
+            .id_by_names((0, f), (1, f))
+            .expect("feature exists in both deck occurrences")
+    });
+    JoinPredicate::of(universe.clone(), ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_core::{Engine, EngineOptions, GoalOracle};
+    use jim_core::session::run_most_informative;
+    use jim_core::strategy::StrategyKind;
+    use jim_relation::Product;
+
+    #[test]
+    fn deck_has_81_distinct_cards() {
+        let mut d = deck();
+        assert_eq!(d.len(), 81);
+        d.dedup();
+        assert_eq!(d.len(), 81);
+    }
+
+    #[test]
+    fn subdeck_is_distinct_subset() {
+        let s = subdeck(10, 3);
+        assert_eq!(s.len(), 10);
+        let full: std::collections::HashSet<_> = deck().rows().to_vec().into_iter().collect();
+        assert!(s.rows().iter().all(|r| full.contains(r)));
+    }
+
+    #[test]
+    fn subdeck_larger_than_deck_truncates() {
+        assert_eq!(subdeck(500, 0).len(), 81);
+    }
+
+    #[test]
+    fn self_join_universe_has_16_atoms() {
+        let d = deck();
+        let d2 = deck();
+        let p = Product::new(vec![&d, &d2]).unwrap();
+        let e = Engine::new(p, &EngineOptions { max_product: 10_000, ..Default::default() })
+            .unwrap();
+        // 4 attrs × 4 attrs across the two occurrences.
+        assert_eq!(e.universe().len(), 16);
+    }
+
+    #[test]
+    fn same_color_goal_selects_a_third_of_pairs() {
+        let d = deck();
+        let d2 = deck();
+        let p = Product::new(vec![&d, &d2]).unwrap();
+        let e = Engine::new(p, &EngineOptions { max_product: 10_000, ..Default::default() })
+            .unwrap();
+        let goal = same_features_goal(e.universe(), &["color"]);
+        let selected = goal.eval(e.product()).unwrap();
+        // 81 × 27 pairs share a color.
+        assert_eq!(selected.len(), 81 * 27);
+    }
+
+    #[test]
+    fn figure5_inference_same_color_and_shading() {
+        // The paper's Figure 5 goal on a sub-deck (for test speed).
+        let d = subdeck(20, 7);
+        let d2 = subdeck(20, 7);
+        let p = Product::new(vec![&d, &d2]).unwrap();
+        let engine = Engine::new(p, &EngineOptions::default()).unwrap();
+        let goal = same_features_goal(engine.universe(), &["color", "shading"]);
+        let mut oracle = GoalOracle::new(goal.clone());
+        let mut strategy = StrategyKind::LookaheadMinPrune.build();
+        let out = run_most_informative(engine, strategy.as_mut(), &mut oracle).unwrap();
+        assert!(out.resolved);
+        assert!(out
+            .inferred
+            .instance_equivalent(&goal, out.engine.product())
+            .unwrap());
+        // Minimal interactions: far fewer than the 400 candidate pairs.
+        assert!(out.interactions < 40, "{} interactions", out.interactions);
+    }
+}

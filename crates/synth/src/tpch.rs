@@ -1,0 +1,268 @@
+//! A TPC-H-shaped data generator.
+//!
+//! The companion paper's experiments run on TPC-H; `dbgen` and its data are
+//! not available offline, so this generator reproduces the *shape* that
+//! matters for join inference: the TPC-H schema core (region / nation /
+//! customer / orders / lineitem / supplier / part), its key→foreign-key
+//! structure, and uniform value distributions. Interaction counts depend on
+//! the signature structure induced by key overlaps, not on the exact TPC-H
+//! strings — see DESIGN.md §5 for the substitution argument.
+
+use jim_relation::{Database, DataType, Relation, RelationSchema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// Scale factor: row counts are `base × scale` (scale 1.0 ≈ a few
+    /// hundred rows — sized for interactive-inference experiments, where
+    /// the *product* of 2–3 relations is the working set).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { scale: 1.0, seed: 42 }
+    }
+}
+
+/// Base row counts at scale 1.0.
+const BASE_REGION: usize = 5;
+const BASE_NATION: usize = 25;
+const BASE_SUPPLIER: usize = 10;
+const BASE_CUSTOMER: usize = 30;
+const BASE_ORDERS: usize = 45;
+const BASE_LINEITEM: usize = 120;
+const BASE_PART: usize = 20;
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const STATUSES: [&str; 3] = ["O", "F", "P"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+const TYPES: [&str; 4] = ["ECONOMY", "STANDARD", "PROMO", "LARGE"];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Generate the database.
+pub fn generate(config: TpchConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = |base: usize| ((base as f64 * config.scale).round() as usize).max(1);
+
+    let n_region = n(BASE_REGION).min(REGIONS.len());
+    let n_nation = n(BASE_NATION);
+    let n_supplier = n(BASE_SUPPLIER);
+    let n_customer = n(BASE_CUSTOMER);
+    let n_orders = n(BASE_ORDERS);
+    let n_lineitem = n(BASE_LINEITEM);
+    let n_part = n(BASE_PART);
+
+    let region = build(
+        RelationSchema::of(
+            "region",
+            &[("r_regionkey", DataType::Int), ("r_name", DataType::Text)],
+        ),
+        (0..n_region).map(|i| vec![Value::Int(i as i64), Value::text(REGIONS[i])]),
+    );
+
+    let nation = build(
+        RelationSchema::of(
+            "nation",
+            &[
+                ("n_nationkey", DataType::Int),
+                ("n_regionkey", DataType::Int),
+                ("n_name", DataType::Text),
+            ],
+        ),
+        (0..n_nation).map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..n_region as i64)),
+                Value::text(format!("NATION_{i:02}")),
+            ]
+        }),
+    );
+
+    let supplier = build(
+        RelationSchema::of(
+            "supplier",
+            &[
+                ("s_suppkey", DataType::Int),
+                ("s_nationkey", DataType::Int),
+                ("s_name", DataType::Text),
+            ],
+        ),
+        (0..n_supplier).map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..n_nation as i64)),
+                Value::text(format!("Supplier#{i:03}")),
+            ]
+        }),
+    );
+
+    let customer = build(
+        RelationSchema::of(
+            "customer",
+            &[
+                ("c_custkey", DataType::Int),
+                ("c_nationkey", DataType::Int),
+                ("c_name", DataType::Text),
+                ("c_mktsegment", DataType::Text),
+            ],
+        ),
+        (0..n_customer).map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..n_nation as i64)),
+                Value::text(format!("Customer#{i:03}")),
+                Value::text(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+            ]
+        }),
+    );
+
+    let orders = build(
+        RelationSchema::of(
+            "orders",
+            &[
+                ("o_orderkey", DataType::Int),
+                ("o_custkey", DataType::Int),
+                ("o_orderstatus", DataType::Text),
+                ("o_orderpriority", DataType::Text),
+            ],
+        ),
+        (0..n_orders).map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..n_customer as i64)),
+                Value::text(STATUSES[rng.gen_range(0..STATUSES.len())]),
+                Value::text(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+            ]
+        }),
+    );
+
+    let part = build(
+        RelationSchema::of(
+            "part",
+            &[
+                ("p_partkey", DataType::Int),
+                ("p_brand", DataType::Text),
+                ("p_type", DataType::Text),
+            ],
+        ),
+        (0..n_part).map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::text(BRANDS[rng.gen_range(0..BRANDS.len())]),
+                Value::text(TYPES[rng.gen_range(0..TYPES.len())]),
+            ]
+        }),
+    );
+
+    let lineitem = build(
+        RelationSchema::of(
+            "lineitem",
+            &[
+                ("l_orderkey", DataType::Int),
+                ("l_partkey", DataType::Int),
+                ("l_suppkey", DataType::Int),
+                ("l_quantity", DataType::Int),
+            ],
+        ),
+        (0..n_lineitem).map(|_| {
+            vec![
+                Value::Int(rng.gen_range(0..n_orders as i64)),
+                Value::Int(rng.gen_range(0..n_part as i64)),
+                Value::Int(rng.gen_range(0..n_supplier as i64)),
+                Value::Int(rng.gen_range(1..=50)),
+            ]
+        }),
+    );
+
+    Database::from_relations(vec![region, nation, supplier, customer, orders, part, lineitem])
+        .expect("distinct relation names")
+}
+
+fn build(
+    schema: jim_relation::Result<RelationSchema>,
+    rows: impl Iterator<Item = Vec<Value>>,
+) -> Relation {
+    Relation::new(
+        schema.expect("static schema"),
+        rows.map(Tuple::new).collect(),
+    )
+    .expect("generated rows match schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_core::{Engine, EngineOptions, GoalOracle, JoinPredicate};
+    use jim_core::session::run_most_informative;
+    use jim_core::strategy::StrategyKind;
+    use jim_relation::Product;
+
+    #[test]
+    fn default_scale_row_counts() {
+        let db = generate(TpchConfig::default());
+        assert_eq!(db.get("region").unwrap().len(), 5);
+        assert_eq!(db.get("nation").unwrap().len(), 25);
+        assert_eq!(db.get("customer").unwrap().len(), 30);
+        assert_eq!(db.get("orders").unwrap().len(), 45);
+        assert_eq!(db.get("lineitem").unwrap().len(), 120);
+    }
+
+    #[test]
+    fn scaling_changes_row_counts() {
+        let db = generate(TpchConfig { scale: 2.0, seed: 1 });
+        assert_eq!(db.get("customer").unwrap().len(), 60);
+        assert_eq!(db.get("lineitem").unwrap().len(), 240);
+        // Region is capped by the name pool.
+        assert_eq!(db.get("region").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(TpchConfig { scale: 1.0, seed: 9 });
+        let b = generate(TpchConfig { scale: 1.0, seed: 9 });
+        assert_eq!(a, b);
+        let c = generate(TpchConfig { scale: 1.0, seed: 10 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let db = generate(TpchConfig::default());
+        let orders = db.get("orders").unwrap();
+        let n_customers = db.get("customer").unwrap().len() as i64;
+        for row in orders.rows() {
+            if let jim_relation::Value::Int(ck) = row[1] {
+                assert!((0..n_customers).contains(&ck));
+            } else {
+                panic!("o_custkey must be an int");
+            }
+        }
+    }
+
+    #[test]
+    fn customer_orders_join_is_inferable() {
+        let db = generate(TpchConfig::default());
+        let (rels, _) = db.join_view(&["customer", "orders"]).unwrap();
+        let p = Product::new(rels).unwrap();
+        let engine = Engine::new(p, &EngineOptions::default()).unwrap();
+        let u = engine.universe().clone();
+        let fk = u.id_by_names((0, "c_custkey"), (1, "o_custkey")).unwrap();
+        let goal = JoinPredicate::of(u, [fk]);
+        let mut oracle = GoalOracle::new(goal.clone());
+        let mut strategy = StrategyKind::LookaheadMinPrune.build();
+        let out = run_most_informative(engine, strategy.as_mut(), &mut oracle).unwrap();
+        assert!(out.resolved);
+        assert!(out
+            .inferred
+            .instance_equivalent(&goal, out.engine.product())
+            .unwrap());
+        // 30 × 45 = 1350 candidate tuples; a handful of questions suffice.
+        assert!(out.interactions <= 30, "{} interactions", out.interactions);
+    }
+}

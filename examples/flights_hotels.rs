@@ -1,0 +1,120 @@
+//! The paper's full demonstration on the Figure 1 instance: the four
+//! interaction types of Figure 3, and the "benefit of using a strategy"
+//! comparison of Figure 4, rendered as terminal tables and bars.
+//!
+//! Run with `cargo run --example flights_hotels`.
+
+use jim::core::session::{run_free, run_most_informative, run_top_k, RandomPicker};
+use jim::core::strategy::StrategyKind;
+use jim::core::{Engine, EngineOptions, GoalOracle, TupleClass};
+use jim::relation::display::product_table;
+use jim::relation::{Product, ProductId, Relation};
+use jim::synth::flights;
+
+fn fresh_engine<'a>(f: &'a Relation, h: &'a Relation) -> Engine<'a> {
+    let product = Product::new(vec![f, h]).expect("two non-empty relations");
+    Engine::new(product, &EngineOptions::default()).expect("small instance")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let f = flights::flights();
+    let h = flights::hotels();
+
+    // ---- Figure 1: the denormalized table the user sees -----------------
+    println!("== The instance (paper Figure 1) ==\n");
+    let engine = fresh_engine(&f, &h);
+    let ids: Vec<ProductId> = (0..12).map(ProductId).collect();
+    let marks: Vec<String> = ids.iter().map(|id| format!("({})", id.0 + 1)).collect();
+    println!("{}", product_table(engine.product(), &ids, Some(&marks)));
+
+    // ---- §2 walkthrough: labels (3)+, (7)−, (8)− identify Q2 ------------
+    println!("== §2 walkthrough ==\n");
+    let mut e = fresh_engine(&f, &h);
+    for (id, label) in flights::walkthrough_labels() {
+        let out = e.label(id, label)?;
+        println!(
+            "label ({}) as {label}: {} tuples grayed out, {} informative left",
+            id.0 + 1,
+            out.pruned,
+            out.informative_remaining
+        );
+    }
+    println!("\nunique consistent query: {}", e.result());
+    println!("{}\n", e.result().to_sql());
+
+    // Show the gray-out state as the demo UI would.
+    let marks: Vec<String> = ids
+        .iter()
+        .map(|&id| match e.label_of(id) {
+            Some(l) => format!("({}) {l}", id.0 + 1),
+            None => match e.classify(id).expect("id in range") {
+                TupleClass::Informative => format!("({})", id.0 + 1),
+                _ => format!("({}) ░", id.0 + 1), // grayed out
+            },
+        })
+        .collect();
+    println!("{}", product_table(e.product(), &ids, Some(&marks)));
+
+    // ---- Figures 3 & 4: the four interaction types ----------------------
+    println!("== The four interaction types (Figure 3), goal = Q2 ==\n");
+    let goal = flights::q2(fresh_engine(&f, &h).universe());
+
+    // (1) free labeling, no gray-out (random browsing user, avg of seeds)
+    let mode1: f64 = average(8, |seed| {
+        let out = run_free(
+            fresh_engine(&f, &h),
+            false,
+            &mut RandomPicker::seeded(seed),
+            &mut GoalOracle::new(goal.clone()),
+        )
+        .expect("consistent oracle");
+        out.interactions as f64
+    });
+
+    // (2) free labeling with interactive gray-out
+    let mode2: f64 = average(8, |seed| {
+        let out = run_free(
+            fresh_engine(&f, &h),
+            true,
+            &mut RandomPicker::seeded(seed),
+            &mut GoalOracle::new(goal.clone()),
+        )
+        .expect("consistent oracle");
+        out.interactions as f64
+    });
+
+    // (3) top-k proposals (k = 3)
+    let mut strategy = StrategyKind::LookaheadMinPrune.build();
+    let out3 = run_top_k(
+        fresh_engine(&f, &h),
+        3,
+        strategy.as_mut(),
+        &mut GoalOracle::new(goal.clone()),
+    )?;
+
+    // (4) most informative tuple, one at a time
+    let mut strategy = StrategyKind::LookaheadMinPrune.build();
+    let out4 = run_most_informative(
+        fresh_engine(&f, &h),
+        strategy.as_mut(),
+        &mut GoalOracle::new(goal.clone()),
+    )?;
+
+    println!("interactions needed to identify Q2 (Figure 4):\n");
+    bar("1. label anything (no gray-out)   ", mode1);
+    bar("2. label anything + gray-out      ", mode2);
+    bar("3. label top-3 proposals          ", out3.interactions as f64);
+    bar("4. label most informative (JIM)   ", out4.interactions as f64);
+
+    println!("\nfinal statistics (mode 4): {}", out4.stats());
+    Ok(())
+}
+
+fn average(seeds: u64, mut f: impl FnMut(u64) -> f64) -> f64 {
+    (0..seeds).map(&mut f).sum::<f64>() / seeds as f64
+}
+
+fn bar(label: &str, value: f64) {
+    let blocks = "#".repeat((value * 2.0).round() as usize);
+    println!("  {label} {value:>5.1} {blocks}");
+}

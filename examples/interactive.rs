@@ -1,0 +1,109 @@
+//! A real interactive JIM session in the terminal: *you* are the user with
+//! a join query in mind, JIM asks membership questions.
+//!
+//! Run with `cargo run --example interactive` and answer `y`/`n` (or `q` to
+//! give up). Pass two CSV paths to use your own data:
+//! `cargo run --example interactive -- flights.csv hotels.csv`.
+//!
+//! With stdin closed (e.g. CI), the session answers automatically using the
+//! paper's Q2 goal, so the example is always runnable.
+
+use jim::core::session::run_most_informative;
+use jim::core::strategy::StrategyKind;
+use jim::core::{Engine, EngineOptions, FnOracle, GoalOracle, Label, Oracle};
+use jim::relation::display::product_table;
+use jim::relation::{csv, Product, Relation};
+use jim::synth::flights;
+use std::io::{BufRead, Write};
+
+fn load(args: &[String]) -> Result<(Relation, Relation), Box<dyn std::error::Error>> {
+    if args.len() >= 2 {
+        let left = csv::read_relation("left", &std::fs::read_to_string(&args[0])?)?;
+        let right = csv::read_relation("right", &std::fs::read_to_string(&args[1])?)?;
+        Ok((left, right))
+    } else {
+        Ok((flights::flights(), flights::hotels()))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (left, right) = load(&args)?;
+    let product = Product::new(vec![&left, &right])?;
+    let engine = Engine::new(product, &EngineOptions::default())?;
+
+    println!("JIM — Join Inference Machine");
+    println!("============================\n");
+    println!(
+        "{} candidate tuples over {} × {}. Think of a way of pairing rows",
+        engine.stats().total_tuples,
+        left.name(),
+        right.name()
+    );
+    println!("(e.g. \"flight destination = hotel city\"), then answer the questions.\n");
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let interactive = atty_stdin();
+
+    let outcome = if interactive {
+        let mut oracle = FnOracle::new(move |tuple: &jim::relation::Tuple| loop {
+            println!("Is this tuple part of your join result?\n  {tuple}");
+            print!("  [y/n] > ");
+            std::io::stdout().flush().ok();
+            match lines.next() {
+                Some(Ok(line)) => match line.trim().to_ascii_lowercase().as_str() {
+                    "y" | "yes" | "+" => return Label::Positive,
+                    "n" | "no" | "-" => return Label::Negative,
+                    _ => println!("  please answer y or n"),
+                },
+                _ => {
+                    println!("  (stdin closed; answering 'n')");
+                    return Label::Negative;
+                }
+            }
+        });
+        let mut strategy = StrategyKind::LookaheadMinPrune.build();
+        run_most_informative(engine, strategy.as_mut(), &mut oracle)?
+    } else {
+        println!("(stdin is not a terminal: auto-answering with the paper's Q2 goal)\n");
+        let goal = flights::q2(engine.universe());
+        let mut auto = GoalOracle::new(goal);
+        let mut narrate = FnOracle::new(move |tuple: &jim::relation::Tuple| {
+            let answer = auto.label(tuple);
+            println!("Q: {tuple} ? {answer}");
+            answer
+        });
+        let mut strategy = StrategyKind::LookaheadMinPrune.build();
+        run_most_informative(engine, strategy.as_mut(), &mut narrate)?
+    };
+
+    println!("\nYour query, inferred after {} answers:", outcome.interactions);
+    println!("  {}\n", outcome.inferred);
+    println!("{}\n", outcome.inferred.to_sql());
+
+    let positives = outcome.engine.entailed_positive_ids();
+    println!("It selects {} tuples:", positives.len());
+    let shown: Vec<_> = positives.iter().copied().take(10).collect();
+    println!("{}", product_table(outcome.engine.product(), &shown, None));
+    if positives.len() > shown.len() {
+        println!("… and {} more", positives.len() - shown.len());
+    }
+    println!("{}", outcome.stats());
+    Ok(())
+}
+
+/// Crude TTY detection without external crates: respect an explicit
+/// JIM_AUTO=1 override, else assume interactive only when stdin has a
+/// terminal-ish environment.
+fn atty_stdin() -> bool {
+    if std::env::var("JIM_AUTO").as_deref() == Ok("1") {
+        return false;
+    }
+    // On Linux, /proc/self/fd/0 links to a tty device when interactive.
+    match std::fs::read_link("/proc/self/fd/0") {
+        Ok(path) => path.to_string_lossy().contains("/dev/pts")
+            || path.to_string_lossy().contains("/dev/tty"),
+        Err(_) => false,
+    }
+}

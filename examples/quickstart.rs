@@ -1,0 +1,65 @@
+//! Quickstart: infer a join predicate over two CSV files in ~40 lines.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! A simulated user has the query "flight destination = hotel city" in
+//! mind; JIM discovers it by asking membership questions about candidate
+//! flight/hotel pairs, pruning uninformative candidates after each answer.
+
+use jim::core::session::run_most_informative;
+use jim::core::strategy::StrategyKind;
+use jim::core::{Engine, EngineOptions, GoalOracle, JoinPredicate};
+use jim::relation::{csv, Product};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Load raw data — no keys, no constraints, no metadata.
+    let flights = csv::read_relation(
+        "flights",
+        "From,To,Airline\n\
+         Paris,Lille,AF\n\
+         Lille,NYC,AA\n\
+         NYC,Paris,AA\n\
+         Paris,NYC,AF\n",
+    )?;
+    let hotels = csv::read_relation(
+        "hotels",
+        "City,Discount\n\
+         NYC,AA\n\
+         Paris,\n\
+         Lille,AF\n",
+    )?;
+
+    // 2. The candidate tuples are the cartesian product.
+    let product = Product::new(vec![&flights, &hotels])?;
+    let engine = Engine::new(product, &EngineOptions::default())?;
+    println!(
+        "instance: {} candidate tuples, {} candidate atoms\n",
+        engine.stats().total_tuples,
+        engine.universe().len()
+    );
+
+    // 3. A user who knows what they want but not how to write it. (In the
+    //    demo this is a human; here it is the paper's simulated user.)
+    let universe = engine.universe().clone();
+    let goal = JoinPredicate::of(
+        universe.clone(),
+        [universe.id_by_names((0, "To"), (1, "City"))?],
+    );
+    let mut oracle = GoalOracle::new(goal.clone());
+
+    // 4. Run the interactive loop with a lookahead strategy.
+    let mut strategy = StrategyKind::LookaheadMinPrune.build();
+    let outcome = run_most_informative(engine, strategy.as_mut(), &mut oracle)?;
+
+    // 5. The inferred query, as SQL and as a GAV mapping.
+    println!("resolved after {} membership queries", outcome.interactions);
+    println!("\ninferred predicate:  {}", outcome.inferred);
+    println!("\nas SQL:\n{}", outcome.inferred.to_sql());
+    println!("\nas GAV mapping:\n{}", outcome.inferred.to_gav("Package"));
+    println!("\nprogress: {}", outcome.stats());
+
+    assert!(outcome
+        .inferred
+        .instance_equivalent(&goal, outcome.engine.product())?);
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # `jim` — Interactive Join Query Inference
+//!
+//! A Rust reproduction of **JIM (Join Inference Machine)**:
+//! Bonifati, Ciucanu & Staworko, *Interactive Join Query Inference with
+//! JIM*, PVLDB 7(13):1541–1544, VLDB 2014.
+//!
+//! JIM helps users who cannot write join predicates — raw data, no
+//! metadata, unfamiliar query languages — specify n-ary equi-joins by
+//! answering simple Boolean membership queries ("is this row part of what
+//! you want?"). It minimizes the number of questions by pruning
+//! *uninformative* tuples after every answer and by choosing the next
+//! question with a pluggable strategy (random / local / lookahead /
+//! optimal).
+//!
+//! This facade re-exports the three workspace crates:
+//!
+//! * [`relation`] (`jim-relation`) — the relational substrate: values,
+//!   schemas, relations, cartesian products, equi-join execution, CSV and
+//!   SQL/GAV rendering.
+//! * [`core`] (`jim-core`) — the inference machinery: atom universes,
+//!   signatures, the version space, strategies, sessions, oracles, cost
+//!   accounting.
+//! * [`synth`] (`jim-synth`) — the paper's workloads: the flights&hotels
+//!   example, the Set card deck, TPC-H-shaped data, random instances.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction inventory.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use jim_core as core;
+pub use jim_relation as relation;
+pub use jim_synth as synth;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use jim_core::prelude::*;
+    pub use jim_core::session::SessionOutcome;
+    pub use jim_relation::prelude::*;
+}

@@ -1,0 +1,176 @@
+//! Experiment E1: the paper's §2 walkthrough, line by line.
+//!
+//! Every factual claim the paper makes about the Figure 1 instance is
+//! asserted here. If these pass, the formal model matches the paper.
+
+use jim::core::{Engine, EngineOptions, Label, TupleClass};
+use jim::relation::{Product, ProductId};
+use jim::synth::flights::{self, paper_tuple};
+
+fn engine<'a>(
+    f: &'a jim::relation::Relation,
+    h: &'a jim::relation::Relation,
+) -> Engine<'a> {
+    let p = Product::new(vec![f, h]).unwrap();
+    Engine::new(p, &EngineOptions::default()).unwrap()
+}
+
+#[test]
+fn claim_q1_and_q2_both_consistent_with_tuple3_positive() {
+    // "Observe that both queries Q1 and Q2 are consistent with this
+    // labeling i.e., both queries select the tuple (3)."
+    let (f, h) = (flights::flights(), flights::hotels());
+    let mut e = engine(&f, &h);
+    e.label(paper_tuple(3), Label::Positive).unwrap();
+    assert!(e.consistent_with(&flights::q1(e.universe())));
+    assert!(e.consistent_with(&flights::q2(e.universe())));
+}
+
+#[test]
+fn claim_tuple4_uninformative_after_tuple3_positive() {
+    // "if the user labels next the tuple (4) with +, both queries remain
+    // consistent … the labeling of the tuple (4) does not contribute any
+    // new information".
+    let (f, h) = (flights::flights(), flights::hotels());
+    let mut e = engine(&f, &h);
+    e.label(paper_tuple(3), Label::Positive).unwrap();
+    assert_eq!(e.classify(paper_tuple(4)).unwrap(), TupleClass::CertainPositive);
+    assert!(!e.is_informative(paper_tuple(4)).unwrap());
+}
+
+#[test]
+fn claim_tuple8_distinguishes_q1_from_q2() {
+    // "a tuple whose labeling can distinguish between Q1 and Q2 is, for
+    // instance, the tuple (8) because Q1 selects it and Q2 does not."
+    let (f, h) = (flights::flights(), flights::hotels());
+    let e = engine(&f, &h);
+    let t8 = e.product().tuple(paper_tuple(8)).unwrap();
+    assert!(flights::q1(e.universe()).selects(&t8));
+    assert!(!flights::q2(e.universe()).selects(&t8));
+}
+
+#[test]
+fn claim_tuple8_negative_returns_q2_positive_returns_q1_like() {
+    // "If the user labels the tuple (8) with −, then the query Q2 is
+    // returned; otherwise Q1 is returned." (In context: after (3)+.)
+    let (f, h) = (flights::flights(), flights::hotels());
+
+    let mut e_neg = engine(&f, &h);
+    e_neg.label(paper_tuple(3), Label::Positive).unwrap();
+    e_neg.label(paper_tuple(8), Label::Negative).unwrap();
+    // Q2 must still be consistent and Q1 eliminated.
+    assert!(e_neg.consistent_with(&flights::q2(e_neg.universe())));
+    assert!(!e_neg.consistent_with(&flights::q1(e_neg.universe())));
+
+    let mut e_pos = engine(&f, &h);
+    e_pos.label(paper_tuple(3), Label::Positive).unwrap();
+    e_pos.label(paper_tuple(8), Label::Positive).unwrap();
+    // Both remain consistent predicates-wise? No: a positive (8) forces
+    // U = Θ(3) ∩ Θ(8) = {TC}, i.e. exactly Q1.
+    assert!(e_pos.consistent_with(&flights::q1(e_pos.universe())));
+    assert!(!e_pos.consistent_with(&flights::q2(e_pos.universe())));
+}
+
+#[test]
+fn claim_q2_contained_in_q1_needs_negatives() {
+    // "query Q2 is contained in Q1, and therefore, Q1 satisfies all
+    // positive examples that Q2 does. Consequently, the use of negative
+    // examples … is necessary to distinguish between these two."
+    let (f, h) = (flights::flights(), flights::hotels());
+    let e = engine(&f, &h);
+    let q1 = flights::q1(e.universe());
+    let q2 = flights::q2(e.universe());
+    assert!(q2.contained_in(&q1));
+
+    // Label every tuple Q2 selects as positive: Q1 remains consistent, so
+    // positives alone cannot identify Q2.
+    let mut e2 = engine(&f, &h);
+    for id in q2.eval(e2.product()).unwrap() {
+        e2.label(id, Label::Positive).unwrap();
+    }
+    assert!(e2.consistent_with(&q1));
+    assert!(e2.consistent_with(&q2));
+    assert!(!e2.is_resolved());
+}
+
+#[test]
+fn claim_labels_3_7_8_leave_unique_predicate_q2() {
+    // "for the tuples in Figure 1, assuming that (3) is a positive example,
+    // and (7) and (8) are negative examples, there is only one consistent
+    // join predicate (i.e., the above Q2)."
+    let (f, h) = (flights::flights(), flights::hotels());
+    let mut e = engine(&f, &h);
+    for (id, label) in flights::walkthrough_labels() {
+        e.label(id, label).unwrap();
+    }
+    assert!(e.is_resolved());
+    assert_eq!(e.result(), flights::q2(e.universe()));
+    // And the consistent class is literally a singleton.
+    let class = jim::core::equivalence::consistent_class(&e, 1 << 10).unwrap();
+    assert_eq!(class.len(), 1);
+    assert_eq!(class[0], flights::q2(e.universe()));
+}
+
+#[test]
+fn claim_label_12_positive_prunes_3_4_7() {
+    // "assume that Jim asked the user to label the tuple (12). If the user
+    // labels it as a positive example, we are able to prune the tuples that
+    // become uninformative: (3), (4), (7)."
+    let (f, h) = (flights::flights(), flights::hotels());
+    let mut e = engine(&f, &h);
+    e.label(paper_tuple(12), Label::Positive).unwrap();
+    let mut pruned: Vec<u64> = (1..=12)
+        .filter(|&k| k != 12)
+        .filter(|&k| e.classify(paper_tuple(k)).unwrap().is_certain())
+        .collect();
+    pruned.sort_unstable();
+    assert_eq!(pruned, vec![3, 4, 7]);
+}
+
+#[test]
+fn claim_label_12_negative_prunes_1_5_9() {
+    // "Conversely, if the user labels tuple (12) as a negative example, we
+    // are able to prune the uninformative tuples: (1), (5), (9)."
+    let (f, h) = (flights::flights(), flights::hotels());
+    let mut e = engine(&f, &h);
+    e.label(paper_tuple(12), Label::Negative).unwrap();
+    let mut pruned: Vec<u64> = (1..=12)
+        .filter(|&k| k != 12)
+        .filter(|&k| e.classify(paper_tuple(k)).unwrap().is_certain())
+        .collect();
+    pruned.sort_unstable();
+    assert_eq!(pruned, vec![1, 5, 9]);
+}
+
+#[test]
+fn figure1_product_matches_paper_rows() {
+    // The twelve rows of Figure 1, in order.
+    let expected = [
+        ("Paris", "Lille", "AF", "NYC", "AA"),
+        ("Paris", "Lille", "AF", "Paris", ""),
+        ("Paris", "Lille", "AF", "Lille", "AF"),
+        ("Lille", "NYC", "AA", "NYC", "AA"),
+        ("Lille", "NYC", "AA", "Paris", ""),
+        ("Lille", "NYC", "AA", "Lille", "AF"),
+        ("NYC", "Paris", "AA", "NYC", "AA"),
+        ("NYC", "Paris", "AA", "Paris", ""),
+        ("NYC", "Paris", "AA", "Lille", "AF"),
+        ("Paris", "NYC", "AF", "NYC", "AA"),
+        ("Paris", "NYC", "AF", "Paris", ""),
+        ("Paris", "NYC", "AF", "Lille", "AF"),
+    ];
+    let f = flights::flights();
+    let h = flights::hotels();
+    let p = Product::new(vec![&f, &h]).unwrap();
+    assert_eq!(p.size(), 12);
+    for (i, row) in expected.iter().enumerate() {
+        let t = p.tuple(ProductId(i as u64)).unwrap();
+        let rendered: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![row.0, row.1, row.2, row.3, row.4],
+            "paper tuple ({})",
+            i + 1
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Property-based tests (proptest) for the core invariants listed in
+//! DESIGN.md §8:
+//!
+//! * bitset algebra laws,
+//! * hash join ≡ nested-loop join,
+//! * CSV round-trips,
+//! * signature monotonicity under `U`-restriction,
+//! * soundness / termination / correctness of inference on random
+//!   instances with random goals,
+//! * version-space counting consistency (inclusion–exclusion vs brute
+//!   force).
+
+use jim::core::session::run_most_informative;
+use jim::core::strategy::StrategyKind;
+use jim::core::{AtomSet, Engine, EngineOptions, GoalOracle, JoinPredicate, VersionSpace};
+use jim::relation::{
+    csv, DataType, JoinSpec, Product, Relation, RelationSchema, Tuple, Value,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- fixtures
+
+/// A random relation: `rows × arity` small-domain integers.
+fn arb_relation(
+    name: &'static str,
+    arity: std::ops::RangeInclusive<usize>,
+    rows: std::ops::RangeInclusive<usize>,
+    domain: i64,
+) -> impl Strategy<Value = Relation> {
+    (arity, rows).prop_flat_map(move |(a, r)| {
+        proptest::collection::vec(proptest::collection::vec(0..domain, a), r).prop_map(
+            move |data| {
+                let attrs: Vec<(String, DataType)> = (0..a)
+                    .map(|i| (format!("{name}_c{i}"), DataType::Int))
+                    .collect();
+                let refs: Vec<(&str, DataType)> =
+                    attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                let schema = RelationSchema::of(name, &refs).unwrap();
+                let rows = data
+                    .into_iter()
+                    .map(|vals| Tuple::new(vals.into_iter().map(Value::Int).collect()))
+                    .collect();
+                Relation::new(schema, rows).unwrap()
+            },
+        )
+    })
+}
+
+fn arb_bitset(bits: usize) -> impl Strategy<Value = AtomSet> {
+    proptest::collection::vec(any::<bool>(), bits).prop_map(move |mask| {
+        AtomSet::from_indices(
+            bits,
+            mask.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i),
+        )
+    })
+}
+
+// ------------------------------------------------------------ bitset laws
+
+proptest! {
+    #[test]
+    fn bitset_intersection_is_lower_bound(a in arb_bitset(70), b in arb_bitset(70)) {
+        let i = a.intersection(&b);
+        prop_assert!(i.is_subset(&a));
+        prop_assert!(i.is_subset(&b));
+        prop_assert_eq!(i.len(), a.intersection_len(&b));
+    }
+
+    #[test]
+    fn bitset_union_is_upper_bound(a in arb_bitset(70), b in arb_bitset(70)) {
+        let u = a.union(&b);
+        prop_assert!(a.is_subset(&u));
+        prop_assert!(b.is_subset(&u));
+        // |A ∪ B| = |A| + |B| − |A ∩ B|
+        prop_assert_eq!(u.len() + a.intersection_len(&b), a.len() + b.len());
+    }
+
+    #[test]
+    fn bitset_difference_partitions(a in arb_bitset(70), b in arb_bitset(70)) {
+        let d = a.difference(&b);
+        prop_assert!(d.is_subset(&a));
+        prop_assert!(!d.intersects(&b) || d.intersection_len(&b) == 0);
+        prop_assert_eq!(d.len() + a.intersection_len(&b), a.len());
+    }
+
+    #[test]
+    fn bitset_subset_antisymmetry(a in arb_bitset(40), b in arb_bitset(40)) {
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bitset_iter_round_trip(a in arb_bitset(129)) {
+        let rebuilt = AtomSet::from_indices(129, a.iter());
+        prop_assert_eq!(a, rebuilt);
+    }
+}
+
+// --------------------------------------------------------- join evaluators
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_join_equals_nested_loop(
+        r1 in arb_relation("p", 1..=3, 0..=6, 3),
+        r2 in arb_relation("q", 1..=3, 0..=6, 3),
+        pair_mask in proptest::collection::vec(any::<bool>(), 9),
+    ) {
+        let p = Product::new(vec![&r1, &r2]).unwrap();
+        let schema = p.schema();
+        // Build a join spec from the mask over candidate cross pairs.
+        let mut pairs = Vec::new();
+        let a1 = r1.schema().arity();
+        let mut k = 0;
+        for i in 0..a1 {
+            for j in 0..r2.schema().arity() {
+                if *pair_mask.get(k).unwrap_or(&false) {
+                    pairs.push((
+                        schema.global(0, i).unwrap(),
+                        schema.global(1, j).unwrap(),
+                    ));
+                }
+                k += 1;
+            }
+        }
+        let spec = JoinSpec::new(pairs);
+        let reference = spec.eval_nested_loop(&p).unwrap();
+        prop_assert_eq!(spec.eval_hash(&p).unwrap(), reference.clone());
+        // Sort-merge is the third independent evaluator (binary joins).
+        prop_assert_eq!(spec.eval_sort_merge(&p).unwrap(), reference);
+    }
+
+    #[test]
+    fn csv_round_trip(r in arb_relation("t", 1..=4, 0..=8, 100)) {
+        let text = csv::write_relation(&r);
+        let back = csv::read_relation("t", &text).unwrap();
+        prop_assert_eq!(back.len(), r.len());
+        // Int columns survive exactly (no value had text form).
+        for (a, b) in r.rows().iter().zip(back.rows()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+// ----------------------------------------------------- version-space laws
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inclusion–exclusion count == brute-force enumeration count.
+    #[test]
+    fn counting_matches_enumeration(
+        upper_bits in 1usize..=8,
+        negs in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 8), 0..=4),
+    ) {
+        // Build a universe of 8 atoms via a 2-relation schema is overkill;
+        // test VersionSpace math directly through a synthetic instance.
+        let r1 = Relation::new(
+            RelationSchema::of(
+                "a",
+                &[("x0", DataType::Int), ("x1", DataType::Int), ("x2", DataType::Int), ("x3", DataType::Int)],
+            ).unwrap(),
+            vec![Tuple::new(vec![Value::Int(0); 4])],
+        ).unwrap();
+        let r2 = r1.clone();
+        let p = Product::new(vec![&r1, &r2]).unwrap();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let universe = e.universe().clone();
+        let n = universe.len();
+        prop_assume!(n >= 8);
+
+        let mut vs = VersionSpace::new(universe);
+        // Restrict upper by a synthetic positive.
+        let upper = AtomSet::from_indices(n, 0..upper_bits.min(n));
+        // Fill the rest so the positive's signature = upper ∪ nothing else.
+        vs.add_positive(jim::relation::ProductId(0), &upper).unwrap();
+        for neg in &negs {
+            let sig = AtomSet::from_indices(
+                n,
+                neg.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i),
+            );
+            // Skip inconsistent negatives (certain-positive signatures).
+            let _ = vs.add_negative(jim::relation::ProductId(1), &sig);
+        }
+        let enumerated = vs.enumerate_consistent(1 << 12).unwrap().len() as u128;
+        prop_assert_eq!(vs.count_consistent_exact(), Some(enumerated));
+        if let Some(frac) = vs.consistent_fraction() {
+            let expect = enumerated as f64 / (1u64 << vs.upper().len()) as f64;
+            prop_assert!((frac - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Restriction is monotone: shrinking U never grows a restricted sig.
+    #[test]
+    fn restriction_monotone(
+        sig in arb_bitset(16),
+        u1 in arb_bitset(16),
+        u2 in arb_bitset(16),
+    ) {
+        let tighter = u1.intersection(&u2);
+        let r1 = sig.intersection(&u1);
+        let r2 = sig.intersection(&tighter);
+        prop_assert!(r2.is_subset(&r1));
+    }
+}
+
+// -------------------------------------------- inference run-level invariants
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness + termination + correctness on random instances & goals,
+    /// for a lookahead and a local strategy and the random baseline.
+    #[test]
+    fn inference_invariants(
+        r1 in arb_relation("p", 2..=3, 2..=8, 3),
+        r2 in arb_relation("q", 2..=3, 2..=8, 3),
+        goal_pick in any::<u64>(),
+        strat_pick in 0usize..3,
+    ) {
+        let p = Product::new(vec![&r1, &r2]).unwrap();
+        prop_assume!(!p.is_empty());
+        let engine = Engine::new(p.clone(), &EngineOptions::default()).unwrap();
+        let universe = engine.universe().clone();
+
+        // Goal: the signature of a random product tuple (always satisfiable),
+        // possibly thinned to a sub-predicate.
+        let witness = jim::relation::ProductId(goal_pick % p.size());
+        let tuple = p.tuple(witness).unwrap();
+        let full = universe.signature(&tuple);
+        let kept: Vec<usize> = full
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| goal_pick >> (i % 60) & 1 == 1)
+            .map(|(_, atom)| atom)
+            .collect();
+        let atoms = AtomSet::from_indices(universe.len(), kept);
+        let goal = JoinPredicate::new(universe.clone(), atoms);
+
+        let kind = [
+            StrategyKind::LookaheadMinPrune,
+            StrategyKind::LocalGeneral,
+            StrategyKind::Random { seed: goal_pick },
+        ][strat_pick];
+
+        let total = engine.stats().total_tuples;
+        let mut strategy = kind.build();
+        let mut oracle = GoalOracle::new(goal.clone());
+        let out = run_most_informative(engine, strategy.as_mut(), &mut oracle).unwrap();
+
+        // Termination within the trivial budget.
+        prop_assert!(out.resolved);
+        prop_assert!(out.interactions <= total);
+        // Soundness: goal never eliminated.
+        prop_assert!(out.engine.consistent_with(&goal));
+        // Correctness: instance-equivalent result.
+        prop_assert!(out.inferred.instance_equivalent(&goal, out.engine.product()).unwrap());
+        // The statistics add up.
+        let s = out.engine.stats();
+        prop_assert_eq!(
+            s.labeled_positive + s.labeled_negative + s.pruned,
+            s.total_tuples
+        );
+    }
+
+    /// Every intermediate classification is honest: a certain-positive
+    /// tuple is selected by the goal, a certain-negative one is not
+    /// (given truthful answers so far).
+    #[test]
+    fn certainty_is_honest(
+        r1 in arb_relation("p", 2..=2, 2..=6, 3),
+        r2 in arb_relation("q", 2..=2, 2..=6, 3),
+        goal_pick in any::<u64>(),
+    ) {
+        use jim::core::{Label, TupleClass};
+        let p = Product::new(vec![&r1, &r2]).unwrap();
+        prop_assume!(!p.is_empty());
+        let mut engine = Engine::new(p.clone(), &EngineOptions::default()).unwrap();
+        let universe = engine.universe().clone();
+        let witness = jim::relation::ProductId(goal_pick % p.size());
+        let goal = JoinPredicate::new(
+            universe.clone(),
+            universe.signature(&p.tuple(witness).unwrap()),
+        );
+
+        let mut strategy = StrategyKind::LookaheadMinPrune.build();
+        loop {
+            // Check every tuple's classification against the goal.
+            for (id, tuple) in p.iter() {
+                match engine.classify(id).unwrap() {
+                    TupleClass::CertainPositive => prop_assert!(goal.selects(&tuple)),
+                    TupleClass::CertainNegative => prop_assert!(!goal.selects(&tuple)),
+                    TupleClass::Informative => {}
+                }
+            }
+            let Some(next) = strategy.choose(&engine) else { break };
+            let t = p.tuple(next).unwrap();
+            engine.label(next, Label::from_bool(goal.selects(&t))).unwrap();
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The demo's Figure-4 feature as a library workflow: record a free-form
+//! session, then *replay-compare* — "how many interactions would she have
+//! done if she had used a strategy?"
+
+use jim::core::session::{run_free, run_most_informative, RandomPicker};
+use jim::core::strategy::StrategyKind;
+use jim::core::{Engine, EngineOptions, GoalOracle, Transcript};
+use jim::relation::Product;
+use jim::synth::flights;
+
+fn fresh_engine<'a>(
+    f: &'a jim::relation::Relation,
+    h: &'a jim::relation::Relation,
+) -> Engine<'a> {
+    let p = Product::new(vec![f, h]).unwrap();
+    Engine::new(p, &EngineOptions::default()).unwrap()
+}
+
+#[test]
+fn figure4_report_free_session_vs_strategy() {
+    let (f, h) = (flights::flights(), flights::hotels());
+    let goal = flights::q2(fresh_engine(&f, &h).universe());
+
+    // 1. The attendee labels freely (mode 1); the session is recorded.
+    let free = run_free(
+        fresh_engine(&f, &h),
+        false,
+        &mut RandomPicker::seeded(99),
+        &mut GoalOracle::new(goal.clone()),
+    )
+    .unwrap();
+    let transcript = Transcript::capture(&free.engine);
+    assert_eq!(transcript.labels.len() as u64, free.interactions);
+
+    // 2. Replay verification: the recorded labels reproduce the state.
+    let mut replayed = fresh_engine(&f, &h);
+    transcript.replay(&mut replayed).unwrap();
+    assert_eq!(replayed.result(), free.engine.result());
+    assert_eq!(replayed.is_resolved(), free.engine.is_resolved());
+
+    // 3. The Figure-4 bar: what a strategy would have needed for the same
+    //    goal on the same instance.
+    let mut strategy = StrategyKind::LookaheadMinPrune.build();
+    let strategic = run_most_informative(
+        fresh_engine(&f, &h),
+        strategy.as_mut(),
+        &mut GoalOracle::new(goal.clone()),
+    )
+    .unwrap();
+    assert!(
+        strategic.interactions <= free.interactions,
+        "strategy {} vs free {}",
+        strategic.interactions,
+        free.interactions
+    );
+    // Both identify instance-equivalent queries.
+    assert!(strategic
+        .inferred
+        .instance_equivalent(&free.inferred, strategic.engine.product())
+        .unwrap());
+}
+
+#[test]
+fn transcripts_are_portable_across_equal_instances() {
+    // Two engines built from independently constructed (but equal) data:
+    // a transcript recorded on one replays on the other.
+    let (f1, h1) = (flights::flights(), flights::hotels());
+    let (f2, h2) = (flights::flights(), flights::hotels());
+    let mut a = fresh_engine(&f1, &h1);
+    for (id, label) in flights::walkthrough_labels() {
+        a.label(id, label).unwrap();
+    }
+    let t = Transcript::capture(&a);
+
+    let mut b = fresh_engine(&f2, &h2);
+    t.replay(&mut b).unwrap();
+    assert!(b.is_resolved());
+    assert_eq!(b.result(), flights::q2(b.universe()));
+}
+
+#[test]
+fn interrupted_session_resumes_from_transcript() {
+    // Crash-resume: a session is cut short; its transcript restores the
+    // exact frontier and the remaining questions finish the job.
+    let (f, h) = (flights::flights(), flights::hotels());
+    let goal = flights::q2(fresh_engine(&f, &h).universe());
+
+    // Run only two answers, then "crash".
+    let mut partial = fresh_engine(&f, &h);
+    let mut strategy = StrategyKind::LookaheadMinPrune.build();
+    let mut oracle = GoalOracle::new(goal.clone());
+    for _ in 0..2 {
+        use jim::core::{Label, Oracle};
+        let id = strategy.choose(&partial).unwrap();
+        let t = partial.product().tuple(id).unwrap();
+        let l: Label = oracle.label(&t);
+        partial.label(id, l).unwrap();
+    }
+    let snapshot = Transcript::capture(&partial);
+    assert_eq!(snapshot.labels.len(), 2);
+
+    // Resume on a fresh engine and finish.
+    let mut resumed = fresh_engine(&f, &h);
+    snapshot.replay(&mut resumed).unwrap();
+    let mut strategy = StrategyKind::LookaheadMinPrune.build();
+    let mut oracle = GoalOracle::new(goal.clone());
+    let out = run_most_informative(resumed, strategy.as_mut(), &mut oracle).unwrap();
+    assert!(out.resolved);
+    assert!(out
+        .inferred
+        .instance_equivalent(&goal, out.engine.product())
+        .unwrap());
+}
