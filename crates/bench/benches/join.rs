@@ -6,27 +6,44 @@ use jim_relation::{spec_by_names, Product};
 use jim_synth::tpch;
 
 fn bench_join_evaluators(c: &mut Criterion) {
-    let db = tpch::generate(tpch::TpchConfig { scale: 2.0, seed: 3 });
-    let (rels, schema) = db.join_view(&["orders", "lineitem"]).expect("relations exist");
+    let db = tpch::generate(tpch::TpchConfig {
+        scale: 2.0,
+        seed: 3,
+    });
+    let (rels, schema) = db
+        .join_view(&["orders", "lineitem"])
+        .expect("relations exist");
     let product = Product::new(rels).expect("non-empty");
     let fk = spec_by_names(&schema, &[((0, "o_orderkey"), (1, "l_orderkey"))]).expect("attrs");
 
     let mut group = c.benchmark_group("join_fk");
     group.sample_size(20);
     group.bench_function("hash", |b| {
-        b.iter(|| fk.eval_hash(std::hint::black_box(&product)).expect("valid spec"))
+        b.iter(|| {
+            fk.eval_hash(std::hint::black_box(&product))
+                .expect("valid spec")
+        })
     });
     group.bench_function("nested_loop", |b| {
-        b.iter(|| fk.eval_nested_loop(std::hint::black_box(&product)).expect("valid spec"))
+        b.iter(|| {
+            fk.eval_nested_loop(std::hint::black_box(&product))
+                .expect("valid spec")
+        })
     });
     group.bench_function("sort_merge", |b| {
-        b.iter(|| fk.eval_sort_merge(std::hint::black_box(&product)).expect("valid spec"))
+        b.iter(|| {
+            fk.eval_sort_merge(std::hint::black_box(&product))
+                .expect("valid spec")
+        })
     });
     group.finish();
 }
 
 fn bench_three_way(c: &mut Criterion) {
-    let db = tpch::generate(tpch::TpchConfig { scale: 1.0, seed: 3 });
+    let db = tpch::generate(tpch::TpchConfig {
+        scale: 1.0,
+        seed: 3,
+    });
     let (rels, schema) = db
         .join_view(&["customer", "orders", "lineitem"])
         .expect("relations exist");
@@ -43,7 +60,10 @@ fn bench_three_way(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_3way");
     group.sample_size(10);
     group.bench_function("hash", |b| {
-        b.iter(|| spec.eval_hash(std::hint::black_box(&product)).expect("valid spec"))
+        b.iter(|| {
+            spec.eval_hash(std::hint::black_box(&product))
+                .expect("valid spec")
+        })
     });
     group.finish();
 }

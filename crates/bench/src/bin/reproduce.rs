@@ -13,17 +13,45 @@ type Entry = (&'static str, &'static str, fn() -> Table);
 
 fn catalog() -> Vec<Entry> {
     vec![
-        ("e1", "paper §2 walkthrough (Figure 1)", ex::e1_walkthrough as fn() -> Table),
-        ("e2", "benefit of a strategy (Figures 3–4)", ex::e2_interaction_modes),
-        ("e3", "strategy comparison across complexity", ex::e3_strategy_comparison),
-        ("e4", "scalability: time per interaction", ex::e4_scalability),
-        ("e5", "joining sets of pictures (Figure 5)", ex::e5_set_cards),
+        (
+            "e1",
+            "paper §2 walkthrough (Figure 1)",
+            ex::e1_walkthrough as fn() -> Table,
+        ),
+        (
+            "e2",
+            "benefit of a strategy (Figures 3–4)",
+            ex::e2_interaction_modes,
+        ),
+        (
+            "e3",
+            "strategy comparison across complexity",
+            ex::e3_strategy_comparison,
+        ),
+        (
+            "e4",
+            "scalability: time per interaction",
+            ex::e4_scalability,
+        ),
+        (
+            "e5",
+            "joining sets of pictures (Figure 5)",
+            ex::e5_set_cards,
+        ),
         ("e6", "optimal planner blow-up", ex::e6_optimal),
         ("e7", "crowd cost under noise", ex::e7_crowd_cost),
         ("a1", "ablation: pruning off/on", ex::a1_pruning_ablation),
         ("a3", "ablation: entropy order α", ex::a3_alpha_sweep),
-        ("a4", "ablation: lookahead depth / hybrid", ex::a4_lookahead_depth),
-        ("a5", "ablation: statistics-guided strategy", ex::a5_data_aware),
+        (
+            "a4",
+            "ablation: lookahead depth / hybrid",
+            ex::a4_lookahead_depth,
+        ),
+        (
+            "a5",
+            "ablation: statistics-guided strategy",
+            ex::a5_data_aware,
+        ),
     ]
 }
 

@@ -23,10 +23,19 @@ pub fn e1_walkthrough() -> Table {
     let mut engine = wb.engine();
     let mut t = Table::new(
         "E1 — paper §2 walkthrough (Figure 1 instance)",
-        &["step", "tuple", "label", "grayed out", "informative left", "consistent queries"],
+        &[
+            "step",
+            "tuple",
+            "label",
+            "grayed out",
+            "informative left",
+            "consistent queries",
+        ],
     );
     for (step, (id, label)) in flights::walkthrough_labels().into_iter().enumerate() {
-        let out = engine.label(id, label).expect("paper labels are consistent");
+        let out = engine
+            .label(id, label)
+            .expect("paper labels are consistent");
         let count = engine
             .version_space()
             .count_consistent_exact()
@@ -86,7 +95,14 @@ fn e2_workloads() -> Vec<(&'static str, Workbench, JoinPredicate)> {
 pub fn e2_interaction_modes() -> Table {
     let mut t = Table::new(
         "E2 — benefit of using a strategy (Figures 3–4): interactions per mode",
-        &["workload", "tuples", "1 free", "2 gray-out", "3 top-3", "4 most-informative"],
+        &[
+            "workload",
+            "tuples",
+            "1 free",
+            "2 gray-out",
+            "3 top-3",
+            "4 most-informative",
+        ],
     );
     for (name, wb, goal) in e2_workloads() {
         let total = wb.engine().stats().total_tuples;
@@ -167,7 +183,14 @@ pub fn e3_strategy_comparison() -> Table {
 pub fn e4_scalability() -> Table {
     let mut t = Table::new(
         "E4 — scalability: time per interaction vs product size (customer × orders)",
-        &["scale", "product", "strategy", "interactions", "mean choose", "total"],
+        &[
+            "scale",
+            "product",
+            "strategy",
+            "interactions",
+            "mean choose",
+            "total",
+        ],
     );
     for scale in [0.5f64, 1.0, 2.0, 4.0] {
         let db = tpch::generate(tpch::TpchConfig { scale, seed: 21 });
@@ -209,9 +232,17 @@ pub fn e5_set_cards() -> Table {
         let db = jim_relation::Database::from_relations(vec![deck]).expect("one relation");
         let wb = Workbench::new(db, &["cards", "cards"]);
         let pairs = wb.product().size();
-        for features in [&["color"][..], &["color", "shading"], &["number", "symbol", "shading"]] {
+        for features in [
+            &["color"][..],
+            &["color", "shading"],
+            &["number", "symbol", "shading"],
+        ] {
             let goal = setgame::same_features_goal(wb.engine().universe(), features);
-            for kind in [DEFAULT_STRATEGY, StrategyKind::LocalGeneral, StrategyKind::Random { seed: 4 }] {
+            for kind in [
+                DEFAULT_STRATEGY,
+                StrategyKind::LocalGeneral,
+                StrategyKind::Random { seed: 4 },
+            ] {
                 let m = run_instrumented(&wb, kind, &goal);
                 assert!(m.correct, "E5 inference incorrect for {kind}");
                 t.push(vec![
@@ -296,7 +327,14 @@ pub fn e6_optimal_with_budget(planner_budget: usize) -> Table {
 pub fn e7_crowd_cost() -> Table {
     let mut t = Table::new(
         "E7 — crowd cost: strategy × worker error × votes (TPC-H cust⋈ord, 10 trials, 1¢/question)",
-        &["strategy", "error", "votes", "success", "mean questions", "mean cost"],
+        &[
+            "strategy",
+            "error",
+            "votes",
+            "success",
+            "mean questions",
+            "mean cost",
+        ],
     );
     let pricing = CostModel::cents_per_question(1);
     let wb = Workbench::new(

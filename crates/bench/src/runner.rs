@@ -20,23 +20,26 @@ pub struct Workbench {
 impl Workbench {
     /// Bundle a database with the join view to infer over.
     pub fn new(db: Database, view: &[&str]) -> Self {
-        Workbench { db, view: view.iter().map(|s| s.to_string()).collect() }
+        Workbench {
+            db,
+            view: view.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// The cartesian product of the view.
-    pub fn product(&self) -> Product<'_> {
+    pub fn product(&self) -> Product {
         let names: Vec<&str> = self.view.iter().map(String::as_str).collect();
         let (rels, _) = self.db.join_view(&names).expect("view names exist");
         Product::new(rels).expect("non-empty view")
     }
 
     /// A fresh engine over the full product.
-    pub fn engine(&self) -> Engine<'_> {
+    pub fn engine(&self) -> Engine {
         self.engine_with(&EngineOptions::default())
     }
 
     /// A fresh engine with custom options.
-    pub fn engine_with(&self, options: &EngineOptions) -> Engine<'_> {
+    pub fn engine_with(&self, options: &EngineOptions) -> Engine {
         Engine::new(self.product(), options).expect("product within bounds")
     }
 }
@@ -70,9 +73,14 @@ pub fn run_instrumented(
         let pick = strategy.choose(&engine);
         choose_total += t0.elapsed();
         let Some(id) = pick else { break };
-        let tuple = engine.product().tuple(id).expect("strategy returns valid ids");
+        let tuple = engine
+            .product()
+            .tuple(id)
+            .expect("strategy returns valid ids");
         let label = Label::from_bool(goal.selects(&tuple));
-        engine.label(id, label).expect("truthful labels are consistent");
+        engine
+            .label(id, label)
+            .expect("truthful labels are consistent");
         interactions += 1;
     }
     let total = start.elapsed();

@@ -99,7 +99,12 @@ impl AtomUniverse {
             .enumerate()
             .map(|(i, &a)| (a, AtomId(i as u32)))
             .collect();
-        Ok(Arc::new(AtomUniverse { schema, scope, atoms, index }))
+        Ok(Arc::new(AtomUniverse {
+            schema,
+            scope,
+            atoms,
+            index,
+        }))
     }
 
     /// Default universe: cross-relation, type-compatible pairs.
@@ -187,8 +192,12 @@ impl AtomUniverse {
         let atom = self.atom(id);
         format!(
             "{} ≍ {}",
-            self.schema.qualified_name(atom.a).expect("atom attrs in range"),
-            self.schema.qualified_name(atom.b).expect("atom attrs in range"),
+            self.schema
+                .qualified_name(atom.a)
+                .expect("atom attrs in range"),
+            self.schema
+                .qualified_name(atom.b)
+                .expect("atom attrs in range"),
         )
     }
 
@@ -234,8 +243,11 @@ mod tests {
                 ],
             )
             .unwrap(),
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
         ])
         .unwrap()
     }

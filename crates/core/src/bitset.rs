@@ -79,19 +79,31 @@ impl AtomSet {
 
     /// True iff atom `i` is present.
     pub fn contains(&self, i: usize) -> bool {
-        debug_assert!(i < self.nbits as usize, "index {i} out of capacity {}", self.nbits);
+        debug_assert!(
+            i < self.nbits as usize,
+            "index {i} out of capacity {}",
+            self.nbits
+        );
         (self.blocks[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Add atom `i`. Panics (debug) if out of capacity.
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.nbits as usize, "index {i} out of capacity {}", self.nbits);
+        assert!(
+            i < self.nbits as usize,
+            "index {i} out of capacity {}",
+            self.nbits
+        );
         self.blocks[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Remove atom `i`.
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.nbits as usize, "index {i} out of capacity {}", self.nbits);
+        assert!(
+            i < self.nbits as usize,
+            "index {i} out of capacity {}",
+            self.nbits
+        );
         self.blocks[i / 64] &= !(1u64 << (i % 64));
     }
 
@@ -179,7 +191,11 @@ impl AtomSet {
 
     /// Iterate over present atom indices in increasing order.
     pub fn iter(&self) -> AtomSetIter<'_> {
-        AtomSetIter { set: self, word: 0, bits: self.blocks.first().copied().unwrap_or(0) }
+        AtomSetIter {
+            set: self,
+            word: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
     }
 }
 

@@ -19,12 +19,16 @@ pub struct CostModel {
 impl CostModel {
     /// A model priced in whole cents per question.
     pub fn cents_per_question(cents: u64) -> Self {
-        CostModel { price_per_question_centicents: cents * 100 }
+        CostModel {
+            price_per_question_centicents: cents * 100,
+        }
     }
 
     /// Total cost of `questions` elementary questions.
     pub fn cost(&self, questions: u64) -> Cost {
-        Cost { centicents: questions * self.price_per_question_centicents }
+        Cost {
+            centicents: questions * self.price_per_question_centicents,
+        }
     }
 }
 
@@ -54,7 +58,9 @@ impl Cost {
 
     /// Saturating difference (how much one strategy saves over another).
     pub fn saving_over(&self, more_expensive: &Cost) -> Cost {
-        Cost { centicents: more_expensive.centicents.saturating_sub(self.centicents) }
+        Cost {
+            centicents: more_expensive.centicents.saturating_sub(self.centicents),
+        }
     }
 }
 
@@ -62,7 +68,9 @@ impl std::ops::Add for Cost {
     type Output = Cost;
 
     fn add(self, rhs: Cost) -> Cost {
-        Cost { centicents: self.centicents + rhs.centicents }
+        Cost {
+            centicents: self.centicents + rhs.centicents,
+        }
     }
 }
 

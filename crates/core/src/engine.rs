@@ -30,7 +30,10 @@ pub struct EngineOptions {
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { scope: AtomScope::CrossRelation, max_product: 5_000_000 }
+        EngineOptions {
+            scope: AtomScope::CrossRelation,
+            max_product: 5_000_000,
+        }
     }
 }
 
@@ -84,8 +87,8 @@ pub struct Candidate {
 
 /// The interactive join-inference engine.
 #[derive(Debug, Clone)]
-pub struct Engine<'a> {
-    product: Product<'a>,
+pub struct Engine {
+    product: Product,
     universe: Arc<AtomUniverse>,
     vs: VersionSpace,
     groups: Vec<Group>,
@@ -94,9 +97,9 @@ pub struct Engine<'a> {
     stats: ProgressStats,
 }
 
-impl<'a> Engine<'a> {
+impl Engine {
     /// Build an engine over the full cartesian product of `product`.
-    pub fn new(product: Product<'a>, options: &EngineOptions) -> Result<Self> {
+    pub fn new(product: Product, options: &EngineOptions) -> Result<Self> {
         if product.size() > options.max_product {
             return Err(InferenceError::ProductTooLarge {
                 size: product.size(),
@@ -109,11 +112,7 @@ impl<'a> Engine<'a> {
 
     /// Build an engine over an explicit subset of product tuples (e.g. a
     /// uniform sample of a product too large to enumerate).
-    pub fn from_ids(
-        product: Product<'a>,
-        ids: &[ProductId],
-        options: &EngineOptions,
-    ) -> Result<Self> {
+    pub fn from_ids(product: Product, ids: &[ProductId], options: &EngineOptions) -> Result<Self> {
         let universe = AtomUniverse::new(product.schema().clone(), options.scope)?;
         let vs = VersionSpace::new(universe.clone());
 
@@ -127,7 +126,12 @@ impl<'a> Engine<'a> {
                 None => {
                     let class = vs.classify(&sig);
                     by_sig.insert(sig.clone(), groups.len());
-                    groups.push(Group { sig, ids: vec![id], class, labeled: 0 });
+                    groups.push(Group {
+                        sig,
+                        ids: vec![id],
+                        class,
+                        labeled: 0,
+                    });
                 }
             }
         }
@@ -139,14 +143,17 @@ impl<'a> Engine<'a> {
             groups,
             by_sig,
             labels: HashMap::new(),
-            stats: ProgressStats { total_tuples: ids.len() as u64, ..Default::default() },
+            stats: ProgressStats {
+                total_tuples: ids.len() as u64,
+                ..Default::default()
+            },
         };
         engine.refresh_counters();
         Ok(engine)
     }
 
     /// The product being inferred over.
-    pub fn product(&self) -> &Product<'a> {
+    pub fn product(&self) -> &Product {
         &self.product
     }
 
@@ -241,7 +248,11 @@ impl<'a> Engine<'a> {
             .into_iter()
             .map(|sig| {
                 let (count, rep) = agg[&sig];
-                Candidate { restricted_sig: sig, count, representative: rep }
+                Candidate {
+                    restricted_sig: sig,
+                    count,
+                    representative: rep,
+                }
             })
             .collect()
     }
@@ -346,7 +357,12 @@ impl<'a> Engine<'a> {
                 None => {
                     let class = self.vs.classify(&sig);
                     self.by_sig.insert(sig.clone(), self.groups.len());
-                    self.groups.push(Group { sig, ids: vec![id], class, labeled: 0 });
+                    self.groups.push(Group {
+                        sig,
+                        ids: vec![id],
+                        class,
+                        labeled: 0,
+                    });
                 }
             }
             added += 1;
@@ -417,6 +433,16 @@ mod tests {
     use super::*;
     use jim_relation::{tup, DataType, Relation, RelationSchema};
 
+    /// The session-store contract: an engine is a self-contained value that
+    /// can be kept in a concurrent map and handled by any worker thread.
+    #[test]
+    fn engine_is_send_sync_and_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Product>();
+        assert_send_sync::<crate::session::SessionOutcome>();
+    }
+
     fn flights() -> Relation {
         Relation::new(
             RelationSchema::of(
@@ -440,14 +466,21 @@ mod tests {
 
     fn hotels() -> Relation {
         Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap()
     }
 
-    fn engine<'a>(f: &'a Relation, h: &'a Relation) -> Engine<'a> {
+    fn engine(f: &Relation, h: &Relation) -> Engine {
         let p = Product::new(vec![f, h]).unwrap();
         Engine::new(p, &EngineOptions::default()).unwrap()
     }
@@ -488,10 +521,18 @@ mod tests {
         // Pruned tuples: (3), (4), (7) — plus the labeled (12) itself.
         assert_eq!(out.pruned, 4);
         for k in [3, 4, 7] {
-            assert_eq!(e.classify(t(k)).unwrap(), TupleClass::CertainPositive, "tuple {k}");
+            assert_eq!(
+                e.classify(t(k)).unwrap(),
+                TupleClass::CertainPositive,
+                "tuple {k}"
+            );
         }
         for k in [1, 2, 5, 6, 8, 9, 10, 11] {
-            assert_eq!(e.classify(t(k)).unwrap(), TupleClass::Informative, "tuple {k}");
+            assert_eq!(
+                e.classify(t(k)).unwrap(),
+                TupleClass::Informative,
+                "tuple {k}"
+            );
         }
     }
 
@@ -502,10 +543,18 @@ mod tests {
         let out = e.label(t(12), Label::Negative).unwrap();
         assert_eq!(out.pruned, 4); // (1),(5),(9) + (12) itself
         for k in [1, 5, 9] {
-            assert_eq!(e.classify(t(k)).unwrap(), TupleClass::CertainNegative, "tuple {k}");
+            assert_eq!(
+                e.classify(t(k)).unwrap(),
+                TupleClass::CertainNegative,
+                "tuple {k}"
+            );
         }
         for k in [2, 3, 4, 6, 7, 8, 10, 11] {
-            assert_eq!(e.classify(t(k)).unwrap(), TupleClass::Informative, "tuple {k}");
+            assert_eq!(
+                e.classify(t(k)).unwrap(),
+                TupleClass::Informative,
+                "tuple {k}"
+            );
         }
     }
 
@@ -520,12 +569,12 @@ mod tests {
         assert!(e.is_resolved());
         // The unique consistent predicate is Q2 = To≍City ∧ Airline≍Discount.
         let result = e.result();
-        assert_eq!(result.to_string(), "flights.To ≍ hotels.City ∧ flights.Airline ≍ hotels.Discount");
-        // And it selects exactly tuples (3),(4).
         assert_eq!(
-            e.entailed_positive_ids(),
-            vec![t(3), t(4)]
+            result.to_string(),
+            "flights.To ≍ hotels.City ∧ flights.Airline ≍ hotels.Discount"
         );
+        // And it selects exactly tuples (3),(4).
+        assert_eq!(e.entailed_positive_ids(), vec![t(3), t(4)]);
     }
 
     #[test]
@@ -621,7 +670,10 @@ mod tests {
     fn product_too_large_guard() {
         let (f, h) = (flights(), hotels());
         let p = Product::new(vec![&f, &h]).unwrap();
-        let opts = EngineOptions { max_product: 5, ..Default::default() };
+        let opts = EngineOptions {
+            max_product: 5,
+            ..Default::default()
+        };
         assert!(matches!(
             Engine::new(p, &opts),
             Err(InferenceError::ProductTooLarge { size: 12, limit: 5 })
@@ -670,15 +722,15 @@ mod tests {
         // Converge on a sampled-then-absorbed engine.
         let mut e = {
             let p = Product::new(vec![&f, &h]).unwrap();
-            let mut e =
-                Engine::from_ids(p, &[t(3), t(8)], &EngineOptions::default()).unwrap();
+            let mut e = Engine::from_ids(p, &[t(3), t(8)], &EngineOptions::default()).unwrap();
             u_goal = {
                 let u = e.universe().clone();
                 let tc = u.id_by_names((0, "To"), (1, "City")).unwrap();
                 let ad = u.id_by_names((0, "Airline"), (1, "Discount")).unwrap();
                 JoinPredicate::of(u, [tc, ad])
             };
-            e.absorb_ids(&(0..12).map(ProductId).collect::<Vec<_>>()).unwrap();
+            e.absorb_ids(&(0..12).map(ProductId).collect::<Vec<_>>())
+                .unwrap();
             e
         };
         // Answer every informative tuple truthfully.

@@ -13,7 +13,7 @@ use crate::predicate::JoinPredicate;
 
 /// Enumerate the consistent predicates (up to `limit` subsets of `U`), or
 /// `None` if the universe is too large to enumerate.
-pub fn consistent_class(engine: &Engine<'_>, limit: usize) -> Option<Vec<JoinPredicate>> {
+pub fn consistent_class(engine: &Engine, limit: usize) -> Option<Vec<JoinPredicate>> {
     let vs = engine.version_space();
     let sets = vs.enumerate_consistent(limit)?;
     let u = engine.universe().clone();
@@ -28,7 +28,7 @@ pub fn consistent_class(engine: &Engine<'_>, limit: usize) -> Option<Vec<JoinPre
 /// the engine's instance — i.e. the consistent class is a single
 /// instance-equivalence class. This is the correctness certificate for a
 /// resolved engine; on an unresolved engine it returns `Some(false)`.
-pub fn class_is_instance_equivalent(engine: &Engine<'_>, limit: usize) -> Option<bool> {
+pub fn class_is_instance_equivalent(engine: &Engine, limit: usize) -> Option<bool> {
     let class = consistent_class(engine, limit)?;
     let Some((first, rest)) = class.split_first() else {
         // Empty class: cannot happen with consistent labels, but an empty
@@ -49,7 +49,7 @@ pub fn class_is_instance_equivalent(engine: &Engine<'_>, limit: usize) -> Option
 }
 
 /// The distinct full signatures present in the instance.
-fn all_signatures(engine: &Engine<'_>) -> Vec<AtomSet> {
+fn all_signatures(engine: &Engine) -> Vec<AtomSet> {
     let u = engine.universe();
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
@@ -89,9 +89,16 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap();
         (flights, hotels)

@@ -43,6 +43,12 @@ pub enum InferenceError {
         /// What was being computed.
         what: &'static str,
     },
+    /// A persisted artifact (JSON transcript, wire message) failed to
+    /// decode.
+    Decode {
+        /// What went wrong.
+        message: String,
+    },
     /// An error bubbled up from the relational substrate.
     Relation(RelationError),
 }
@@ -72,6 +78,7 @@ impl fmt::Display for InferenceError {
             InferenceError::BudgetExceeded { what } => {
                 write!(f, "exact computation of {what} exceeded its budget")
             }
+            InferenceError::Decode { message } => write!(f, "decode error: {message}"),
             InferenceError::Relation(e) => write!(f, "{e}"),
         }
     }
@@ -101,14 +108,19 @@ mod tests {
 
     #[test]
     fn display_mentions_tuple() {
-        let e = InferenceError::InconsistentLabel { tuple: ProductId(7), positive: false };
+        let e = InferenceError::InconsistentLabel {
+            tuple: ProductId(7),
+            positive: false,
+        };
         assert!(e.to_string().contains("t7"));
         assert!(e.to_string().contains('-'));
     }
 
     #[test]
     fn relation_error_converts() {
-        let r = RelationError::UnknownRelation { relation: "x".into() };
+        let r = RelationError::UnknownRelation {
+            relation: "x".into(),
+        };
         let e: InferenceError = r.clone().into();
         assert_eq!(e, InferenceError::Relation(r));
         use std::error::Error;

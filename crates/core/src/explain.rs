@@ -87,7 +87,7 @@ impl fmt::Display for Explanation {
 }
 
 /// Explain the current classification of tuple `id`.
-pub fn explain(engine: &Engine<'_>, id: ProductId) -> Result<Explanation> {
+pub fn explain(engine: &Engine, id: ProductId) -> Result<Explanation> {
     let tuple = engine.product().tuple(id)?;
     let universe = engine.universe();
     let vs = engine.version_space();
@@ -156,9 +156,16 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap();
         (flights, hotels)
@@ -171,7 +178,10 @@ mod tests {
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
         let ex = explain(&e, ProductId(2)).unwrap();
         match &ex {
-            Explanation::Informative { selecting, rejecting } => {
+            Explanation::Informative {
+                selecting,
+                rejecting,
+            } => {
                 assert!(selecting.contains("To ≍ hotels.City"));
                 // Initially the rejecting witness is the full universe.
                 assert!(rejecting.contains("From ≍ hotels.City"));
@@ -205,7 +215,10 @@ mod tests {
         e.label(ProductId(11), Label::Negative).unwrap(); // (12)-: Θ = {AD}
         let ex = explain(&e, ProductId(0)).unwrap(); // (1): Θ = ∅, pruned
         match &ex {
-            Explanation::CertainNegative { satisfied, dominating_negative } => {
+            Explanation::CertainNegative {
+                satisfied,
+                dominating_negative,
+            } => {
                 assert!(satisfied.is_empty());
                 assert_eq!(dominating_negative.len(), 1);
                 assert!(dominating_negative[0].contains("Airline ≍ hotels.Discount"));

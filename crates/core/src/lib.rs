@@ -89,11 +89,11 @@ pub use engine::{Candidate, Engine, EngineOptions, LabelOutcome};
 pub use error::{InferenceError, Result};
 pub use explain::{explain, Explanation};
 pub use label::Label;
-pub use transcript::Transcript;
 pub use oracle::{FnOracle, GoalOracle, MajorityOracle, NoisyOracle, Oracle};
 pub use predicate::JoinPredicate;
 pub use stats::{InteractionRecord, ProgressStats};
 pub use strategy::{Strategy, StrategyKind};
+pub use transcript::Transcript;
 pub use version_space::{TupleClass, VersionSpace};
 
 /// The commonly used names, for glob import in examples and tests.

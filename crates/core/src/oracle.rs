@@ -68,8 +68,16 @@ pub struct NoisyOracle {
 impl NoisyOracle {
     /// A worker with the given per-answer error probability.
     pub fn new(goal: JoinPredicate, error_rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&error_rate), "error rate must be a probability");
-        NoisyOracle { goal, error_rate, rng: StdRng::seed_from_u64(seed), asked: 0 }
+        assert!(
+            (0.0..=1.0).contains(&error_rate),
+            "error rate must be a probability"
+        );
+        NoisyOracle {
+            goal,
+            error_rate,
+            rng: StdRng::seed_from_u64(seed),
+            asked: 0,
+        }
     }
 }
 
@@ -104,7 +112,11 @@ impl MajorityOracle {
     /// Majority over `votes` answers (must be odd so ties are impossible).
     pub fn new(goal: JoinPredicate, error_rate: f64, votes: u32, seed: u64) -> Self {
         assert!(votes % 2 == 1, "vote count must be odd");
-        MajorityOracle { worker: NoisyOracle::new(goal, error_rate, seed), votes, answers: 0 }
+        MajorityOracle {
+            worker: NoisyOracle::new(goal, error_rate, seed),
+            votes,
+            answers: 0,
+        }
     }
 
     /// The vote count per question.
@@ -219,8 +231,12 @@ mod tests {
         let mut single = NoisyOracle::new(goal(), 0.2, 1);
         let mut majority = MajorityOracle::new(goal(), 0.2, 5, 1);
         let n = 500;
-        let single_errors = (0..n).filter(|_| single.label(&sel()) != Label::Positive).count();
-        let majority_errors = (0..n).filter(|_| majority.label(&sel()) != Label::Positive).count();
+        let single_errors = (0..n)
+            .filter(|_| single.label(&sel()) != Label::Positive)
+            .count();
+        let majority_errors = (0..n)
+            .filter(|_| majority.label(&sel()) != Label::Positive)
+            .count();
         assert!(
             majority_errors * 2 < single_errors,
             "majority {majority_errors} vs single {single_errors}"

@@ -67,12 +67,12 @@ impl JoinPredicate {
     }
 
     /// Evaluate on a product (hash join), returning selected tuple ids.
-    pub fn eval(&self, product: &Product<'_>) -> Result<Vec<ProductId>> {
+    pub fn eval(&self, product: &Product) -> Result<Vec<ProductId>> {
         Ok(self.universe.to_spec(&self.atoms).eval_hash(product)?)
     }
 
     /// Materialize the selected tuples as a relation.
-    pub fn materialize(&self, product: &Product<'_>, name: &str) -> Result<Relation> {
+    pub fn materialize(&self, product: &Product, name: &str) -> Result<Relation> {
         let spec = self.universe.to_spec(&self.atoms);
         let ids = spec.eval_hash(product)?;
         Ok(spec.materialize(product, &ids, name)?)
@@ -89,7 +89,7 @@ impl JoinPredicate {
 
     /// **Instance equivalence** (the paper's termination criterion): do the
     /// two predicates select exactly the same tuples of this product?
-    pub fn instance_equivalent(&self, other: &JoinPredicate, product: &Product<'_>) -> Result<bool> {
+    pub fn instance_equivalent(&self, other: &JoinPredicate, product: &Product) -> Result<bool> {
         Ok(self.eval(product)? == other.eval(product)?)
     }
 
@@ -101,8 +101,12 @@ impl JoinPredicate {
 
     /// Render as a GAV mapping rule with the given target name.
     pub fn to_gav(&self, target: &str) -> String {
-        sql::to_gav_rule(self.universe.schema(), &self.universe.to_spec(&self.atoms), target)
-            .expect("atoms come from the schema")
+        sql::to_gav_rule(
+            self.universe.schema(),
+            &self.universe.to_spec(&self.atoms),
+            target,
+        )
+        .expect("atoms come from the schema")
     }
 }
 
@@ -142,8 +146,11 @@ mod tests {
                 ],
             )
             .unwrap(),
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
         ])
         .unwrap();
         AtomUniverse::cross_relation(js).unwrap()
@@ -172,9 +179,16 @@ mod tests {
 
     fn hotels_rel() -> Relation {
         Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap()
     }
@@ -225,7 +239,10 @@ mod tests {
         let p = Product::new(vec![&f, &h]).unwrap();
         let ids1 = q1(&u).eval(&p).unwrap();
         let ids2 = q2(&u).eval(&p).unwrap();
-        assert_eq!(ids1.iter().map(|i| i.0).collect::<Vec<_>>(), vec![2, 3, 7, 9]);
+        assert_eq!(
+            ids1.iter().map(|i| i.0).collect::<Vec<_>>(),
+            vec![2, 3, 7, 9]
+        );
         assert_eq!(ids2.iter().map(|i| i.0).collect::<Vec<_>>(), vec![2, 3]);
     }
 

@@ -51,7 +51,9 @@ pub struct RandomPicker {
 impl RandomPicker {
     /// Seeded for reproducible experiments.
     pub fn seeded(seed: u64) -> Self {
-        RandomPicker { rng: StdRng::seed_from_u64(seed) }
+        RandomPicker {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -63,9 +65,9 @@ impl TuplePicker for RandomPicker {
 
 /// The result of a completed session.
 #[derive(Debug)]
-pub struct SessionOutcome<'a> {
+pub struct SessionOutcome {
     /// The engine in its final state (inspect stats, entailed tuples, …).
-    pub engine: Engine<'a>,
+    pub engine: Engine,
     /// The inferred query (the canonical consistent predicate).
     pub inferred: JoinPredicate,
     /// Number of membership queries the user answered.
@@ -77,14 +79,14 @@ pub struct SessionOutcome<'a> {
     pub resolved: bool,
 }
 
-impl SessionOutcome<'_> {
+impl SessionOutcome {
     /// Final progress statistics.
     pub fn stats(&self) -> &ProgressStats {
         self.engine.stats()
     }
 }
 
-fn ask(engine: &mut Engine<'_>, oracle: &mut dyn Oracle, id: ProductId) -> Result<()> {
+fn ask(engine: &mut Engine, oracle: &mut dyn Oracle, id: ProductId) -> Result<()> {
     let tuple = engine.product().tuple(id)?;
     let label = oracle.label(&tuple);
     engine.label(id, label)?;
@@ -94,11 +96,11 @@ fn ask(engine: &mut Engine<'_>, oracle: &mut dyn Oracle, id: ProductId) -> Resul
 /// Mode 4 — the core interactive scenario (Figure 2): repeatedly ask the
 /// most informative tuple according to `strategy` until the query is
 /// uniquely identified.
-pub fn run_most_informative<'a>(
-    mut engine: Engine<'a>,
+pub fn run_most_informative(
+    mut engine: Engine,
     strategy: &mut dyn Strategy,
     oracle: &mut dyn Oracle,
-) -> Result<SessionOutcome<'a>> {
+) -> Result<SessionOutcome> {
     while let Some(id) = strategy.choose(&engine) {
         ask(&mut engine, oracle, id)?;
     }
@@ -109,12 +111,12 @@ pub fn run_most_informative<'a>(
 /// the user labels the whole batch (even entries that earlier answers in
 /// the same batch made uninformative — that slack is the point of the
 /// demonstration), then a fresh batch is computed.
-pub fn run_top_k<'a>(
-    mut engine: Engine<'a>,
+pub fn run_top_k(
+    mut engine: Engine,
     k: usize,
     strategy: &mut dyn Strategy,
     oracle: &mut dyn Oracle,
-) -> Result<SessionOutcome<'a>> {
+) -> Result<SessionOutcome> {
     assert!(k > 0, "k must be positive");
     loop {
         let batch = strategy.top_k(&engine, k);
@@ -136,12 +138,12 @@ pub fn run_top_k<'a>(
 /// Modes 1 and 2 — free labeling. With `gray_out` the user only sees (and
 /// can only pick) informative tuples; without it they may waste effort.
 /// Stops when the query is identified or nothing is left to label.
-pub fn run_free<'a>(
-    mut engine: Engine<'a>,
+pub fn run_free(
+    mut engine: Engine,
     gray_out: bool,
     picker: &mut dyn TuplePicker,
     oracle: &mut dyn Oracle,
-) -> Result<SessionOutcome<'a>> {
+) -> Result<SessionOutcome> {
     while !engine.is_resolved() {
         let visible = engine.visible_ids(gray_out);
         if visible.is_empty() {
@@ -153,7 +155,7 @@ pub fn run_free<'a>(
     finish(engine, oracle)
 }
 
-fn finish<'a>(engine: Engine<'a>, oracle: &mut dyn Oracle) -> Result<SessionOutcome<'a>> {
+fn finish(engine: Engine, oracle: &mut dyn Oracle) -> Result<SessionOutcome> {
     let outcome = SessionOutcome {
         inferred: engine.result(),
         interactions: engine.stats().interactions(),
@@ -192,22 +194,29 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap();
         (flights, hotels)
     }
 
-    fn q2_goal(engine: &Engine<'_>) -> JoinPredicate {
+    fn q2_goal(engine: &Engine) -> JoinPredicate {
         let u = engine.universe().clone();
         let tc = u.id_by_names((0, "To"), (1, "City")).unwrap();
         let ad = u.id_by_names((0, "Airline"), (1, "Discount")).unwrap();
         JoinPredicate::of(u, [tc, ad])
     }
 
-    fn fresh_engine<'a>(f: &'a Relation, h: &'a Relation) -> Engine<'a> {
+    fn fresh_engine(f: &Relation, h: &Relation) -> Engine {
         let p = Product::new(vec![f, h]).unwrap();
         Engine::new(p, &EngineOptions::default()).unwrap()
     }
@@ -218,8 +227,7 @@ mod tests {
         let engine = fresh_engine(&f, &h);
         let goal = q2_goal(&engine);
         let mut oracle = GoalOracle::new(goal.clone());
-        let out =
-            run_most_informative(engine, &mut LookaheadMinPrune, &mut oracle).unwrap();
+        let out = run_most_informative(engine, &mut LookaheadMinPrune, &mut oracle).unwrap();
         assert!(out.resolved);
         assert!(out
             .inferred

@@ -33,7 +33,7 @@ impl DataAware {
         DataAware::default()
     }
 
-    fn fit(&mut self, engine: &Engine<'_>) -> &[f64] {
+    fn fit(&mut self, engine: &Engine) -> &[f64] {
         if self.selectivity.is_none() {
             let product = engine.product();
             let schema = product.schema();
@@ -49,7 +49,7 @@ impl DataAware {
                         // by row scan of the one relation involved.
                         let (rel, la) = schema.locate(atom.a).expect("atom in schema");
                         let (_, lb) = schema.locate(atom.b).expect("atom in schema");
-                        let r = product.relations()[rel];
+                        let r = &product.relations()[rel];
                         if r.is_empty() {
                             return 0.0;
                         }
@@ -69,11 +69,11 @@ impl Strategy for DataAware {
         "data-aware"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         self.top_k(engine, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let sel = self.fit(engine).to_vec();
         let candidates = engine.informative_groups();
         // Score: 1 − (selectivity of the rarest atom satisfied). A tuple
@@ -111,7 +111,9 @@ mod tests {
         .unwrap();
         let right = Relation::new(
             RelationSchema::of("r", &[("fk", DataType::Int), ("tag", DataType::Int)]).unwrap(),
-            (0..8).map(|i| tup![i as i64, ((i / 2) % 2) as i64]).collect(),
+            (0..8)
+                .map(|i| tup![i as i64, ((i / 2) % 2) as i64])
+                .collect(),
         )
         .unwrap();
         (left, right)
@@ -176,7 +178,10 @@ mod tests {
         use crate::atoms::AtomScope;
         let (l, r) = keyed_instance();
         let p = Product::new(vec![&l, &r]).unwrap();
-        let opts = EngineOptions { scope: AtomScope::AllPairs, ..Default::default() };
+        let opts = EngineOptions {
+            scope: AtomScope::AllPairs,
+            ..Default::default()
+        };
         let e = Engine::new(p, &opts).unwrap();
         // Intra-relation atoms take the row-scan selectivity path.
         let mut s = DataAware::new();

@@ -17,12 +17,12 @@ impl Strategy for LocalGeneral {
         "local-general"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         let c = engine.informative_groups();
         argmax_by_score(&c, |c| -(c.restricted_sig.len() as i64))
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let c = engine.informative_groups();
         ranked(&c, |c| -(c.restricted_sig.len() as i64))
             .into_iter()
@@ -44,12 +44,12 @@ impl Strategy for LocalSpecific {
         "local-specific"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         let c = engine.informative_groups();
         argmax_by_score(&c, |c| c.restricted_sig.len() as i64)
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let c = engine.informative_groups();
         ranked(&c, |c| c.restricted_sig.len() as i64)
             .into_iter()
@@ -70,12 +70,12 @@ impl Strategy for LocalFrequency {
         "local-frequency"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         let c = engine.informative_groups();
         argmax_by_score(&c, |c| c.count)
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let c = engine.informative_groups();
         ranked(&c, |c| c.count)
             .into_iter()
@@ -113,9 +113,16 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap();
         (flights, hotels)

@@ -20,11 +20,11 @@ impl Strategy for LookaheadMinPrune {
         "lookahead-minprune"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         self.top_k(engine, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let c = engine.informative_groups();
         ranked(&c, |c| {
             let (pos, neg) = engine.simulate(&c.restricted_sig);
@@ -47,11 +47,11 @@ impl Strategy for LookaheadExpected {
         "lookahead-expected"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         self.top_k(engine, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let c = engine.informative_groups();
         ranked(&c, |c| {
             let (pos, neg) = engine.simulate(&c.restricted_sig);
@@ -115,11 +115,11 @@ impl Strategy for LookaheadEntropy {
         "lookahead-entropy"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         self.top_k(engine, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let c = engine.informative_groups();
         let vs = engine.version_space();
         ranked(&c, |c| {
@@ -168,9 +168,16 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap();
         (flights, hotels)

@@ -25,7 +25,7 @@ struct SimState {
 }
 
 impl SimState {
-    fn from_engine(engine: &Engine<'_>) -> SimState {
+    fn from_engine(engine: &Engine) -> SimState {
         let vs = engine.version_space();
         SimState {
             upper: vs.upper().clone(),
@@ -62,7 +62,11 @@ impl SimState {
                     None => merged.push((r, *c)),
                 }
             }
-            SimState { upper, negs, sigs: merged }
+            SimState {
+                upper,
+                negs,
+                sigs: merged,
+            }
         } else {
             let mut with_s = self.negs.clone();
             with_s.push(s.clone());
@@ -73,7 +77,11 @@ impl SimState {
                 .filter(|(r, _)| SimState::informative(&self.upper, &negs, r))
                 .cloned()
                 .collect();
-            SimState { upper: self.upper.clone(), negs, sigs }
+            SimState {
+                upper: self.upper.clone(),
+                negs,
+                sigs,
+            }
         }
     }
 
@@ -105,11 +113,11 @@ impl Strategy for LookaheadTwoStep {
         "lookahead-2step"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         self.top_k(engine, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let candidates = engine.informative_groups();
         if candidates.is_empty() {
             return Vec::new();
@@ -172,7 +180,7 @@ impl Strategy for HybridStrategy {
         "hybrid"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         if engine.informative_groups().len() > self.threshold {
             LocalSpecific.choose(engine)
         } else {
@@ -180,7 +188,7 @@ impl Strategy for HybridStrategy {
         }
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         if engine.informative_groups().len() > self.threshold {
             LocalSpecific.top_k(engine, k)
         } else {
@@ -217,9 +225,16 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap();
         (flights, hotels)
@@ -241,10 +256,7 @@ mod tests {
             assert!(steps <= 12);
         }
         assert!(e.is_resolved());
-        assert!(e
-            .result()
-            .instance_equivalent(&goal, e.product())
-            .unwrap());
+        assert!(e.result().instance_equivalent(&goal, e.product()).unwrap());
         steps
     }
 

@@ -32,12 +32,12 @@ pub trait Strategy {
 
     /// Pick the next informative tuple, or `None` when inference is
     /// complete (no informative tuple remains).
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId>;
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId>;
 
     /// Rank the informative candidates best-first and return the top `k`
     /// (the demo's "top-k informative tuples" interaction, Figure 3.3).
     /// Default implementation returns the single best choice.
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         self.choose(engine).into_iter().take(k).collect()
     }
 }
@@ -105,8 +105,10 @@ pub enum StrategyKind {
 }
 
 impl StrategyKind {
-    /// Instantiate the strategy.
-    pub fn build(self) -> Box<dyn Strategy> {
+    /// Instantiate the strategy. The trait object is `Send + 'static`, so a
+    /// built strategy can live inside a server-side session that migrates
+    /// across worker threads.
+    pub fn build(self) -> Box<dyn Strategy + Send> {
         match self {
             StrategyKind::Random { seed } => Box::new(RandomStrategy::seeded(seed)),
             StrategyKind::LocalGeneral => Box::new(LocalGeneral),
@@ -196,9 +198,16 @@ mod tests {
 
     fn hotels() -> Relation {
         Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap()
     }
@@ -255,11 +264,12 @@ mod tests {
             .into_iter()
             .chain([StrategyKind::Optimal])
         {
-            let steps = run_to_convergence(
-                kind,
-                &[(0, "To", 1, "City"), (0, "Airline", 1, "Discount")],
+            let steps =
+                run_to_convergence(kind, &[(0, "To", 1, "City"), (0, "Airline", 1, "Discount")]);
+            assert!(
+                steps >= 2,
+                "{kind}: Q2 needs at least a positive and a negative"
             );
-            assert!(steps >= 2, "{kind}: Q2 needs at least a positive and a negative");
         }
     }
 
@@ -340,7 +350,10 @@ mod tests {
         );
         assert_eq!(StrategyKind::Random { seed: 1 }.to_string(), "random");
         assert_eq!(StrategyKind::Optimal.to_string(), "optimal");
-        assert_eq!(StrategyKind::LookaheadTwoStep.to_string(), "lookahead-2step");
+        assert_eq!(
+            StrategyKind::LookaheadTwoStep.to_string(),
+            "lookahead-2step"
+        );
         assert_eq!(StrategyKind::Hybrid { threshold: 16 }.to_string(), "hybrid");
     }
 

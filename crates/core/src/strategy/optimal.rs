@@ -29,7 +29,7 @@ struct State {
 }
 
 impl State {
-    fn from_engine(engine: &Engine<'_>) -> State {
+    fn from_engine(engine: &Engine) -> State {
         let vs = engine.version_space();
         let mut negs: Vec<AtomSet> = vs.negatives().to_vec();
         negs.sort();
@@ -40,7 +40,11 @@ impl State {
             .collect();
         sigs.sort();
         sigs.dedup();
-        State { upper: vs.upper().clone(), negs, sigs }
+        State {
+            upper: vs.upper().clone(),
+            negs,
+            sigs,
+        }
     }
 
     /// Is a restricted signature informative under `(upper, negs)`?
@@ -79,7 +83,11 @@ impl State {
             .collect();
         sigs.sort();
         sigs.dedup();
-        State { upper: self.upper.clone(), negs, sigs }
+        State {
+            upper: self.upper.clone(),
+            negs,
+            sigs,
+        }
     }
 }
 
@@ -103,7 +111,10 @@ impl Default for OptimalPlanner {
 impl OptimalPlanner {
     /// A planner with the given state budget.
     pub fn with_budget(max_states: usize) -> Self {
-        OptimalPlanner { memo: HashMap::new(), max_states }
+        OptimalPlanner {
+            memo: HashMap::new(),
+            max_states,
+        }
     }
 
     /// Number of distinct states explored so far (the experiment E6
@@ -114,14 +125,14 @@ impl OptimalPlanner {
 
     /// The optimal worst-case number of membership queries from the
     /// engine's current state.
-    pub fn worst_case_depth(&mut self, engine: &Engine<'_>) -> Result<u32> {
+    pub fn worst_case_depth(&mut self, engine: &Engine) -> Result<u32> {
         let state = State::from_engine(engine);
         self.depth(&state)
     }
 
     /// The signature to query next for optimal worst-case depth, with that
     /// depth. `None` when already resolved.
-    pub fn best_move(&mut self, engine: &Engine<'_>) -> Result<Option<(AtomSet, u32)>> {
+    pub fn best_move(&mut self, engine: &Engine) -> Result<Option<(AtomSet, u32)>> {
         let state = State::from_engine(engine);
         if state.sigs.is_empty() {
             return Ok(None);
@@ -146,7 +157,9 @@ impl OptimalPlanner {
             return Ok(d);
         }
         if self.memo.len() >= self.max_states {
-            return Err(InferenceError::BudgetExceeded { what: "optimal planner states" });
+            return Err(InferenceError::BudgetExceeded {
+                what: "optimal planner states",
+            });
         }
         let mut best = u32::MAX;
         for s in &state.sigs {
@@ -191,7 +204,10 @@ impl Default for OptimalStrategy {
 impl OptimalStrategy {
     /// A strategy with a custom planner budget.
     pub fn with_budget(max_states: usize) -> Self {
-        OptimalStrategy { planner: OptimalPlanner::with_budget(max_states), fell_back: false }
+        OptimalStrategy {
+            planner: OptimalPlanner::with_budget(max_states),
+            fell_back: false,
+        }
     }
 
     /// Did any `choose` call exceed the planner budget and fall back?
@@ -210,7 +226,7 @@ impl Strategy for OptimalStrategy {
         "optimal"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         let candidates = engine.informative_groups();
         if candidates.is_empty() {
             return None;
@@ -256,9 +272,16 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap();
         (flights, hotels)
@@ -300,7 +323,11 @@ mod tests {
             let mut e_neg = e.clone();
             e_neg.label(rep, Label::Negative).unwrap();
             let d_neg = planner.worst_case_depth(&e_neg).unwrap();
-            let (next, d) = if d_pos >= d_neg { (e_pos, d_pos) } else { (e_neg, d_neg) };
+            let (next, d) = if d_pos >= d_neg {
+                (e_pos, d_pos)
+            } else {
+                (e_neg, d_neg)
+            };
             assert!(d < prev, "depth {d} after a query from depth {prev}");
             prev = d;
             e = next;
@@ -371,7 +398,10 @@ mod tests {
                 let t = e.product().tuple(id).unwrap();
                 e.label(id, Label::from_bool(goal.selects(&t))).unwrap();
                 steps += 1;
-                assert!(steps <= bound, "goal {goal}: exceeded optimal bound {bound}");
+                assert!(
+                    steps <= bound,
+                    "goal {goal}: exceeded optimal bound {bound}"
+                );
             }
             assert!(!s.fell_back());
             assert!(e.is_resolved());

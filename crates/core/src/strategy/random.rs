@@ -18,7 +18,9 @@ pub struct RandomStrategy {
 impl RandomStrategy {
     /// Seeded for reproducible experiments.
     pub fn seeded(seed: u64) -> Self {
-        RandomStrategy { rng: StdRng::seed_from_u64(seed) }
+        RandomStrategy {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -27,7 +29,7 @@ impl Strategy for RandomStrategy {
         "random"
     }
 
-    fn choose(&mut self, engine: &Engine<'_>) -> Option<ProductId> {
+    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
         let candidates = engine.informative_groups();
         let total: u64 = candidates.iter().map(|c| c.count).sum();
         if total == 0 {
@@ -43,7 +45,7 @@ impl Strategy for RandomStrategy {
         unreachable!("pick < total by construction")
     }
 
-    fn top_k(&mut self, engine: &Engine<'_>, k: usize) -> Vec<ProductId> {
+    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
         let mut candidates = engine.informative_groups();
         let mut out = Vec::with_capacity(k.min(candidates.len()));
         while out.len() < k && !candidates.is_empty() {

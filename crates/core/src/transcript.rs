@@ -22,6 +22,7 @@
 use crate::engine::Engine;
 use crate::error::{InferenceError, Result};
 use crate::label::Label;
+use jim_json::Json;
 use jim_relation::ProductId;
 use std::fmt;
 
@@ -39,7 +40,7 @@ pub struct Transcript {
 impl Transcript {
     /// Capture the session recorded inside an engine (its interaction
     /// log, in order).
-    pub fn capture(engine: &Engine<'_>) -> Transcript {
+    pub fn capture(engine: &Engine) -> Transcript {
         Transcript {
             schema: engine.product().schema().to_string(),
             tuples: engine.product().size(),
@@ -55,7 +56,7 @@ impl Transcript {
     /// Replay every label onto `engine` (which must be over the same
     /// instance: schema text and tuple count are verified). Returns the
     /// number of labels applied.
-    pub fn replay(&self, engine: &mut Engine<'_>) -> Result<usize> {
+    pub fn replay(&self, engine: &mut Engine) -> Result<usize> {
         if engine.product().schema().to_string() != self.schema
             || engine.product().size() != self.tuples
         {
@@ -121,6 +122,104 @@ impl Transcript {
         }
         Ok(t)
     }
+
+    /// Largest integer the wire's number type (`f64`) represents exactly.
+    /// Ranks and counts above this are encoded as decimal strings so
+    /// transcripts of sampled engines over astronomically large products
+    /// survive the round trip bit-exactly.
+    const MAX_EXACT_WIRE_INT: u64 = 1 << 53;
+
+    fn int_to_json(value: u64) -> Json {
+        if value <= Self::MAX_EXACT_WIRE_INT {
+            Json::from(value)
+        } else {
+            Json::from(value.to_string())
+        }
+    }
+
+    fn int_from_json(value: &Json) -> Option<u64> {
+        value
+            .as_u64()
+            .or_else(|| value.as_str().and_then(|s| s.parse().ok()))
+    }
+
+    /// Serialize to the JSON wire shape the `jim-server` protocol speaks:
+    ///
+    /// ```json
+    /// {"version":1,"schema":"flights × hotels","tuples":12,
+    ///  "labels":[{"tuple":2,"label":"+"}, ...]}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("version", Json::from(1u64)),
+            ("schema", Json::from(self.schema.as_str())),
+            ("tuples", Self::int_to_json(self.tuples)),
+            (
+                "labels",
+                Json::Array(
+                    self.labels
+                        .iter()
+                        .map(|(id, label)| {
+                            Json::object([
+                                ("tuple", Self::int_to_json(id.0)),
+                                ("label", Json::from(label.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode the JSON wire shape produced by [`Transcript::to_json`].
+    pub fn from_json(json: &Json) -> Result<Transcript> {
+        let bad = |message: String| InferenceError::Decode { message };
+        match json.get("version").and_then(Json::as_u64) {
+            Some(1) => {}
+            other => return Err(bad(format!("unsupported transcript version {other:?}"))),
+        }
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `schema` string".into()))?
+            .to_string();
+        let tuples = json
+            .get("tuples")
+            .and_then(Self::int_from_json)
+            .ok_or_else(|| bad("missing `tuples` count".into()))?;
+        let mut labels = Vec::new();
+        for (i, entry) in json
+            .get("labels")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing `labels` array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let rank = entry
+                .get("tuple")
+                .and_then(Self::int_from_json)
+                .ok_or_else(|| bad(format!("label {i}: missing `tuple` rank")))?;
+            let label = match entry.get("label").and_then(Json::as_str) {
+                Some("+") => Label::Positive,
+                Some("-") => Label::Negative,
+                other => return Err(bad(format!("label {i}: bad `label` {other:?}"))),
+            };
+            labels.push((ProductId(rank), label));
+        }
+        Ok(Transcript {
+            schema,
+            tuples,
+            labels,
+        })
+    }
+
+    /// Parse a JSON text document (convenience over [`Transcript::from_json`]).
+    pub fn parse_json(text: &str) -> Result<Transcript> {
+        let json = Json::parse(text).map_err(|e| InferenceError::Decode {
+            message: e.to_string(),
+        })?;
+        Transcript::from_json(&json)
+    }
 }
 
 impl fmt::Display for Transcript {
@@ -161,15 +260,22 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap();
         (flights, hotels)
     }
 
-    fn engine<'a>(f: &'a Relation, h: &'a Relation) -> Engine<'a> {
+    fn engine(f: &Relation, h: &Relation) -> Engine {
         let p = Product::new(vec![f, h]).unwrap();
         Engine::new(p, &EngineOptions::default()).unwrap()
     }
@@ -241,6 +347,70 @@ mod tests {
         assert!(Transcript::parse(bad_rank).is_err());
         let bad_count = "#jim-transcript v1\n#tuples many\n";
         assert!(Transcript::parse(bad_count).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_replays_to_same_version_space() {
+        let (f, h) = paper_instance();
+        let mut e = engine(&f, &h);
+        e.label(ProductId(2), Label::Positive).unwrap();
+        e.label(ProductId(6), Label::Negative).unwrap();
+        e.label(ProductId(7), Label::Negative).unwrap();
+        let t = Transcript::capture(&e);
+
+        // Serialize to JSON text and back.
+        let text = t.to_json().render();
+        assert!(text.contains("\"labels\""));
+        let parsed = Transcript::parse_json(&text).unwrap();
+        assert_eq!(parsed, t);
+
+        // Replay into a fresh session: identical version space.
+        let mut fresh = engine(&f, &h);
+        assert_eq!(parsed.replay(&mut fresh).unwrap(), 3);
+        assert!(fresh.is_resolved());
+        assert_eq!(fresh.result(), e.result());
+        assert_eq!(fresh.version_space().upper(), e.version_space().upper());
+        assert_eq!(
+            fresh.version_space().negatives(),
+            e.version_space().negatives()
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_exact_beyond_f64_integers() {
+        // Sampled engines over huge products carry full-u64 ranks; they
+        // must survive JSON without rounding through f64.
+        let t = Transcript {
+            schema: "huge × huge".into(),
+            tuples: u64::MAX,
+            labels: vec![
+                (ProductId((1 << 53) + 1), Label::Positive),
+                (ProductId(u64::MAX - 1), Label::Negative),
+                (ProductId(3), Label::Positive),
+            ],
+        };
+        let back = Transcript::parse_json(&t.to_json().render()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_decode_rejects_malformed_documents() {
+        assert!(Transcript::parse_json("not json").is_err());
+        assert!(Transcript::parse_json("{}").is_err());
+        assert!(
+            Transcript::parse_json(r#"{"version":2,"schema":"s","tuples":1,"labels":[]}"#).is_err()
+        );
+        assert!(Transcript::parse_json(r#"{"version":1,"tuples":1,"labels":[]}"#).is_err());
+        assert!(Transcript::parse_json(r#"{"version":1,"schema":"s","labels":[]}"#).is_err());
+        assert!(Transcript::parse_json(r#"{"version":1,"schema":"s","tuples":1}"#).is_err());
+        assert!(Transcript::parse_json(
+            r#"{"version":1,"schema":"s","tuples":1,"labels":[{"tuple":0,"label":"?"}]}"#
+        )
+        .is_err());
+        assert!(Transcript::parse_json(
+            r#"{"version":1,"schema":"s","tuples":1,"labels":[{"label":"+"}]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -62,7 +62,13 @@ impl VersionSpace {
     /// The initial version space: every predicate is consistent.
     pub fn new(universe: Arc<AtomUniverse>) -> Self {
         let upper = universe.full_set();
-        VersionSpace { universe, upper, negatives: Vec::new(), positives_seen: 0, negatives_seen: 0 }
+        VersionSpace {
+            universe,
+            upper,
+            negatives: Vec::new(),
+            positives_seen: 0,
+            negatives_seen: 0,
+        }
     }
 
     /// The shared atom universe.
@@ -113,7 +119,10 @@ impl VersionSpace {
     pub fn add_positive(&mut self, tuple: ProductId, sig: &AtomSet) -> Result<()> {
         let new_upper = self.upper.intersection(sig);
         if self.negatives.iter().any(|n| new_upper.is_subset(n)) {
-            return Err(InferenceError::InconsistentLabel { tuple, positive: true });
+            return Err(InferenceError::InconsistentLabel {
+                tuple,
+                positive: true,
+            });
         }
         self.upper = new_upper;
         // Restrict negatives to the new upper bound and re-reduce. The
@@ -136,7 +145,10 @@ impl VersionSpace {
     pub fn add_negative(&mut self, tuple: ProductId, sig: &AtomSet) -> Result<()> {
         let restricted = sig.intersection(&self.upper);
         if restricted == self.upper {
-            return Err(InferenceError::InconsistentLabel { tuple, positive: false });
+            return Err(InferenceError::InconsistentLabel {
+                tuple,
+                positive: false,
+            });
         }
         self.negatives_seen += 1;
         if self.negatives.iter().any(|n| restricted.is_subset(n)) {
@@ -214,9 +226,8 @@ impl VersionSpace {
 /// `|{θ ⊆ upper : ∀n, θ ⊄ n}| / 2^|upper|` by inclusion–exclusion, or
 /// `None` past the term budget.
 fn scaled_count(upper: &AtomSet, negatives: &[AtomSet]) -> Option<f64> {
-    let negs: Vec<AtomSet> = maximal_antichain(
-        negatives.iter().map(|n| n.intersection(upper)).collect(),
-    );
+    let negs: Vec<AtomSet> =
+        maximal_antichain(negatives.iter().map(|n| n.intersection(upper)).collect());
     if negs.iter().any(|n| n == upper) {
         return Some(0.0);
     }
@@ -258,9 +269,8 @@ fn count_exact(upper: &AtomSet, negatives: &[AtomSet]) -> Option<u128> {
     if upper.len() > 126 {
         return None;
     }
-    let negs: Vec<AtomSet> = maximal_antichain(
-        negatives.iter().map(|n| n.intersection(upper)).collect(),
-    );
+    let negs: Vec<AtomSet> =
+        maximal_antichain(negatives.iter().map(|n| n.intersection(upper)).collect());
     if negs.iter().any(|n| n == upper) {
         return Some(0);
     }
@@ -311,8 +321,11 @@ mod tests {
                 ],
             )
             .unwrap(),
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
         ])
         .unwrap();
         AtomUniverse::cross_relation(js).unwrap()
@@ -354,7 +367,10 @@ mod tests {
         let mut vs = VersionSpace::new(u.clone());
         vs.add_positive(ProductId(2), &set(&u, &[1, 3])).unwrap();
         assert_eq!(vs.classify(&set(&u, &[1, 3])), TupleClass::CertainPositive);
-        assert_eq!(vs.classify(&set(&u, &[0, 1, 3])), TupleClass::CertainPositive);
+        assert_eq!(
+            vs.classify(&set(&u, &[0, 1, 3])),
+            TupleClass::CertainPositive
+        );
         assert_eq!(vs.classify(&set(&u, &[1])), TupleClass::Informative);
         assert_eq!(vs.classify(&u.empty_set()), TupleClass::Informative);
     }
@@ -383,7 +399,8 @@ mod tests {
         // Reverse order: the bigger one replaces the smaller.
         let mut vs2 = VersionSpace::new(u.clone());
         vs2.add_negative(ProductId(0), &set(&u, &[0, 1])).unwrap();
-        vs2.add_negative(ProductId(1), &set(&u, &[0, 1, 2])).unwrap();
+        vs2.add_negative(ProductId(1), &set(&u, &[0, 1, 2]))
+            .unwrap();
         assert_eq!(vs2.negatives().len(), 1);
         assert_eq!(vs2.negatives()[0], set(&u, &[0, 1, 2]));
         assert_eq!(vs2.labels_seen(), (0, 2));
@@ -399,7 +416,10 @@ mod tests {
         let err = vs.add_positive(ProductId(1), &set(&u, &[0]));
         assert_eq!(
             err,
-            Err(InferenceError::InconsistentLabel { tuple: ProductId(1), positive: true })
+            Err(InferenceError::InconsistentLabel {
+                tuple: ProductId(1),
+                positive: true
+            })
         );
     }
 
@@ -413,7 +433,10 @@ mod tests {
         let err = vs.add_negative(ProductId(1), &set(&u, &[1, 3, 4]));
         assert_eq!(
             err,
-            Err(InferenceError::InconsistentLabel { tuple: ProductId(1), positive: false })
+            Err(InferenceError::InconsistentLabel {
+                tuple: ProductId(1),
+                positive: false
+            })
         );
     }
 

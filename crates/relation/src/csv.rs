@@ -68,7 +68,10 @@ pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
         }
     }
     if in_quotes {
-        return Err(RelationError::Csv { line, message: "unterminated quoted field".into() });
+        return Err(RelationError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if any && (!field.is_empty() || !record.is_empty()) {
         record.push(field);
@@ -168,7 +171,11 @@ pub fn read_relation_typed(schema: RelationSchema, text: &str) -> Result<Relatio
         if rec.len() != rel.schema().arity() {
             return Err(RelationError::Csv {
                 line: i + 2,
-                message: format!("expected {} fields, found {}", rel.schema().arity(), rec.len()),
+                message: format!(
+                    "expected {} fields, found {}",
+                    rel.schema().arity(),
+                    rec.len()
+                ),
             });
         }
         let values: Vec<Value> = rec
@@ -252,7 +259,12 @@ mod tests {
         let types: Vec<DataType> = rel.schema().attributes().iter().map(|a| a.dtype).collect();
         assert_eq!(
             types,
-            vec![DataType::Int, DataType::Float, DataType::Bool, DataType::Text]
+            vec![
+                DataType::Int,
+                DataType::Float,
+                DataType::Bool,
+                DataType::Text
+            ]
         );
         assert_eq!(rel.row(0).unwrap()[0], Value::Int(1));
         assert_eq!(rel.row(1).unwrap()[1], Value::Float(2.0));

@@ -1,18 +1,22 @@
 //! A database: a catalog of named relations.
 
 use crate::error::{RelationError, Result};
+use crate::product::IntoSharedRelation;
 use crate::relation::Relation;
 use crate::schema::JoinSchema;
 use std::fmt;
+use std::sync::Arc;
 
 /// A set of named relation instances.
 ///
 /// JIM assumes *no* knowledge of integrity constraints — a `Database` here is
 /// purely a catalog; keys/foreign keys exist only implicitly in the data the
-/// workload generators produce.
+/// workload generators produce. Relations are held behind [`Arc`] so a
+/// [`Database::join_view`] (and the products built from it) shares the
+/// catalog's storage instead of copying it per session.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Database {
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
 }
 
 impl Database {
@@ -22,7 +26,8 @@ impl Database {
     }
 
     /// Add a relation; names must be unique.
-    pub fn add(&mut self, relation: Relation) -> Result<()> {
+    pub fn add(&mut self, relation: impl IntoSharedRelation) -> Result<()> {
+        let relation = relation.into_shared();
         if self.relations.iter().any(|r| r.name() == relation.name()) {
             return Err(RelationError::DuplicateRelation {
                 relation: relation.name().to_string(),
@@ -42,7 +47,7 @@ impl Database {
     }
 
     /// All relations, in insertion order.
-    pub fn relations(&self) -> &[Relation] {
+    pub fn relations(&self) -> &[Arc<Relation>] {
         &self.relations
     }
 
@@ -58,18 +63,26 @@ impl Database {
 
     /// Look up a relation by name.
     pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.get_shared(name).map(|r| &**r)
+    }
+
+    /// Look up a relation by name, returning the shared handle.
+    pub fn get_shared(&self, name: &str) -> Result<&Arc<Relation>> {
         self.relations
             .iter()
             .find(|r| r.name() == name)
-            .ok_or_else(|| RelationError::UnknownRelation { relation: name.to_string() })
+            .ok_or_else(|| RelationError::UnknownRelation {
+                relation: name.to_string(),
+            })
     }
 
     /// The relation occurrences to join, by name (names may repeat for
-    /// self-joins), together with the resulting [`JoinSchema`].
-    pub fn join_view(&self, names: &[&str]) -> Result<(Vec<&Relation>, JoinSchema)> {
-        let rels: Vec<&Relation> = names
+    /// self-joins), together with the resulting [`JoinSchema`]. The returned
+    /// handles share the catalog's storage — cloning them is free.
+    pub fn join_view(&self, names: &[&str]) -> Result<(Vec<Arc<Relation>>, JoinSchema)> {
+        let rels: Vec<Arc<Relation>> = names
             .iter()
-            .map(|n| self.get(n))
+            .map(|n| self.get_shared(n).map(Arc::clone))
             .collect::<Result<_>>()?;
         let schema = JoinSchema::new(rels.iter().map(|r| r.schema().clone()).collect())?;
         Ok((rels, schema))
@@ -112,8 +125,11 @@ mod tests {
         )
         .unwrap();
         let hotels = Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
             vec![tup!["Lille", "AF"], tup!["Paris", ""]],
         )
         .unwrap();

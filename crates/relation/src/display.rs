@@ -77,7 +77,7 @@ pub fn relation_table(rel: &Relation) -> String {
 
 /// Render selected product tuples (by id) as an ASCII table with qualified
 /// headers and per-row marks — the paper's Figure 1 layout.
-pub fn product_table(product: &Product<'_>, ids: &[ProductId], marks: Option<&[String]>) -> String {
+pub fn product_table(product: &Product, ids: &[ProductId], marks: Option<&[String]>) -> String {
     let schema = product.schema();
     let headers: Vec<String> = schema
         .attrs()

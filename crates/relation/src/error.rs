@@ -131,8 +131,12 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        let a = RelationError::UnknownRelation { relation: "r".into() };
-        let b = RelationError::UnknownRelation { relation: "r".into() };
+        let a = RelationError::UnknownRelation {
+            relation: "r".into(),
+        };
+        let b = RelationError::UnknownRelation {
+            relation: "r".into(),
+        };
         assert_eq!(a, b);
     }
 

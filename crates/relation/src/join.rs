@@ -85,7 +85,7 @@ impl JoinSpec {
     }
 
     /// Reference evaluator: scan the product, test every tuple.
-    pub fn eval_nested_loop(&self, product: &Product<'_>) -> Result<Vec<ProductId>> {
+    pub fn eval_nested_loop(&self, product: &Product) -> Result<Vec<ProductId>> {
         self.check(product.schema())?;
         Ok(product
             .iter()
@@ -98,7 +98,7 @@ impl JoinSpec {
     /// incoming relation on the atoms that connect it to the accumulated
     /// prefix and probe with the prefix keys. Atoms internal to one relation
     /// become row filters. Returns ids in rank order.
-    pub fn eval_hash(&self, product: &Product<'_>) -> Result<Vec<ProductId>> {
+    pub fn eval_hash(&self, product: &Product) -> Result<Vec<ProductId>> {
         let schema = product.schema();
         self.check(schema)?;
         let relations = product.relations();
@@ -117,11 +117,20 @@ impl JoinSpec {
             let (ra, la) = schema.locate(a)?;
             let (rb, lb) = schema.locate(b)?;
             if ra == rb {
-                per_step[ra].push(StepAtom { local: la, other: Err(lb) });
+                per_step[ra].push(StepAtom {
+                    local: la,
+                    other: Err(lb),
+                });
             } else {
-                let ((r_hi, l_hi), (r_lo, l_lo)) =
-                    if ra > rb { ((ra, la), (rb, lb)) } else { ((rb, lb), (ra, la)) };
-                per_step[r_hi].push(StepAtom { local: l_hi, other: Ok((r_lo, l_lo)) });
+                let ((r_hi, l_hi), (r_lo, l_lo)) = if ra > rb {
+                    ((ra, la), (rb, lb))
+                } else {
+                    ((rb, lb), (ra, la))
+                };
+                per_step[r_hi].push(StepAtom {
+                    local: l_hi,
+                    other: Ok((r_lo, l_lo)),
+                });
             }
         }
 
@@ -191,7 +200,7 @@ impl JoinSpec {
     /// hash fold is the general evaluator; sort-merge exists as the
     /// classic alternative for the two-relation case (and as a third
     /// independent implementation to cross-check in tests).
-    pub fn eval_sort_merge(&self, product: &Product<'_>) -> Result<Vec<ProductId>> {
+    pub fn eval_sort_merge(&self, product: &Product) -> Result<Vec<ProductId>> {
         let schema = product.schema();
         self.check(schema)?;
         let relations = product.relations();
@@ -277,7 +286,7 @@ impl JoinSpec {
     /// even for self-joins.
     pub fn materialize(
         &self,
-        product: &Product<'_>,
+        product: &Product,
         ids: &[ProductId],
         name: impl Into<String>,
     ) -> Result<Relation> {
@@ -328,7 +337,10 @@ pub fn spec_by_names(
     let resolved: Vec<(GlobalAttr, GlobalAttr)> = pairs
         .iter()
         .map(|&((ra, na), (rb, nb))| {
-            Ok((schema.global_by_name(ra, na)?, schema.global_by_name(rb, nb)?))
+            Ok((
+                schema.global_by_name(ra, na)?,
+                schema.global_by_name(rb, nb)?,
+            ))
         })
         .collect::<Result<_>>()?;
     Ok(JoinSpec::new(resolved))
@@ -364,9 +376,16 @@ mod tests {
 
     fn hotels() -> Relation {
         Relation::new(
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
-            vec![tup!["NYC", "AA"], tup!["Paris", "None"], tup!["Lille", "AF"]],
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
+            vec![
+                tup!["NYC", "AA"],
+                tup!["Paris", "None"],
+                tup!["Lille", "AF"],
+            ],
         )
         .unwrap()
     }
@@ -534,9 +553,7 @@ mod tests {
     #[test]
     fn empty_relation_join_is_empty() {
         let f = flights();
-        let empty = Relation::empty(
-            RelationSchema::of("e", &[("x", DataType::Text)]).unwrap(),
-        );
+        let empty = Relation::empty(RelationSchema::of("e", &[("x", DataType::Text)]).unwrap());
         let p = Product::new(vec![&f, &empty]).unwrap();
         let spec = JoinSpec::always();
         assert!(spec.eval_hash(&p).unwrap().is_empty());

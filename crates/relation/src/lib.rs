@@ -50,7 +50,7 @@ mod value;
 pub use database::Database;
 pub use error::{RelationError, Result};
 pub use join::{spec_by_names, JoinSpec};
-pub use product::{Product, ProductId, ProductIter};
+pub use product::{IntoSharedRelation, Product, ProductId, ProductIter};
 pub use relation::Relation;
 pub use schema::{Attribute, GlobalAttr, JoinSchema, RelationSchema};
 pub use tuple::Tuple;

@@ -6,12 +6,18 @@
 //! id space (mixed-radix encoding, **last relation varies fastest**, which
 //! matches the row order of the paper's Figure 1) plus lazy decoding,
 //! iteration and sampling.
+//!
+//! A product **owns** its relations behind [`Arc`] handles, so a product —
+//! and everything built on top of it, like `jim-core`'s `Engine` — is a
+//! self-contained `Send + 'static` value that can be stored in a session
+//! map and served across requests. Self-joins share one allocation.
 
 use crate::error::{RelationError, Result};
 use crate::relation::Relation;
 use crate::schema::JoinSchema;
 use crate::tuple::Tuple;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Identifier of a tuple in a cartesian product (its mixed-radix rank).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,18 +36,57 @@ impl std::fmt::Display for ProductId {
     }
 }
 
-/// A view of the cartesian product of borrowed relations.
+/// Conversion into the shared relation handles a [`Product`] owns.
+///
+/// Implemented for `Arc<Relation>` (moved in), `Relation` (wrapped) and
+/// `&Relation` / `&Arc<Relation>` (cloned), so existing call sites like
+/// `Product::new(vec![&flights, &hotels])` keep working while services can
+/// share relations across sessions at zero copy cost.
+pub trait IntoSharedRelation {
+    /// Produce the owned handle.
+    fn into_shared(self) -> Arc<Relation>;
+}
+
+impl IntoSharedRelation for Arc<Relation> {
+    fn into_shared(self) -> Arc<Relation> {
+        self
+    }
+}
+
+impl IntoSharedRelation for Relation {
+    fn into_shared(self) -> Arc<Relation> {
+        Arc::new(self)
+    }
+}
+
+impl IntoSharedRelation for &Relation {
+    fn into_shared(self) -> Arc<Relation> {
+        Arc::new(self.clone())
+    }
+}
+
+impl IntoSharedRelation for &Arc<Relation> {
+    fn into_shared(self) -> Arc<Relation> {
+        Arc::clone(self)
+    }
+}
+
+/// The cartesian product of owned (shared) relations.
 #[derive(Debug, Clone)]
-pub struct Product<'a> {
-    relations: Vec<&'a Relation>,
+pub struct Product {
+    relations: Vec<Arc<Relation>>,
     schema: JoinSchema,
     size: u64,
 }
 
-impl<'a> Product<'a> {
+impl Product {
     /// Build the product view. Fails on an empty relation list or if the
     /// product size overflows `u64`.
-    pub fn new(relations: Vec<&'a Relation>) -> Result<Self> {
+    pub fn new<R: IntoSharedRelation>(relations: Vec<R>) -> Result<Self> {
+        let relations: Vec<Arc<Relation>> = relations
+            .into_iter()
+            .map(IntoSharedRelation::into_shared)
+            .collect();
         if relations.is_empty() {
             return Err(RelationError::InvalidJoin {
                 message: "cartesian product of zero relations".into(),
@@ -56,7 +101,11 @@ impl<'a> Product<'a> {
                     message: "cartesian product size overflows u64".into(),
                 })?;
         }
-        Ok(Product { relations, schema, size })
+        Ok(Product {
+            relations,
+            schema,
+            size,
+        })
     }
 
     /// The join schema of the product.
@@ -64,8 +113,8 @@ impl<'a> Product<'a> {
         &self.schema
     }
 
-    /// The participating relations.
-    pub fn relations(&self) -> &[&'a Relation] {
+    /// The participating relations (shared handles).
+    pub fn relations(&self) -> &[Arc<Relation>] {
         &self.relations
     }
 
@@ -131,7 +180,7 @@ impl<'a> Product<'a> {
     }
 
     /// Borrow the component rows behind `id` without concatenating them.
-    pub fn component_rows(&self, id: ProductId) -> Result<Vec<&'a Tuple>> {
+    pub fn component_rows(&self, id: ProductId) -> Result<Vec<&Tuple>> {
         let idx = self.decode(id)?;
         Ok(idx
             .iter()
@@ -141,8 +190,11 @@ impl<'a> Product<'a> {
     }
 
     /// Iterate over all `(id, tuple)` pairs in rank order.
-    pub fn iter(&self) -> ProductIter<'_, 'a> {
-        ProductIter { product: self, next: 0 }
+    pub fn iter(&self) -> ProductIter<'_> {
+        ProductIter {
+            product: self,
+            next: 0,
+        }
     }
 
     /// Draw `k` *distinct* product ids uniformly at random (all of them if
@@ -172,12 +224,12 @@ impl<'a> Product<'a> {
 
 /// Iterator over all tuples of a [`Product`] in rank order.
 #[derive(Debug)]
-pub struct ProductIter<'p, 'a> {
-    product: &'p Product<'a>,
+pub struct ProductIter<'p> {
+    product: &'p Product,
     next: u64,
 }
 
-impl Iterator for ProductIter<'_, '_> {
+impl Iterator for ProductIter<'_> {
     type Item = (ProductId, Tuple);
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -195,7 +247,7 @@ impl Iterator for ProductIter<'_, '_> {
     }
 }
 
-impl ExactSizeIterator for ProductIter<'_, '_> {}
+impl ExactSizeIterator for ProductIter<'_> {}
 
 #[cfg(test)]
 mod tests {

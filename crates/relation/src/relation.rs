@@ -22,7 +22,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation over `schema`.
     pub fn empty(schema: RelationSchema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build a relation and insert all `rows`, validating each.
@@ -214,7 +217,9 @@ mod tests {
     #[test]
     fn null_is_admitted_by_any_type() {
         let mut r = Relation::empty(flights_schema());
-        assert!(r.push(Tuple::new(vec![Value::Null, Value::text("x"), Value::Null])).is_ok());
+        assert!(r
+            .push(Tuple::new(vec![Value::Null, Value::text("x"), Value::Null]))
+            .is_ok());
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct Attribute {
 impl Attribute {
     /// Construct an attribute.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Attribute { name: name.into(), dtype }
+        Attribute {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -247,7 +250,12 @@ impl JoinSchema {
                 .iter()
                 .filter(|r| r.name() == schema.name())
                 .count();
-            Ok(format!("{}#{}.{}", schema.name(), occurrence_idx + 1, attr_name))
+            Ok(format!(
+                "{}#{}.{}",
+                schema.name(),
+                occurrence_idx + 1,
+                attr_name
+            ))
         } else {
             Ok(format!("{}.{}", schema.name(), attr_name))
         }
@@ -299,8 +307,11 @@ mod tests {
     }
 
     fn hotels() -> RelationSchema {
-        RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-            .unwrap()
+        RelationSchema::of(
+            "hotels",
+            &[("City", DataType::Text), ("Discount", DataType::Text)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -345,8 +356,14 @@ mod tests {
         assert_eq!(js.qualified_name(GlobalAttr(3)).unwrap(), "hotels.City");
 
         let selfjoin = JoinSchema::new(vec![flights(), flights()]).unwrap();
-        assert_eq!(selfjoin.qualified_name(GlobalAttr(0)).unwrap(), "flights#1.From");
-        assert_eq!(selfjoin.qualified_name(GlobalAttr(3)).unwrap(), "flights#2.From");
+        assert_eq!(
+            selfjoin.qualified_name(GlobalAttr(0)).unwrap(),
+            "flights#1.From"
+        );
+        assert_eq!(
+            selfjoin.qualified_name(GlobalAttr(3)).unwrap(),
+            "flights#2.From"
+        );
     }
 
     #[test]

@@ -125,8 +125,11 @@ mod tests {
                 ],
             )
             .unwrap(),
-            RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-                .unwrap(),
+            RelationSchema::of(
+                "hotels",
+                &[("City", DataType::Text), ("Discount", DataType::Text)],
+            )
+            .unwrap(),
         ])
         .unwrap()
     }
@@ -174,7 +177,10 @@ mod tests {
         )
         .unwrap();
         let rule = to_gav_rule(&s, &spec, "T").unwrap();
-        assert_eq!(rule, "T(x1, x2, x3) :- flights(x1, x2, x3), hotels(x2, x2).");
+        assert_eq!(
+            rule,
+            "T(x1, x2, x3) :- flights(x1, x2, x3), hotels(x2, x2)."
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl AttributeStats {
                 *histogram.entry(v.clone()).or_insert(0) += 1;
             }
         }
-        AttributeStats { rows: relation.len() as u64, nulls, histogram }
+        AttributeStats {
+            rows: relation.len() as u64,
+            nulls,
+            histogram,
+        }
     }
 
     /// Number of distinct non-NULL values.
@@ -78,15 +82,23 @@ pub struct JoinStats {
 
 impl JoinStats {
     /// Collect statistics for the given relation occurrences (must match
-    /// the join schema's occurrence order).
-    pub fn collect(relations: &[&Relation], schema: &JoinSchema) -> Result<JoinStats> {
+    /// the join schema's occurrence order). Accepts any slice of
+    /// relation handles (`&Relation`, `Arc<Relation>`, …).
+    pub fn collect<R: std::ops::Deref<Target = Relation>>(
+        relations: &[R],
+        schema: &JoinSchema,
+    ) -> Result<JoinStats> {
         let mut per_attr = Vec::with_capacity(schema.num_attrs());
         for ga in schema.attrs() {
             let (rel, local) = schema.locate(ga)?;
-            per_attr.push(AttributeStats::collect(relations[rel], local));
+            per_attr.push(AttributeStats::collect(&relations[rel], local));
         }
         let product_size = relations.iter().map(|r| r.len() as u64).product();
-        Ok(JoinStats { per_attr, schema: schema.clone(), product_size })
+        Ok(JoinStats {
+            per_attr,
+            schema: schema.clone(),
+            product_size,
+        })
     }
 
     /// Statistics of one attribute.
@@ -138,11 +150,7 @@ mod tests {
     fn customers() -> Relation {
         Relation::new(
             RelationSchema::of("c", &[("id", DataType::Int), ("city", DataType::Text)]).unwrap(),
-            vec![
-                tup![1, "Lille"],
-                tup![2, "Paris"],
-                tup![3, "Paris"],
-            ],
+            vec![tup![1, "Lille"], tup![2, "Paris"], tup![3, "Paris"]],
         )
         .unwrap()
     }
@@ -231,9 +239,7 @@ mod tests {
 
     #[test]
     fn empty_product_selectivity_zero() {
-        let empty = Relation::empty(
-            RelationSchema::of("e", &[("x", DataType::Int)]).unwrap(),
-        );
+        let empty = Relation::empty(RelationSchema::of("e", &[("x", DataType::Int)]).unwrap());
         let c = customers();
         let schema = JoinSchema::new(vec![c.schema().clone(), empty.schema().clone()]).unwrap();
         let stats = JoinStats::collect(&[&c, &empty], &schema).unwrap();

@@ -15,7 +15,9 @@ pub struct Tuple {
 impl Tuple {
     /// Build a tuple from owned values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values: values.into_boxed_slice() }
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
     }
 
     /// Number of values.
@@ -88,7 +90,6 @@ macro_rules! tup {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn construction_and_access() {

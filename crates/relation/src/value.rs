@@ -283,7 +283,10 @@ mod tests {
     fn nan_equals_itself_under_total_order() {
         // Join semantics need a lawful Eq; total_cmp gives NaN == NaN.
         assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
-        assert_eq!(hash_of(&Value::Float(f64::NAN)), hash_of(&Value::Float(f64::NAN)));
+        assert_eq!(
+            hash_of(&Value::Float(f64::NAN)),
+            hash_of(&Value::Float(f64::NAN))
+        );
     }
 
     #[test]
@@ -295,12 +298,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_types() {
-        let mut vals = [Value::text("b"),
+        let mut vals = [
+            Value::text("b"),
             Value::Int(2),
             Value::Null,
             Value::Bool(true),
             Value::Float(1.5),
-            Value::Int(1)];
+            Value::Int(1),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));
@@ -326,7 +331,10 @@ mod tests {
         assert_eq!(Value::parse_as("5", DataType::Int), Some(Value::Int(5)));
         assert_eq!(Value::parse_as("5", DataType::Text), Some(Value::text("5")));
         assert_eq!(Value::parse_as("x", DataType::Int), None);
-        assert_eq!(Value::parse_as("1", DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(
+            Value::parse_as("1", DataType::Bool),
+            Some(Value::Bool(true))
+        );
         assert_eq!(Value::parse_as("", DataType::Int), Some(Value::Null));
     }
 

@@ -1,0 +1,70 @@
+//! `jim-serve` — the JIM inference service over TCP.
+//!
+//! ```text
+//! jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]
+//! ```
+//!
+//! Speaks the JSON-lines protocol of `jim_server::protocol`; try it with
+//! the `jim` REPL client or plain `nc`.
+
+use jim_server::handler::Handler;
+use jim_server::serve::{serve, spawn_sweeper};
+use jim_server::store::{SessionStore, StoreConfig};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]");
+    std::process::exit(2);
+}
+
+fn main() -> std::io::Result<()> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 7914u16; // "JIM" on a phone pad, more or less.
+    let mut config = StoreConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("jim-serve: {flag} needs a value");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--port" => match value("--port").parse() {
+                Ok(p) => port = p,
+                Err(_) => usage(),
+            },
+            "--host" => host = value("--host"),
+            "--max-sessions" => match value("--max-sessions").parse() {
+                Ok(n) if n > 0 => config.max_sessions = n,
+                _ => usage(),
+            },
+            "--ttl-secs" => match value("--ttl-secs").parse() {
+                Ok(secs) if secs > 0 => config.ttl = Duration::from_secs(secs),
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("jim-serve: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let store = Arc::new(SessionStore::new(config));
+    spawn_sweeper(&store, Duration::from_secs(5).min(config.ttl));
+    let handler = Arc::new(Handler::new(store));
+
+    let listener = TcpListener::bind((host.as_str(), port))?;
+    eprintln!(
+        "jim-serve: listening on {} (max {} sessions, ttl {:?})",
+        listener.local_addr()?,
+        config.max_sessions,
+        config.ttl
+    );
+    serve(listener, handler)
+}

@@ -1,0 +1,483 @@
+//! Request dispatch: the transport-independent heart of the service.
+//!
+//! [`Handler::handle_line`] maps one wire line to one response line; the
+//! TCP server, the REPL's offline mode and the integration tests all call
+//! it. The handler holds the shared [`SessionStore`] and nothing else.
+
+use crate::protocol::{error, ok, parse_strategy, Request, Source};
+use crate::scenario;
+use crate::store::{Session, SessionStore};
+use jim_core::{explain, Engine, EngineOptions, StrategyKind, Transcript};
+use jim_json::Json;
+use jim_relation::{csv, Database, Product, ProductId};
+use std::sync::Arc;
+
+/// Dispatches decoded requests against the session store.
+pub struct Handler {
+    store: Arc<SessionStore>,
+}
+
+impl Handler {
+    /// A handler over a shared store.
+    pub fn new(store: Arc<SessionStore>) -> Self {
+        Handler { store }
+    }
+
+    /// The shared store (the server's sweeper thread also holds it).
+    pub fn store(&self) -> &Arc<SessionStore> {
+        &self.store
+    }
+
+    /// One wire line in, one wire line out. Never panics on client input:
+    /// malformed requests become `{"ok":false,...}` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match Request::parse(line) {
+            Ok(request) => self.handle(request),
+            Err(message) => error(message),
+        };
+        response.render()
+    }
+
+    /// Dispatch one decoded request.
+    pub fn handle(&self, request: Request) -> Json {
+        match request {
+            Request::CreateSession {
+                source,
+                strategy,
+                max_product,
+            } => self.create_session(source, strategy, max_product),
+            Request::NextQuestion { session } => self.with_session(session, Self::next_question),
+            Request::TopK { session, k } => self.with_session(session, |s| Self::top_k(s, k)),
+            Request::Answer {
+                session,
+                tuple,
+                label,
+            } => self.with_session(session, |s| Self::answer(s, tuple, label)),
+            Request::Stats { session } => self.with_session(session, Self::stats),
+            Request::Explain { session, tuple } => {
+                self.with_session(session, |s| Self::explain_tuple(s, tuple))
+            }
+            Request::Sql { session } => self.with_session(session, Self::sql),
+            Request::Transcript { session } => self.with_session(session, Self::transcript),
+            Request::ListSessions => self.list_sessions(),
+            Request::CloseSession { session } => {
+                if self.store.remove(session) {
+                    ok([("closed", Json::from(session))])
+                } else {
+                    error(format!("unknown session {session}"))
+                }
+            }
+        }
+    }
+
+    fn with_session(&self, id: u64, f: impl FnOnce(&mut Session) -> Json) -> Json {
+        match self.store.get(id) {
+            Some(handle) => {
+                let mut guard = handle.lock().expect("session lock");
+                f(&mut guard)
+            }
+            None => error(format!("unknown session {id} (expired or never created)")),
+        }
+    }
+
+    fn create_session(
+        &self,
+        source: Source,
+        strategy: Option<String>,
+        max_product: Option<u64>,
+    ) -> Json {
+        let product = match build_product(&source) {
+            Ok(p) => p,
+            Err(message) => return error(message),
+        };
+        let kind = match strategy.as_deref().map(parse_strategy) {
+            None => StrategyKind::LookaheadMinPrune,
+            Some(Ok(kind)) => kind,
+            Some(Err(message)) => return error(message),
+        };
+        let mut options = EngineOptions::default();
+        if let Some(limit) = max_product {
+            // Clients may lower the product-size guard, never raise it:
+            // the engine eagerly enumerates the product, so an unbounded
+            // client-supplied limit would be a remote allocation bomb.
+            options.max_product = limit.min(options.max_product);
+        }
+        let engine = match Engine::new(product, &options) {
+            Ok(e) => e,
+            Err(e) => return error(e.to_string()),
+        };
+        let columns = columns_of(&engine);
+        let tuples = engine.stats().total_tuples;
+        let atoms = engine.universe().len();
+        let (session, evicted) = self.store.create(engine, kind.build(), kind.to_string());
+        let id = session.lock().expect("session lock").id;
+        let mut fields = vec![
+            ("session", Json::from(id)),
+            ("strategy", Json::from(kind.to_string())),
+            ("tuples", Json::from(tuples)),
+            ("atoms", Json::from(atoms)),
+            ("columns", Json::Array(columns)),
+        ];
+        if let Some(evicted) = evicted {
+            fields.push(("evicted", Json::from(evicted)));
+        }
+        ok(fields)
+    }
+
+    fn next_question(session: &mut Session) -> Json {
+        // Re-propose a pending question that is still informative rather
+        // than consulting the strategy again (idempotent retries; stable
+        // under Random). A pending tuple that free-form answers meanwhile
+        // labeled OR pruned must not be re-proposed — in particular, the
+        // session may already be resolved.
+        let pending = session
+            .pending
+            .filter(|&id| session.engine.is_informative(id).unwrap_or(false));
+        let choice = match pending {
+            Some(id) => Some(id),
+            None => session.strategy.choose(&session.engine),
+        };
+        match choice {
+            None => {
+                session.pending = None;
+                resolved_response(&session.engine)
+            }
+            Some(id) => {
+                session.pending = Some(id);
+                let mut fields = vec![("resolved", Json::Bool(false))];
+                fields.extend(tuple_fields(&session.engine, id));
+                fields.push((
+                    "informative_remaining",
+                    Json::from(session.engine.stats().informative),
+                ));
+                ok(fields)
+            }
+        }
+    }
+
+    fn top_k(session: &mut Session, k: usize) -> Json {
+        let session = &mut *session;
+        let batch = session.strategy.top_k(&session.engine, k);
+        if batch.is_empty() {
+            return resolved_response(&session.engine);
+        }
+        session.pending = Some(batch[0]);
+        let tuples: Vec<Json> = batch
+            .iter()
+            .map(|&id| Json::object(tuple_fields(&session.engine, id)))
+            .collect();
+        ok([
+            ("resolved", Json::Bool(false)),
+            ("tuples", Json::Array(tuples)),
+        ])
+    }
+
+    fn answer(session: &mut Session, tuple: Option<u64>, label: jim_core::Label) -> Json {
+        let id = match tuple.map(ProductId).or(session.pending) {
+            Some(id) => id,
+            None => {
+                return error("no pending question; ask NextQuestion first or pass a `tuple` rank")
+            }
+        };
+        match session.engine.label(id, label) {
+            Err(e) => error(e.to_string()),
+            Ok(outcome) => {
+                if session.pending == Some(id) {
+                    session.pending = None;
+                }
+                let mut fields = vec![
+                    ("tuple", Json::from(id.0)),
+                    ("label", Json::from(label.to_string())),
+                    ("was_informative", Json::Bool(outcome.was_informative)),
+                    ("pruned", Json::from(outcome.pruned)),
+                    (
+                        "informative_remaining",
+                        Json::from(outcome.informative_remaining),
+                    ),
+                    ("resolved", Json::Bool(outcome.resolved)),
+                ];
+                if outcome.resolved {
+                    let predicate = session.engine.result();
+                    fields.push(("predicate", Json::from(predicate.to_string())));
+                    fields.push(("sql", Json::from(predicate.to_sql())));
+                }
+                ok(fields)
+            }
+        }
+    }
+
+    fn stats(session: &mut Session) -> Json {
+        let stats = session.engine.stats();
+        ok([
+            ("total_tuples", Json::from(stats.total_tuples)),
+            ("labeled_positive", Json::from(stats.labeled_positive)),
+            ("labeled_negative", Json::from(stats.labeled_negative)),
+            ("pruned", Json::from(stats.pruned)),
+            ("informative", Json::from(stats.informative)),
+            ("interactions", Json::from(stats.interactions())),
+            (
+                "wasted_interactions",
+                Json::from(stats.wasted_interactions()),
+            ),
+            ("resolved_fraction", Json::from(stats.resolved_fraction())),
+            ("resolved", Json::Bool(session.engine.is_resolved())),
+            ("strategy", Json::from(session.strategy_name.as_str())),
+            ("summary", Json::from(stats.to_string())),
+        ])
+    }
+
+    fn explain_tuple(session: &mut Session, tuple: Option<u64>) -> Json {
+        let id = match tuple.map(ProductId).or(session.pending) {
+            Some(id) => id,
+            None => return error("pass a `tuple` rank or ask NextQuestion first"),
+        };
+        let class = match session.engine.classify(id) {
+            Ok(class) => class,
+            Err(e) => return error(e.to_string()),
+        };
+        match explain(&session.engine, id) {
+            Err(e) => error(e.to_string()),
+            Ok(explanation) => ok([
+                ("tuple", Json::from(id.0)),
+                ("class", Json::from(format!("{class:?}"))),
+                ("explanation", Json::from(explanation.to_string())),
+            ]),
+        }
+    }
+
+    fn sql(session: &mut Session) -> Json {
+        let predicate = session.engine.result();
+        ok([
+            ("resolved", Json::Bool(session.engine.is_resolved())),
+            ("predicate", Json::from(predicate.to_string())),
+            ("sql", Json::from(predicate.to_sql())),
+            ("gav", Json::from(predicate.to_gav("Inferred"))),
+        ])
+    }
+
+    fn transcript(session: &mut Session) -> Json {
+        let transcript = Transcript::capture(&session.engine);
+        ok([
+            ("transcript", transcript.to_json()),
+            ("text", Json::from(transcript.to_string())),
+        ])
+    }
+
+    fn list_sessions(&self) -> Json {
+        let sessions: Vec<Json> = self
+            .store
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                // peek, not get: listing sessions must not refresh their
+                // TTL/LRU stamps, or a monitoring poller keeps every
+                // abandoned session alive forever.
+                let handle = self.store.peek(id)?;
+                let guard: std::sync::MutexGuard<'_, Session> =
+                    handle.lock().expect("session lock");
+                Some(Json::object([
+                    ("session", Json::from(id)),
+                    ("strategy", Json::from(guard.strategy_name.as_str())),
+                    ("tuples", Json::from(guard.engine.stats().total_tuples)),
+                    (
+                        "interactions",
+                        Json::from(guard.engine.stats().interactions()),
+                    ),
+                    ("resolved", Json::Bool(guard.engine.is_resolved())),
+                ]))
+            })
+            .collect();
+        ok([("sessions", Json::Array(sessions))])
+    }
+}
+
+/// `{resolved:true}` plus the inferred query.
+fn resolved_response(engine: &Engine) -> Json {
+    let predicate = engine.result();
+    ok([
+        ("resolved", Json::Bool(true)),
+        ("predicate", Json::from(predicate.to_string())),
+        ("sql", Json::from(predicate.to_sql())),
+    ])
+}
+
+/// `tuple` + rendered `values` fields for one candidate.
+fn tuple_fields(engine: &Engine, id: ProductId) -> Vec<(&'static str, Json)> {
+    let values = match engine.product().tuple(id) {
+        Ok(tuple) => tuple
+            .values()
+            .iter()
+            .map(|v| Json::from(v.to_string()))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    vec![("tuple", Json::from(id.0)), ("values", Json::Array(values))]
+}
+
+/// Qualified column names of the product schema.
+fn columns_of(engine: &Engine) -> Vec<Json> {
+    let schema = engine.product().schema();
+    schema
+        .attrs()
+        .map(|ga| {
+            Json::from(
+                schema
+                    .qualified_name(ga)
+                    .expect("attr enumerated from schema"),
+            )
+        })
+        .collect()
+}
+
+fn build_product(source: &Source) -> Result<Product, String> {
+    match source {
+        Source::Scenario { name } => scenario::product(name),
+        Source::Inline { relations, view } => {
+            if relations.is_empty() {
+                return Err("`relations` must not be empty".into());
+            }
+            // The catalog does the bookkeeping (duplicate names, name
+            // lookup, shared Arc handles); this arm only parses CSV.
+            let mut db = Database::new();
+            for (name, text) in relations {
+                let relation = csv::read_relation(name.clone(), text)
+                    .map_err(|e| format!("relation `{name}`: {e}"))?;
+                db.add(relation).map_err(|e| e.to_string())?;
+            }
+            let names: Vec<&str> = match view {
+                None => relations.iter().map(|(name, _)| name.as_str()).collect(),
+                Some(names) => {
+                    if names.is_empty() {
+                        return Err("`view` must not be empty".into());
+                    }
+                    names.iter().map(String::as_str).collect()
+                }
+            };
+            let (occurrences, _) = db.join_view(&names).map_err(|e| e.to_string())?;
+            Product::new(occurrences).map_err(|e| e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn handler() -> Handler {
+        Handler::new(Arc::new(SessionStore::new(StoreConfig::default())))
+    }
+
+    fn send(h: &Handler, line: &str) -> Json {
+        Json::parse(&h.handle_line(line)).expect("responses are valid JSON")
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_response() {
+        let h = handler();
+        let r = send(&h, "][");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn unknown_session_is_an_error_response() {
+        let h = handler();
+        let r = send(&h, r#"{"op":"NextQuestion","session":42}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert!(r.get("error").unwrap().as_str().unwrap().contains("42"));
+    }
+
+    #[test]
+    fn create_from_scenario_reports_shape() {
+        let h = handler();
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"lookahead-minprune"}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("tuples").unwrap().as_u64(), Some(12));
+        assert_eq!(r.get("atoms").unwrap().as_u64(), Some(6));
+        assert_eq!(r.get("columns").unwrap().as_array().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn create_rejects_bad_inputs() {
+        let h = handler();
+        for (line, needle) in [
+            (
+                r#"{"op":"CreateSession","source":{"scenario":"nope"}}"#,
+                "unknown scenario",
+            ),
+            (
+                r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"nope"}"#,
+                "unknown strategy",
+            ),
+            (
+                r#"{"op":"CreateSession","source":{"relations":[{"name":"a","csv":"x\n1\n"}]},"max_product":0}"#,
+                "above the limit",
+            ),
+            (
+                r#"{"op":"CreateSession","source":{"relations":[{"name":"a","csv":"\"bad"}]}}"#,
+                "relation `a`",
+            ),
+            (
+                r#"{"op":"CreateSession","source":{"relations":[{"name":"a","csv":"x\n1\n"},{"name":"a","csv":"x\n1\n"}]}}"#,
+                "twice",
+            ),
+            (
+                r#"{"op":"CreateSession","source":{"relations":[{"name":"a","csv":"x\n1\n"}],"view":["b"]}}"#,
+                "no relation",
+            ),
+        ] {
+            let r = send(&h, line);
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(false), "{line}");
+            assert!(
+                r.get("error").unwrap().as_str().unwrap().contains(needle),
+                "{line} -> {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn answer_without_pending_is_rejected() {
+        let h = handler();
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#,
+        );
+        let id = r.get("session").unwrap().as_u64().unwrap();
+        let r = send(
+            &h,
+            &format!(r#"{{"op":"Answer","session":{id},"label":"+"}}"#),
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn next_question_is_idempotent_until_answered() {
+        let h = handler();
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"random:3"}"#,
+        );
+        let id = r.get("session").unwrap().as_u64().unwrap();
+        let q1 = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        let q2 = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        assert_eq!(
+            q1.get("tuple").unwrap().as_u64(),
+            q2.get("tuple").unwrap().as_u64(),
+            "a random strategy must not re-roll an unanswered question"
+        );
+    }
+
+    #[test]
+    fn self_join_view_from_inline_csv() {
+        let h = handler();
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"relations":[{"name":"h","csv":"City,Discount\nNYC,AA\nLille,AF\n"}],"view":["h","h"]}}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(r.get("tuples").unwrap().as_u64(), Some(4));
+    }
+}

@@ -1,0 +1,53 @@
+//! # `jim-server` — a concurrent multi-session JIM inference service
+//!
+//! The paper's system is interactive by construction: a user answers
+//! membership questions over many round trips. This crate turns the
+//! `jim-core` engine into a long-lived service able to host many such
+//! users at once:
+//!
+//! * [`store`] — an id-keyed concurrent [`SessionStore`] of **owned**
+//!   sessions (engine + strategy + pending question), with a max-sessions
+//!   cap, LRU eviction and TTL sweeping. This is what the ownership
+//!   refactor in `jim-relation`/`jim-core` (products own `Arc<Relation>`,
+//!   `Engine` is `Send + 'static`) exists for.
+//! * [`protocol`] — a JSON-lines wire protocol: `CreateSession` (inline
+//!   CSV or a named `jim-synth` scenario, with strategy choice),
+//!   `NextQuestion`, `TopK`, `Answer`, `Stats`, `Explain`, `Sql`,
+//!   `Transcript`, `ListSessions`, `CloseSession`.
+//! * [`handler`] — transport-independent dispatch: one request line in,
+//!   one response line out.
+//! * [`serve`] — a thread-per-connection TCP listener plus the TTL
+//!   sweeper thread.
+//! * [`scenario`] — named demo datasets a client can open without
+//!   shipping data.
+//!
+//! Binaries: `jim-serve` (the server) and `jim` (an interactive REPL
+//! client that plays the paper's Figure-3 "most informative" loop over the
+//! wire).
+//!
+//! ## Example (in-process)
+//!
+//! ```
+//! use jim_server::handler::Handler;
+//! use jim_server::store::{SessionStore, StoreConfig};
+//! use std::sync::Arc;
+//!
+//! let handler = Handler::new(Arc::new(SessionStore::new(StoreConfig::default())));
+//! let r = handler.handle_line(
+//!     r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}"#,
+//! );
+//! assert!(r.contains("\"ok\":true"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod handler;
+pub mod protocol;
+pub mod scenario;
+pub mod serve;
+pub mod store;
+
+pub use handler::Handler;
+pub use protocol::{Request, Source};
+pub use store::{Session, SessionStore, StoreConfig};

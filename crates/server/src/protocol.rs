@@ -1,0 +1,458 @@
+//! The JSON-lines wire protocol.
+//!
+//! Every request is one JSON object on one line, tagged by `"op"`; every
+//! response is one JSON object on one line with an `"ok"` boolean. The
+//! protocol is deliberately transport-agnostic: `serve` speaks it over TCP,
+//! tests speak it over an in-memory handler, and a future async backend can
+//! reuse it verbatim.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}
+//! {"op":"CreateSession","source":{"relations":[{"name":"flights","csv":"From,To\n..."}]}}
+//! {"op":"NextQuestion","session":1}
+//! {"op":"TopK","session":1,"k":3}
+//! {"op":"Answer","session":1,"label":"+"}
+//! {"op":"Answer","session":1,"tuple":11,"label":"-"}
+//! {"op":"Stats","session":1}
+//! {"op":"Explain","session":1,"tuple":4}
+//! {"op":"Sql","session":1}
+//! {"op":"Transcript","session":1}
+//! {"op":"ListSessions"}
+//! {"op":"CloseSession","session":1}
+//! ```
+
+use jim_core::{Label, StrategyKind};
+use jim_json::Json;
+
+/// Where a session's relations come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// Relations supplied inline as CSV text; `view` names the occurrences
+    /// to join in order (defaults to all relations once each, enabling
+    /// self-joins when a name repeats).
+    Inline {
+        /// `(name, csv_text)` pairs.
+        relations: Vec<(String, String)>,
+        /// Optional join view (relation names, repeats allowed).
+        view: Option<Vec<String>>,
+    },
+    /// A named `jim-synth` scenario (`flights`, `setgame`, `tpch`, `random`).
+    Scenario {
+        /// The scenario name.
+        name: String,
+    },
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session over a data source with an optional strategy choice.
+    CreateSession {
+        /// The data to infer over.
+        source: Source,
+        /// Strategy name (see [`parse_strategy`]); default lookahead-minprune.
+        strategy: Option<String>,
+        /// Refuse products larger than this (default: engine default).
+        max_product: Option<u64>,
+    },
+    /// Ask for the next most-informative tuple (Figure 3.4).
+    NextQuestion {
+        /// Target session.
+        session: u64,
+    },
+    /// Ask for the `k` most informative tuples (Figure 3.3).
+    TopK {
+        /// Target session.
+        session: u64,
+        /// Batch size.
+        k: usize,
+    },
+    /// Label a tuple: the pending question, or an explicit `tuple` rank
+    /// (free labeling, Figure 3.1/3.2).
+    Answer {
+        /// Target session.
+        session: u64,
+        /// Explicit tuple rank; defaults to the pending question.
+        tuple: Option<u64>,
+        /// The membership answer.
+        label: Label,
+    },
+    /// Progress statistics (the demo UI's counters).
+    Stats {
+        /// Target session.
+        session: u64,
+    },
+    /// Why is a tuple classified the way it is?
+    Explain {
+        /// Target session.
+        session: u64,
+        /// Tuple rank; defaults to the pending question.
+        tuple: Option<u64>,
+    },
+    /// The current canonical predicate as SQL (and GAV).
+    Sql {
+        /// Target session.
+        session: u64,
+    },
+    /// The session's label log as a replayable JSON transcript.
+    Transcript {
+        /// Target session.
+        session: u64,
+    },
+    /// Ids and progress of every live session.
+    ListSessions,
+    /// Drop a session.
+    CloseSession {
+        /// Target session.
+        session: u64,
+    },
+}
+
+impl Request {
+    /// Decode a request object. Errors are plain strings — the handler
+    /// turns them into `{"ok":false,...}` responses.
+    pub fn from_json(json: &Json) -> Result<Request, String> {
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing `op` field")?;
+        let session = || {
+            json.get("session")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{op}` needs a numeric `session` field"))
+        };
+        // A present-but-malformed `tuple` must be rejected, not silently
+        // dropped (dropping it would fall back to the pending tuple and
+        // label the wrong row).
+        let tuple = match json.get("tuple") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| format!("`tuple` must be a non-negative rank, got {v}"))?,
+            ),
+        };
+        match op {
+            "CreateSession" => {
+                let source = json.get("source").ok_or("missing `source` field")?;
+                let source = if let Some(name) = source.get("scenario").and_then(Json::as_str) {
+                    Source::Scenario {
+                        name: name.to_string(),
+                    }
+                } else if let Some(rels) = source.get("relations").and_then(Json::as_array) {
+                    let mut relations = Vec::new();
+                    for (i, rel) in rels.iter().enumerate() {
+                        let name = rel
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or(format!("relation {i}: missing `name`"))?;
+                        let csv = rel
+                            .get("csv")
+                            .and_then(Json::as_str)
+                            .ok_or(format!("relation {i}: missing `csv`"))?;
+                        relations.push((name.to_string(), csv.to_string()));
+                    }
+                    let view = match json.get("source").and_then(|s| s.get("view")) {
+                        None => None,
+                        Some(v) => Some(
+                            v.as_array()
+                                .ok_or("`view` must be an array of relation names")?
+                                .iter()
+                                .map(|n| {
+                                    n.as_str()
+                                        .map(str::to_string)
+                                        .ok_or("`view` entries must be strings".to_string())
+                                })
+                                .collect::<Result<Vec<_>, _>>()?,
+                        ),
+                    };
+                    Source::Inline { relations, view }
+                } else {
+                    return Err("`source` needs either `scenario` or `relations`".into());
+                };
+                Ok(Request::CreateSession {
+                    source,
+                    strategy: json
+                        .get("strategy")
+                        .and_then(Json::as_str)
+                        .map(str::to_string),
+                    max_product: json.get("max_product").and_then(Json::as_u64),
+                })
+            }
+            "NextQuestion" => Ok(Request::NextQuestion {
+                session: session()?,
+            }),
+            "TopK" => Ok(Request::TopK {
+                session: session()?,
+                k: json
+                    .get("k")
+                    .and_then(Json::as_u64)
+                    .filter(|&k| k > 0)
+                    .ok_or("`TopK` needs a positive `k`")? as usize,
+            }),
+            "Answer" => Ok(Request::Answer {
+                session: session()?,
+                tuple,
+                label: parse_label(json.get("label").ok_or("`Answer` needs a `label`")?)?,
+            }),
+            "Stats" => Ok(Request::Stats {
+                session: session()?,
+            }),
+            "Explain" => Ok(Request::Explain {
+                session: session()?,
+                tuple,
+            }),
+            "Sql" => Ok(Request::Sql {
+                session: session()?,
+            }),
+            "Transcript" => Ok(Request::Transcript {
+                session: session()?,
+            }),
+            "ListSessions" => Ok(Request::ListSessions),
+            "CloseSession" => Ok(Request::CloseSession {
+                session: session()?,
+            }),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Decode one wire line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let json = Json::parse(line).map_err(|e| e.to_string())?;
+        Request::from_json(&json)
+    }
+}
+
+/// Accepts `"+"`, `"-"`, `"positive"`, `"negative"`, `"yes"`, `"no"`,
+/// `"y"`, `"n"` (case-insensitive) and JSON booleans.
+pub fn parse_label(value: &Json) -> Result<Label, String> {
+    if let Some(b) = value.as_bool() {
+        return Ok(Label::from_bool(b));
+    }
+    match value.as_str().map(str::to_ascii_lowercase).as_deref() {
+        Some("+" | "positive" | "yes" | "y" | "true") => Ok(Label::Positive),
+        Some("-" | "negative" | "no" | "n" | "false") => Ok(Label::Negative),
+        _ => Err(format!("bad label {value}; use \"+\" or \"-\"")),
+    }
+}
+
+/// Resolve a strategy name to a [`StrategyKind`]. Names are matched
+/// ignoring case, `-`, `_` and spaces, so both the display names
+/// (`lookahead-minprune`) and the enum names (`LookaheadMinPrune`) work.
+/// `random` takes an optional seed suffix: `random:42`.
+pub fn parse_strategy(name: &str) -> Result<StrategyKind, String> {
+    // Split the `:arg` suffix off *before* normalizing: stripping `-`
+    // from the whole string would mangle negative arguments
+    // (`lookahead-entropy:-0.5` must not become alpha 0.5).
+    let (head_raw, arg) = match name.split_once(':') {
+        Some((h, a)) => (h, Some(a)),
+        None => (name, None),
+    };
+    let norm: String = head_raw
+        .chars()
+        .filter(|c| !matches!(c, '-' | '_' | ' '))
+        .collect::<String>()
+        .to_ascii_lowercase();
+    let head = norm.as_str();
+    let kind = match head {
+        "random" => StrategyKind::Random {
+            seed: match arg {
+                None => 0,
+                Some(a) => a.parse().map_err(|_| format!("bad random seed `{a}`"))?,
+            },
+        },
+        "localgeneral" => StrategyKind::LocalGeneral,
+        "localspecific" => StrategyKind::LocalSpecific,
+        "localfrequency" => StrategyKind::LocalFrequency,
+        "lookaheadminprune" => StrategyKind::LookaheadMinPrune,
+        "lookaheadexpected" => StrategyKind::LookaheadExpected,
+        "lookaheadentropy" => StrategyKind::LookaheadEntropy {
+            alpha: match arg {
+                None => 1.0,
+                Some(a) => a.parse().map_err(|_| format!("bad entropy alpha `{a}`"))?,
+            },
+        },
+        "lookahead2step" | "lookaheadtwostep" => StrategyKind::LookaheadTwoStep,
+        "hybrid" => StrategyKind::Hybrid { threshold: 16 },
+        "dataaware" => StrategyKind::DataAware,
+        "optimal" => StrategyKind::Optimal,
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    Ok(kind)
+}
+
+/// A success response: `{"ok":true, ...fields}`.
+pub fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Object(all)
+}
+
+/// An error response: `{"ok":false,"error":message}`.
+pub fn error(message: impl Into<String>) -> Json {
+    Json::object([
+        ("ok", Json::Bool(false)),
+        ("error", Json::from(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_with_scenario() {
+        let r = Request::parse(
+            r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::CreateSession {
+                source,
+                strategy,
+                max_product,
+            } => {
+                assert_eq!(
+                    source,
+                    Source::Scenario {
+                        name: "flights".into()
+                    }
+                );
+                assert_eq!(strategy.as_deref(), Some("LookaheadMinPrune"));
+                assert_eq!(max_product, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_with_inline_csv_and_view() {
+        let r = Request::parse(
+            r#"{"op":"CreateSession","source":{"relations":[{"name":"h","csv":"City\nNYC\n"}],"view":["h","h"]}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::CreateSession {
+                source: Source::Inline { relations, view },
+                ..
+            } => {
+                assert_eq!(relations.len(), 1);
+                assert_eq!(view, Some(vec!["h".to_string(), "h".to_string()]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_session_ops() {
+        assert_eq!(
+            Request::parse(r#"{"op":"NextQuestion","session":3}"#).unwrap(),
+            Request::NextQuestion { session: 3 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"TopK","session":1,"k":4}"#).unwrap(),
+            Request::TopK { session: 1, k: 4 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"Answer","session":1,"label":"+"}"#).unwrap(),
+            Request::Answer {
+                session: 1,
+                tuple: None,
+                label: Label::Positive
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"Answer","session":1,"tuple":7,"label":false}"#).unwrap(),
+            Request::Answer {
+                session: 1,
+                tuple: Some(7),
+                label: Label::Negative
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"CloseSession","session":9}"#).unwrap(),
+            Request::CloseSession { session: 9 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"ListSessions"}"#).unwrap(),
+            Request::ListSessions
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"no_op":1}"#,
+            r#"{"op":"Frobnicate"}"#,
+            r#"{"op":"NextQuestion"}"#,
+            r#"{"op":"TopK","session":1,"k":0}"#,
+            r#"{"op":"Answer","session":1}"#,
+            r#"{"op":"Answer","session":1,"label":"maybe"}"#,
+            r#"{"op":"CreateSession"}"#,
+            r#"{"op":"CreateSession","source":{}}"#,
+            r#"{"op":"CreateSession","source":{"relations":[{"csv":"x"}]}}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn strategy_names_resolve() {
+        assert_eq!(
+            parse_strategy("LookaheadMinPrune").unwrap(),
+            StrategyKind::LookaheadMinPrune
+        );
+        assert_eq!(
+            parse_strategy("lookahead-minprune").unwrap(),
+            StrategyKind::LookaheadMinPrune
+        );
+        assert_eq!(
+            parse_strategy("local_general").unwrap(),
+            StrategyKind::LocalGeneral
+        );
+        assert_eq!(
+            parse_strategy("random:42").unwrap(),
+            StrategyKind::Random { seed: 42 }
+        );
+        assert_eq!(
+            parse_strategy("lookahead-entropy:2.0").unwrap(),
+            StrategyKind::LookaheadEntropy { alpha: 2.0 }
+        );
+        assert_eq!(parse_strategy("optimal").unwrap(), StrategyKind::Optimal);
+        assert!(parse_strategy("simulated-annealing").is_err());
+        assert!(parse_strategy("random:x").is_err());
+        // Negative arguments must not be silently de-signed by name
+        // normalization: a u64 seed rejects them, a float alpha keeps the
+        // sign.
+        assert!(parse_strategy("random:-1").is_err());
+        assert_eq!(
+            parse_strategy("lookahead-entropy:-0.5").unwrap(),
+            StrategyKind::LookaheadEntropy { alpha: -0.5 }
+        );
+    }
+
+    #[test]
+    fn malformed_tuple_field_is_rejected_not_dropped() {
+        for bad in [
+            r#"{"op":"Answer","session":1,"tuple":"7","label":"+"}"#,
+            r#"{"op":"Answer","session":1,"tuple":-3,"label":"+"}"#,
+            r#"{"op":"Answer","session":1,"tuple":1.5,"label":"+"}"#,
+            r#"{"op":"Explain","session":1,"tuple":"x"}"#,
+        ] {
+            let err = Request::parse(bad).unwrap_err();
+            assert!(err.contains("tuple"), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn response_helpers_shape() {
+        let r = ok([("session", Json::from(1u64))]);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("session").unwrap().as_u64(), Some(1));
+        let e = error("boom");
+        assert_eq!(e.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(e.get("error").unwrap().as_str(), Some("boom"));
+    }
+}

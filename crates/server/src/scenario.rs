@@ -1,0 +1,77 @@
+//! Named `jim-synth` scenarios a client can open without shipping data.
+
+use jim_relation::{IntoSharedRelation, Product, RelationError};
+use jim_synth::{flights, random_db, setgame, tpch};
+
+/// Build the product for a named scenario.
+///
+/// * `flights` — the paper's Figure 1 instance (4 flights × 3 hotels).
+/// * `setgame` — a 12-card Set subdeck self-joined (Figure 5's "joining
+///   sets of pictures", kept small enough for interactive play).
+/// * `tpch` — a tiny TPC-H-shaped customer × orders instance.
+/// * `random` — a seeded random 2-relation instance (domain 3).
+pub fn product(name: &str) -> Result<Product, String> {
+    let build = |rels: Vec<jim_relation::Relation>| {
+        Product::new(rels).map_err(|e: RelationError| e.to_string())
+    };
+    match name {
+        "flights" => build(vec![flights::flights(), flights::hotels()]),
+        "setgame" => {
+            let deck = setgame::subdeck(12, 5);
+            let shared = deck.into_shared();
+            Product::new(vec![shared.clone(), shared]).map_err(|e| e.to_string())
+        }
+        "tpch" => {
+            let db = tpch::generate(tpch::TpchConfig {
+                scale: 0.25,
+                seed: 7,
+            });
+            let (rels, _) = db
+                .join_view(&["customer", "orders"])
+                .map_err(|e| e.to_string())?;
+            Product::new(rels).map_err(|e| e.to_string())
+        }
+        "random" => {
+            let db = random_db::generate(&random_db::RandomDbConfig::uniform(2, 3, 8, 3, 11));
+            let (rels, _) = db.join_view(&["r1", "r2"]).map_err(|e| e.to_string())?;
+            Product::new(rels).map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown scenario `{other}`; available: flights, setgame, tpch, random"
+        )),
+    }
+}
+
+/// The scenario names [`product`] accepts.
+pub const NAMES: &[&str] = &["flights", "setgame", "tpch", "random"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_scenario_builds() {
+        for name in NAMES {
+            let p = product(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(p.size() > 0, "{name} is empty");
+        }
+    }
+
+    #[test]
+    fn flights_is_the_paper_instance() {
+        assert_eq!(product("flights").unwrap().size(), 12);
+    }
+
+    #[test]
+    fn setgame_shares_the_deck_allocation() {
+        let p = product("setgame").unwrap();
+        let rels = p.relations();
+        assert!(std::sync::Arc::ptr_eq(&rels[0], &rels[1]));
+    }
+
+    #[test]
+    fn unknown_scenario_lists_options() {
+        let err = product("nope").unwrap_err();
+        assert!(err.contains("flights"));
+    }
+}

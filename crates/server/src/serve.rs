@@ -1,0 +1,87 @@
+//! The TCP front end: JSON lines over a thread-per-connection listener.
+//!
+//! Scale story (ROADMAP): thread-per-connection is the simplest correct
+//! backend for the session-store architecture — the store is the shared
+//! state, connections are stateless request pumps, so swapping this module
+//! for an async reactor or a sharded fleet touches nothing else.
+
+use crate::handler::Handler;
+use crate::store::SessionStore;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accept connections forever, one thread per connection.
+pub fn serve(listener: TcpListener, handler: Arc<Handler>) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        match stream {
+            Err(e) => eprintln!("jim-serve: accept failed: {e}"),
+            Ok(stream) => {
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    if let Err(e) = serve_connection(stream, &handler) {
+                        // Disconnects are routine; log and move on.
+                        eprintln!("jim-serve: connection ended: {e}");
+                    }
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Longest request line the server buffers (16 MiB — roomy enough for a
+/// large inline-CSV `CreateSession`). A peer streaming bytes with no
+/// newline must not grow server memory without bound.
+pub const MAX_LINE_BYTES: u64 = 16 << 20;
+
+/// Pump one connection: read request lines, write response lines. Returns
+/// when the peer closes the stream; drops the connection after answering
+/// if a line exceeds [`MAX_LINE_BYTES`].
+pub fn serve_connection(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        let n = (&mut reader)
+            .take(MAX_LINE_BYTES)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(()); // peer closed
+        }
+        if buf.last() != Some(&b'\n') && n as u64 == MAX_LINE_BYTES {
+            writer.write_all(br#"{"ok":false,"error":"request line exceeds the 16 MiB limit"}"#)?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            return Ok(()); // drop the connection rather than resync mid-line
+        }
+        let line = String::from_utf8_lossy(&buf);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handler.handle_line(line.trim());
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// Start the TTL sweeper: a detached thread evicting expired sessions every
+/// `interval` (floored at 100ms so a tiny TTL cannot become a busy loop).
+/// Holds only a weak reference, so dropping the store stops it.
+pub fn spawn_sweeper(store: &Arc<SessionStore>, interval: Duration) {
+    let interval = interval.max(Duration::from_millis(100));
+    let weak = Arc::downgrade(store);
+    std::thread::spawn(move || {
+        while let Some(store) = weak.upgrade() {
+            let evicted = store.sweep_at(std::time::Instant::now());
+            if !evicted.is_empty() {
+                eprintln!("jim-serve: swept {} expired session(s)", evicted.len());
+            }
+            drop(store);
+            std::thread::sleep(interval);
+        }
+    });
+}

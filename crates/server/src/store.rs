@@ -1,0 +1,314 @@
+//! The session store: id-keyed, concurrent, bounded.
+//!
+//! A [`Session`] owns everything the interaction loop needs — the engine
+//! (which owns its product, which owns its relations), the strategy state
+//! and the pending question. Nothing borrows; the ownership refactor in
+//! `jim-relation`/`jim-core` made `Engine` a `Send + 'static` value
+//! precisely so it can live here across requests.
+//!
+//! Concurrency model: a short-lived store lock guards the id map; each
+//! session has its own lock, so requests against different sessions
+//! proceed in parallel and a slow strategy choice in one session never
+//! blocks another. Capacity is bounded two ways:
+//!
+//! * **max sessions** — creating one past the cap evicts the
+//!   least-recently-used session (LRU);
+//! * **TTL** — [`SessionStore::sweep_at`] drops sessions idle longer than
+//!   the configured time-to-live (the server runs it periodically).
+
+use jim_core::{Engine, Strategy};
+use jim_relation::ProductId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One live inference session, owned by the store.
+pub struct Session {
+    /// The store-assigned id.
+    pub id: u64,
+    /// The engine, in whatever state the labels so far have produced.
+    pub engine: Engine,
+    /// The strategy driving question selection (stateful for random /
+    /// data-aware strategies).
+    pub strategy: Box<dyn Strategy + Send>,
+    /// Display name of the strategy, echoed in responses.
+    pub strategy_name: String,
+    /// The question last proposed and not yet answered, if any.
+    pub pending: Option<ProductId>,
+}
+
+/// Store limits.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Maximum number of live sessions; creating past this evicts the LRU
+    /// session.
+    pub max_sessions: usize,
+    /// Idle time after which a session may be swept.
+    pub ttl: Duration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_sessions: 64,
+            ttl: Duration::from_secs(30 * 60),
+        }
+    }
+}
+
+struct Entry {
+    session: Arc<Mutex<Session>>,
+    last_touched: Instant,
+}
+
+/// The concurrent session map (see module docs).
+pub struct SessionStore {
+    config: StoreConfig,
+    entries: Mutex<HashMap<u64, Entry>>,
+    next_id: AtomicU64,
+}
+
+impl SessionStore {
+    /// A store with the given limits.
+    pub fn new(config: StoreConfig) -> Self {
+        SessionStore {
+            config,
+            entries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("store lock").len()
+    }
+
+    /// True iff no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a new session built from `engine` + `strategy`; returns its
+    /// id and handle. Evicts expired sessions first, then the LRU session
+    /// if the store is still at capacity. Returns the id of the evicted
+    /// LRU session, if any, alongside the new session.
+    pub fn create(
+        &self,
+        engine: Engine,
+        strategy: Box<dyn Strategy + Send>,
+        strategy_name: String,
+    ) -> (Arc<Mutex<Session>>, Option<u64>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Mutex::new(Session {
+            id,
+            engine,
+            strategy,
+            strategy_name,
+            pending: None,
+        }));
+        let now = Instant::now();
+        let mut entries = self.entries.lock().expect("store lock");
+        Self::sweep_locked(&mut entries, now, self.config.ttl);
+        let mut evicted = None;
+        if entries.len() >= self.config.max_sessions {
+            if let Some(&lru) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_touched)
+                .map(|(id, _)| id)
+            {
+                entries.remove(&lru);
+                evicted = Some(lru);
+            }
+        }
+        entries.insert(
+            id,
+            Entry {
+                session: Arc::clone(&session),
+                last_touched: now,
+            },
+        );
+        (session, evicted)
+    }
+
+    /// Fetch a session handle, refreshing its LRU/TTL stamp.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        let mut entries = self.entries.lock().expect("store lock");
+        entries.get_mut(&id).map(|e| {
+            e.last_touched = Instant::now();
+            Arc::clone(&e.session)
+        })
+    }
+
+    /// Fetch a session handle **without** refreshing its LRU/TTL stamp —
+    /// for observers (listing, metrics) that must not keep idle sessions
+    /// alive or reorder eviction.
+    pub fn peek(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        let entries = self.entries.lock().expect("store lock");
+        entries.get(&id).map(|e| Arc::clone(&e.session))
+    }
+
+    /// Drop a session; `true` if it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        self.entries
+            .lock()
+            .expect("store lock")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Live session ids, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .entries
+            .lock()
+            .expect("store lock")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Evict every session idle at `now` for longer than the TTL; returns
+    /// the evicted ids. The server's sweeper thread calls this with
+    /// `Instant::now()`; tests can pass a synthetic "future" instant.
+    pub fn sweep_at(&self, now: Instant) -> Vec<u64> {
+        let mut entries = self.entries.lock().expect("store lock");
+        Self::sweep_locked(&mut entries, now, self.config.ttl)
+    }
+
+    fn sweep_locked(entries: &mut HashMap<u64, Entry>, now: Instant, ttl: Duration) -> Vec<u64> {
+        let expired: Vec<u64> = entries
+            .iter()
+            .filter(|(_, e)| now.saturating_duration_since(e.last_touched) > ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            entries.remove(id);
+        }
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_core::{EngineOptions, StrategyKind};
+    use jim_relation::Product;
+    use jim_synth::flights;
+
+    fn engine() -> Engine {
+        let p = Product::new(vec![flights::flights(), flights::hotels()]).unwrap();
+        Engine::new(p, &EngineOptions::default()).unwrap()
+    }
+
+    fn store(max: usize, ttl: Duration) -> SessionStore {
+        SessionStore::new(StoreConfig {
+            max_sessions: max,
+            ttl,
+        })
+    }
+
+    fn create(s: &SessionStore) -> (u64, Option<u64>) {
+        let kind = StrategyKind::LookaheadMinPrune;
+        let (session, evicted) = s.create(engine(), kind.build(), kind.to_string());
+        let id = session.lock().unwrap().id;
+        (id, evicted)
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let s = store(8, Duration::from_secs(60));
+        let (a, _) = create(&s);
+        let (b, _) = create(&s);
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.ids(), vec![a, b]);
+        assert!(s.get(a).is_some());
+        assert!(s.get(999).is_none());
+        assert!(s.remove(a));
+        assert!(!s.remove(a));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let s = store(2, Duration::from_secs(60));
+        let (a, e1) = create(&s);
+        let (b, e2) = create(&s);
+        assert_eq!((e1, e2), (None, None));
+        // Touch `a` so `b` becomes the LRU.
+        assert!(s.get(a).is_some());
+        let (c, evicted) = create(&s);
+        assert_eq!(evicted, Some(b));
+        assert_eq!(s.ids(), vec![a, c]);
+    }
+
+    #[test]
+    fn ttl_sweep_expires_idle_sessions() {
+        let ttl = Duration::from_secs(60);
+        let s = store(8, ttl);
+        let (a, _) = create(&s);
+        // Nothing expires "now".
+        assert!(s.sweep_at(Instant::now()).is_empty());
+        // Everything idle longer than the TTL expires at a future instant.
+        let future = Instant::now() + ttl + Duration::from_secs(1);
+        assert_eq!(s.sweep_at(future), vec![a]);
+        assert!(s.is_empty());
+        assert!(s.get(a).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_refresh_the_ttl_stamp() {
+        let ttl = Duration::from_secs(60);
+        let s = store(8, ttl);
+        let (a, _) = create(&s);
+        // Observe via peek only; the session must still expire on a sweep
+        // past its creation-time stamp.
+        assert!(s.peek(a).is_some());
+        let future = Instant::now() + ttl + Duration::from_secs(1);
+        assert!(s.peek(a).is_some());
+        assert_eq!(s.sweep_at(future), vec![a]);
+        assert!(s.peek(999).is_none());
+    }
+
+    #[test]
+    fn session_survives_across_handle_drops() {
+        let s = store(8, Duration::from_secs(60));
+        let (id, _) = create(&s);
+        {
+            let h = s.get(id).unwrap();
+            let mut guard = h.lock().unwrap();
+            let session = &mut *guard;
+            let pick = session.strategy.choose(&session.engine).unwrap();
+            session.pending = Some(pick);
+        }
+        let h = s.get(id).unwrap();
+        assert!(h.lock().unwrap().pending.is_some());
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let s = Arc::new(store(16, Duration::from_secs(60)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let (id, _) = create(&s);
+                    assert!(s.get(id).is_some());
+                    id
+                })
+            })
+            .collect();
+        let ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 4);
+        assert_eq!(s.len(), 4);
+    }
+}

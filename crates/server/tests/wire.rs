@@ -1,0 +1,192 @@
+//! End-to-end over the real wire: a `jim-serve`-equivalent TCP listener on
+//! an OS-assigned port, driven by plain `TcpStream` clients speaking JSON
+//! lines — the acceptance demo of the server PR. Two clients run complete
+//! flights/hotels sessions concurrently with the `LookaheadMinPrune`
+//! strategy, answer until `resolved`, and receive the goal join's SQL.
+
+use jim_json::Json;
+use jim_server::handler::Handler;
+use jim_server::serve::{serve, spawn_sweeper};
+use jim_server::store::{SessionStore, StoreConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        let json = Json::parse(response.trim()).expect("valid JSON response");
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{line} -> {response}"
+        );
+        json
+    }
+}
+
+fn start_server() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind test port");
+    let addr = listener.local_addr().expect("local addr");
+    let store = Arc::new(SessionStore::new(StoreConfig {
+        max_sessions: 8,
+        ttl: Duration::from_secs(600),
+    }));
+    spawn_sweeper(&store, Duration::from_millis(200));
+    let handler = Arc::new(Handler::new(store));
+    std::thread::spawn(move || serve(listener, handler));
+    addr
+}
+
+/// One complete interactive session, exactly as a scripted demo would run
+/// it: create from the flights scenario, loop NextQuestion/Answer with the
+/// truthful Q2 oracle, stop at `resolved`, return the inferred SQL.
+fn run_session(addr: std::net::SocketAddr) -> String {
+    let mut client = Client::connect(addr);
+    let r = client.send(
+        r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}"#,
+    );
+    let session = r.get("session").unwrap().as_u64().unwrap();
+    assert_eq!(r.get("tuples").unwrap().as_u64(), Some(12));
+
+    for _ in 0..12 {
+        let q = client.send(&format!(r#"{{"op":"NextQuestion","session":{session}}}"#));
+        if q.get("resolved").unwrap().as_bool() == Some(true) {
+            let sql = q.get("sql").unwrap().as_str().unwrap().to_string();
+            client.send(&format!(r#"{{"op":"CloseSession","session":{session}}}"#));
+            return sql;
+        }
+        let values: Vec<&str> = q
+            .get("values")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        // Truthful Q2 user: To ≍ City ∧ Airline ≍ Discount.
+        let sign = if values[1] == values[3] && values[2] == values[4] {
+            '+'
+        } else {
+            '-'
+        };
+        let a = client.send(&format!(
+            r#"{{"op":"Answer","session":{session},"label":"{sign}"}}"#
+        ));
+        if a.get("resolved").unwrap().as_bool() == Some(true) {
+            let sql = a.get("sql").unwrap().as_str().unwrap().to_string();
+            client.send(&format!(r#"{{"op":"CloseSession","session":{session}}}"#));
+            return sql;
+        }
+    }
+    panic!("session did not resolve within the instance size");
+}
+
+#[test]
+fn two_concurrent_sessions_over_tcp_infer_q2() {
+    let addr = start_server();
+
+    let clients: Vec<_> = (0..2)
+        .map(|_| std::thread::spawn(move || run_session(addr)))
+        .collect();
+    for client in clients {
+        let sql = client.join().expect("client thread");
+        assert!(sql.contains("r1.To = r2.City"), "{sql}");
+        assert!(sql.contains("r1.Airline = r2.Discount"), "{sql}");
+    }
+}
+
+#[test]
+fn oversized_line_is_refused_and_the_connection_dropped() {
+    use jim_server::serve::MAX_LINE_BYTES;
+    let addr = start_server();
+    let mut client = Client::connect(addr);
+
+    // Stream more than the line cap without ever sending a newline: the
+    // server must answer with an error and hang up instead of buffering
+    // without bound.
+    let chunk = vec![b'x'; 1 << 20];
+    let mut sent: u64 = 0;
+    while sent <= MAX_LINE_BYTES {
+        client
+            .writer
+            .write_all(&chunk)
+            .expect("server still reading");
+        sent += chunk.len() as u64;
+    }
+    client.writer.flush().ok();
+    let mut response = String::new();
+    client.reader.read_line(&mut response).unwrap();
+    let json = Json::parse(response.trim()).unwrap();
+    assert_eq!(json.get("ok").unwrap().as_bool(), Some(false));
+    assert!(json
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("16 MiB"));
+    // Connection is closed afterwards: the next read sees EOF, or a reset
+    // if the server tore down while our unread bytes were still in flight.
+    let mut rest = String::new();
+    match client.reader.read_line(&mut rest) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("server kept the connection alive ({n} more bytes)"),
+    }
+
+    // A deeply nested JSON bomb is a parse error, not a stack overflow.
+    let mut client = Client::connect(addr);
+    let bomb = "[".repeat(200_000);
+    writeln!(client.writer, "{bomb}").unwrap();
+    client.writer.flush().unwrap();
+    let mut response = String::new();
+    client.reader.read_line(&mut response).unwrap();
+    let json = Json::parse(response.trim()).unwrap();
+    assert_eq!(json.get("ok").unwrap().as_bool(), Some(false));
+    assert!(json
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("nesting"));
+    // The server survived: a fresh session still opens.
+    let r = client.send(r#"{"op":"ListSessions"}"#);
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn malformed_lines_do_not_kill_the_connection() {
+    let addr = start_server();
+    let mut client = Client::connect(addr);
+
+    // A garbage line yields an error response, not a hangup.
+    writeln!(client.writer, "this is not json").unwrap();
+    client.writer.flush().unwrap();
+    let mut response = String::new();
+    client.reader.read_line(&mut response).unwrap();
+    let json = Json::parse(response.trim()).unwrap();
+    assert_eq!(json.get("ok").unwrap().as_bool(), Some(false));
+
+    // The same connection still serves real requests afterwards.
+    let r = client.send(r#"{"op":"ListSessions"}"#);
+    assert_eq!(r.get("sessions").unwrap().as_array().unwrap().len(), 0);
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no crates.io access, so the real crate cannot be
+//! fetched. This shim keeps `tests/proptests.rs` source-compatible: the
+//! [`proptest!`] macro runs each property over `cases` deterministic random
+//! inputs (seeded from the test name, so failures reproduce run-to-run).
+//! There is **no shrinking** — a failing case panics with the plain
+//! `assert!` message of [`prop_assert!`] / [`prop_assert_eq!`].
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+/// Runner configuration and case-level control flow.
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (the fields we need).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    /// The name the prelude exports it under.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A case rejected by [`prop_assume!`](crate::prop_assume); the runner
+    /// draws a fresh input instead of failing.
+    #[derive(Debug, Clone)]
+    pub struct Reject;
+
+    /// Deterministic per-test RNG: FNV-1a over the test name, mixed with the
+    /// case index by the generator itself as cases draw values in sequence.
+    pub fn rng_for(test_name: &str) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        rand::rngs::StdRng::seed_from_u64(h)
+    }
+}
+
+/// Value generators ("strategies").
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable size arguments for [`vec`]: a fixed length or a range.
+    pub trait IntoSizeRange {
+        /// Lower and inclusive upper bound on the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `proptest::collection::vec` — vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert inside a property; failure aborts the whole run (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property; failure aborts the run.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Reject the current case (draw a fresh input) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+/// The property-test macro: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` running the body over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            // Allow up to 20x rejections (prop_assume) before giving up,
+            // like the real runner's rejection budget.
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20).max(100),
+                    "too many prop_assume rejections in {}",
+                    stringify!($name),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                // The closure gives `prop_assume!` a scope to `return` from.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::Reject> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3i64..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vectors_and_maps(v in crate::collection::vec(0i64..5, 2..=6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 6);
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Doc comments on properties must parse.
+        #[test]
+        fn flat_map_composes(v in (1usize..=3, 2usize..=4).prop_flat_map(|(a, b)| {
+            crate::collection::vec(0i64..(a as i64 + b as i64), a + b)
+        })) {
+            prop_assert!(v.len() >= 3 && v.len() <= 7);
+        }
+
+        #[test]
+        fn any_bool_and_u64(b in any::<bool>(), x in any::<u64>()) {
+            prop_assert_eq!(b as u64 <= 1, true);
+            let _ = x;
+        }
+
+        #[test]
+        fn map_transforms(s in (0i64..10).prop_map(|x| x.to_string())) {
+            prop_assert!(s.parse::<i64>().unwrap() < 10);
+        }
+    }
+}

@@ -37,8 +37,11 @@ pub fn flights() -> Relation {
 pub fn hotels() -> Relation {
     let paris_no_discount = Tuple::new(vec![Value::text("Paris"), Value::Null]);
     Relation::new(
-        RelationSchema::of("hotels", &[("City", DataType::Text), ("Discount", DataType::Text)])
-            .expect("static schema"),
+        RelationSchema::of(
+            "hotels",
+            &[("City", DataType::Text), ("Discount", DataType::Text)],
+        )
+        .expect("static schema"),
         vec![tup!["NYC", "AA"], paris_no_discount, tup!["Lille", "AF"]],
     )
     .expect("static rows")
@@ -123,8 +126,18 @@ mod tests {
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
         let u = e.universe();
-        let sel1: Vec<u64> = q1(u).eval(e.product()).unwrap().iter().map(|i| i.0).collect();
-        let sel2: Vec<u64> = q2(u).eval(e.product()).unwrap().iter().map(|i| i.0).collect();
+        let sel1: Vec<u64> = q1(u)
+            .eval(e.product())
+            .unwrap()
+            .iter()
+            .map(|i| i.0)
+            .collect();
+        let sel2: Vec<u64> = q2(u)
+            .eval(e.product())
+            .unwrap()
+            .iter()
+            .map(|i| i.0)
+            .collect();
         assert_eq!(sel1, vec![2, 3, 7, 9]); // paper tuples (3),(4),(8),(10)
         assert_eq!(sel2, vec![2, 3]); // paper tuples (3),(4)
     }

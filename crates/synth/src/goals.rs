@@ -10,8 +10,8 @@
 use jim_core::{AtomId, JoinPredicate};
 use jim_core::{Engine, EngineOptions};
 use jim_relation::Product;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Draw up to `count` distinct goal predicates with exactly `atoms` atoms,
@@ -20,7 +20,7 @@ use rand::SeedableRng;
 /// Returns fewer than `count` when the instance does not carry enough
 /// distinct satisfiable atom combinations.
 pub fn satisfiable_goals(
-    product: &Product<'_>,
+    product: &Product,
     atoms: usize,
     count: usize,
     seed: u64,
@@ -66,12 +66,10 @@ pub fn satisfiable_goals(
 
 /// A single satisfiable goal (convenience): the first of
 /// [`satisfiable_goals`], if any.
-pub fn satisfiable_goal(
-    product: &Product<'_>,
-    atoms: usize,
-    seed: u64,
-) -> Option<JoinPredicate> {
-    satisfiable_goals(product, atoms, 1, seed).into_iter().next()
+pub fn satisfiable_goal(product: &Product, atoms: usize, seed: u64) -> Option<JoinPredicate> {
+    satisfiable_goals(product, atoms, 1, seed)
+        .into_iter()
+        .next()
 }
 
 #[cfg(test)]
@@ -104,8 +102,7 @@ mod tests {
         let (rels, _) = db.join_view(&["r1", "r2"]).unwrap();
         let p = Product::new(rels).unwrap();
         let goals = satisfiable_goals(&p, 2, 8, 3);
-        let set: std::collections::HashSet<String> =
-            goals.iter().map(|g| g.to_string()).collect();
+        let set: std::collections::HashSet<String> = goals.iter().map(|g| g.to_string()).collect();
         assert_eq!(set.len(), goals.len());
     }
 

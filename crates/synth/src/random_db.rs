@@ -8,7 +8,7 @@
 //! signatures (simple instances where local strategies shine). Experiment
 //! E3 sweeps exactly this knob.
 
-use jim_relation::{Database, DataType, Relation, RelationSchema, Tuple, Value};
+use jim_relation::{DataType, Database, Relation, RelationSchema, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -121,7 +121,9 @@ mod tests {
             let db = generate(&RandomDbConfig::uniform(2, 3, 12, domain, seed));
             let (rels, _) = db.join_view(&["r1", "r2"]).unwrap();
             let p = Product::new(rels).unwrap();
-            Engine::new(p, &EngineOptions::default()).unwrap().num_groups()
+            Engine::new(p, &EngineOptions::default())
+                .unwrap()
+                .num_groups()
         };
         let dense = shapes(2, 3);
         let sparse = shapes(1000, 3);

@@ -81,9 +81,9 @@ pub fn same_features_goal(universe: &Arc<AtomUniverse>, features: &[&str]) -> Jo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jim_core::{Engine, EngineOptions, GoalOracle};
     use jim_core::session::run_most_informative;
     use jim_core::strategy::StrategyKind;
+    use jim_core::{Engine, EngineOptions, GoalOracle};
     use jim_relation::Product;
 
     #[test]
@@ -112,8 +112,14 @@ mod tests {
         let d = deck();
         let d2 = deck();
         let p = Product::new(vec![&d, &d2]).unwrap();
-        let e = Engine::new(p, &EngineOptions { max_product: 10_000, ..Default::default() })
-            .unwrap();
+        let e = Engine::new(
+            p,
+            &EngineOptions {
+                max_product: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // 4 attrs × 4 attrs across the two occurrences.
         assert_eq!(e.universe().len(), 16);
     }
@@ -123,8 +129,14 @@ mod tests {
         let d = deck();
         let d2 = deck();
         let p = Product::new(vec![&d, &d2]).unwrap();
-        let e = Engine::new(p, &EngineOptions { max_product: 10_000, ..Default::default() })
-            .unwrap();
+        let e = Engine::new(
+            p,
+            &EngineOptions {
+                max_product: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let goal = same_features_goal(e.universe(), &["color"]);
         let selected = goal.eval(e.product()).unwrap();
         // 81 × 27 pairs share a color.

@@ -8,7 +8,7 @@
 //! the signature structure induced by key overlaps, not on the exact TPC-H
 //! strings — see DESIGN.md §5 for the substitution argument.
 
-use jim_relation::{Database, DataType, Relation, RelationSchema, Tuple, Value};
+use jim_relation::{DataType, Database, Relation, RelationSchema, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,7 +25,10 @@ pub struct TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> Self {
-        TpchConfig { scale: 1.0, seed: 42 }
+        TpchConfig {
+            scale: 1.0,
+            seed: 42,
+        }
     }
 }
 
@@ -38,7 +41,13 @@ const BASE_ORDERS: usize = 45;
 const BASE_LINEITEM: usize = 120;
 const BASE_PART: usize = 20;
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const STATUSES: [&str; 3] = ["O", "F", "P"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
@@ -180,8 +189,10 @@ pub fn generate(config: TpchConfig) -> Database {
         }),
     );
 
-    Database::from_relations(vec![region, nation, supplier, customer, orders, part, lineitem])
-        .expect("distinct relation names")
+    Database::from_relations(vec![
+        region, nation, supplier, customer, orders, part, lineitem,
+    ])
+    .expect("distinct relation names")
 }
 
 fn build(
@@ -198,9 +209,9 @@ fn build(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jim_core::{Engine, EngineOptions, GoalOracle, JoinPredicate};
     use jim_core::session::run_most_informative;
     use jim_core::strategy::StrategyKind;
+    use jim_core::{Engine, EngineOptions, GoalOracle, JoinPredicate};
     use jim_relation::Product;
 
     #[test]
@@ -215,7 +226,10 @@ mod tests {
 
     #[test]
     fn scaling_changes_row_counts() {
-        let db = generate(TpchConfig { scale: 2.0, seed: 1 });
+        let db = generate(TpchConfig {
+            scale: 2.0,
+            seed: 1,
+        });
         assert_eq!(db.get("customer").unwrap().len(), 60);
         assert_eq!(db.get("lineitem").unwrap().len(), 240);
         // Region is capped by the name pool.
@@ -224,10 +238,19 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let a = generate(TpchConfig { scale: 1.0, seed: 9 });
-        let b = generate(TpchConfig { scale: 1.0, seed: 9 });
+        let a = generate(TpchConfig {
+            scale: 1.0,
+            seed: 9,
+        });
+        let b = generate(TpchConfig {
+            scale: 1.0,
+            seed: 9,
+        });
         assert_eq!(a, b);
-        let c = generate(TpchConfig { scale: 1.0, seed: 10 });
+        let c = generate(TpchConfig {
+            scale: 1.0,
+            seed: 10,
+        });
         assert_ne!(a, c);
     }
 

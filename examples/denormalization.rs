@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let employees = wide.project("employees", &["emp_id", "name", "dept_id"])?;
     let mut departments = wide.project("departments", &["dept_id", "dept_name", "floor"])?;
     departments.dedup();
-    println!("normalized: {} + {}", employees.schema(), departments.schema());
+    println!(
+        "normalized: {} + {}",
+        employees.schema(),
+        departments.schema()
+    );
 
     // Which columns look like join keys? The substrate's statistics know.
     let product = Product::new(vec![&employees, &departments])?;
@@ -46,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nstatistics: departments.dept_id is {} (distinct {}/{} rows); \
          selectivity of employees.dept_id ≍ departments.dept_id = {:.3}",
-        if stats.attr(d_dept).is_key() { "a key" } else { "not a key" },
+        if stats.attr(d_dept).is_key() {
+            "a key"
+        } else {
+            "not a key"
+        },
         stats.attr(d_dept).distinct(),
         stats.attr(d_dept).rows,
         stats.atom_selectivity(e_dept, d_dept)?,

@@ -11,7 +11,7 @@ use jim::relation::display::product_table;
 use jim::relation::{Product, ProductId, Relation};
 use jim::synth::flights;
 
-fn fresh_engine<'a>(f: &'a Relation, h: &'a Relation) -> Engine<'a> {
+fn fresh_engine(f: &Relation, h: &Relation) -> Engine {
     let product = Product::new(vec![f, h]).expect("two non-empty relations");
     Engine::new(product, &EngineOptions::default()).expect("small instance")
 }
@@ -103,8 +103,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("interactions needed to identify Q2 (Figure 4):\n");
     bar("1. label anything (no gray-out)   ", mode1);
     bar("2. label anything + gray-out      ", mode2);
-    bar("3. label top-3 proposals          ", out3.interactions as f64);
-    bar("4. label most informative (JIM)   ", out4.interactions as f64);
+    bar(
+        "3. label top-3 proposals          ",
+        out3.interactions as f64,
+    );
+    bar(
+        "4. label most informative (JIM)   ",
+        out4.interactions as f64,
+    );
 
     println!("\nfinal statistics (mode 4): {}", out4.stats());
     Ok(())

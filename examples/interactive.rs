@@ -78,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run_most_informative(engine, strategy.as_mut(), &mut narrate)?
     };
 
-    println!("\nYour query, inferred after {} answers:", outcome.interactions);
+    println!(
+        "\nYour query, inferred after {} answers:",
+        outcome.interactions
+    );
     println!("  {}\n", outcome.inferred);
     println!("{}\n", outcome.inferred.to_sql());
 
@@ -102,8 +105,10 @@ fn atty_stdin() -> bool {
     }
     // On Linux, /proc/self/fd/0 links to a tty device when interactive.
     match std::fs::read_link("/proc/self/fd/0") {
-        Ok(path) => path.to_string_lossy().contains("/dev/pts")
-            || path.to_string_lossy().contains("/dev/tty"),
+        Ok(path) => {
+            path.to_string_lossy().contains("/dev/pts")
+                || path.to_string_lossy().contains("/dev/tty")
+        }
         Err(_) => false,
     }
 }

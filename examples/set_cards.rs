@@ -56,11 +56,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let mut oracle = Narrating { inner: GoalOracle::new(goal.clone()), step: 0 };
+    let mut oracle = Narrating {
+        inner: GoalOracle::new(goal.clone()),
+        step: 0,
+    };
     let mut strategy = StrategyKind::LookaheadMinPrune.build();
     let outcome = run_most_informative(engine, strategy.as_mut(), &mut oracle)?;
 
-    println!("\ninferred after {} questions: {}", outcome.interactions, outcome.inferred);
+    println!(
+        "\ninferred after {} questions: {}",
+        outcome.interactions, outcome.inferred
+    );
     println!("{}", outcome.inferred.to_sql());
     println!(
         "\n{} of {} candidate pairs belong to the result; {}",

@@ -15,7 +15,7 @@ use jim::synth::{flights, goals, random_db, setgame, tpch};
 
 /// Drive a fresh engine to convergence; assert the guarantees; return the
 /// number of interactions.
-fn converge(engine: Engine<'_>, goal: &JoinPredicate, kind: StrategyKind) -> u64 {
+fn converge(engine: Engine, goal: &JoinPredicate, kind: StrategyKind) -> u64 {
     let total = engine.stats().total_tuples;
     let mut strategy = kind.build();
     let mut oracle = GoalOracle::new(goal.clone());
@@ -89,14 +89,21 @@ fn all_strategies_on_tpch_customer_orders() {
 fn three_way_join_inference() {
     // n-ary (n = 3): nation ⋈ region plus customer ⋈ nation, inferred in
     // one session over the triple product.
-    let db = tpch::generate(tpch::TpchConfig { scale: 0.5, seed: 3 });
+    let db = tpch::generate(tpch::TpchConfig {
+        scale: 0.5,
+        seed: 3,
+    });
     for kind in [StrategyKind::LookaheadMinPrune, StrategyKind::LocalGeneral] {
         let (rels, _) = db.join_view(&["region", "nation", "customer"]).unwrap();
         let p = Product::new(rels).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
         let u = e.universe().clone();
-        let nr = u.id_by_names((0, "r_regionkey"), (1, "n_regionkey")).unwrap();
-        let cn = u.id_by_names((1, "n_nationkey"), (2, "c_nationkey")).unwrap();
+        let nr = u
+            .id_by_names((0, "r_regionkey"), (1, "n_regionkey"))
+            .unwrap();
+        let cn = u
+            .id_by_names((1, "n_nationkey"), (2, "c_nationkey"))
+            .unwrap();
         let goal = JoinPredicate::of(u, [nr, cn]);
         converge(e, &goal, kind);
     }
@@ -151,11 +158,8 @@ fn database_round_trip_through_csv() {
     // behaviour (CSV is how real users would load their raw data).
     use jim::relation::csv;
     let db = flights::database();
-    let re_flights = csv::read_relation(
-        "flights",
-        &csv::write_relation(db.get("flights").unwrap()),
-    )
-    .unwrap();
+    let re_flights =
+        csv::read_relation("flights", &csv::write_relation(db.get("flights").unwrap())).unwrap();
     let re_hotels =
         csv::read_relation("hotels", &csv::write_relation(db.get("hotels").unwrap())).unwrap();
     let db2 = Database::from_relations(vec![re_flights, re_hotels]).unwrap();
@@ -175,7 +179,10 @@ fn intra_relation_scope_extension() {
     let f = flights::flights();
     let h = flights::hotels();
     let p = Product::new(vec![&f, &h]).unwrap();
-    let opts = EngineOptions { scope: AtomScope::AllPairs, ..Default::default() };
+    let opts = EngineOptions {
+        scope: AtomScope::AllPairs,
+        ..Default::default()
+    };
     let e = Engine::new(p, &opts).unwrap();
     assert_eq!(e.universe().len(), 10); // C(5,2) pairs, all text
     let goal = flights::q1(e.universe());
@@ -187,7 +194,10 @@ fn sampled_engine_still_converges() {
     // A product too large to label exhaustively: sample it, infer on the
     // sample. The inferred query is consistent with every sampled answer.
     use rand::SeedableRng;
-    let db = tpch::generate(tpch::TpchConfig { scale: 2.0, seed: 8 });
+    let db = tpch::generate(tpch::TpchConfig {
+        scale: 2.0,
+        seed: 8,
+    });
     let (rels, _) = db.join_view(&["orders", "lineitem"]).unwrap();
     let p = Product::new(rels).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);

@@ -10,10 +10,7 @@ use jim::core::{
 use jim::relation::{Product, ProductId, Tuple};
 use jim::synth::flights;
 
-fn fresh_engine<'a>(
-    f: &'a jim::relation::Relation,
-    h: &'a jim::relation::Relation,
-) -> Engine<'a> {
+fn fresh_engine(f: &jim::relation::Relation, h: &jim::relation::Relation) -> Engine {
     let p = Product::new(vec![f, h]).unwrap();
     Engine::new(p, &EngineOptions::default()).unwrap()
 }
@@ -109,7 +106,10 @@ fn unknown_tuple_id_is_rejected() {
 fn product_guard_and_sampling_path() {
     let (f, h) = (flights::flights(), flights::hotels());
     let p = Product::new(vec![&f, &h]).unwrap();
-    let opts = EngineOptions { max_product: 11, ..Default::default() };
+    let opts = EngineOptions {
+        max_product: 11,
+        ..Default::default()
+    };
     assert!(matches!(
         Engine::new(p.clone(), &opts),
         Err(InferenceError::ProductTooLarge { .. })

@@ -7,10 +7,7 @@ use jim::core::{Engine, EngineOptions, Label, TupleClass};
 use jim::relation::{Product, ProductId};
 use jim::synth::flights::{self, paper_tuple};
 
-fn engine<'a>(
-    f: &'a jim::relation::Relation,
-    h: &'a jim::relation::Relation,
-) -> Engine<'a> {
+fn engine(f: &jim::relation::Relation, h: &jim::relation::Relation) -> Engine {
     let p = Product::new(vec![f, h]).unwrap();
     Engine::new(p, &EngineOptions::default()).unwrap()
 }
@@ -34,7 +31,10 @@ fn claim_tuple4_uninformative_after_tuple3_positive() {
     let (f, h) = (flights::flights(), flights::hotels());
     let mut e = engine(&f, &h);
     e.label(paper_tuple(3), Label::Positive).unwrap();
-    assert_eq!(e.classify(paper_tuple(4)).unwrap(), TupleClass::CertainPositive);
+    assert_eq!(
+        e.classify(paper_tuple(4)).unwrap(),
+        TupleClass::CertainPositive
+    );
     assert!(!e.is_informative(paper_tuple(4)).unwrap());
 }
 

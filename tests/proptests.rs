@@ -13,9 +13,7 @@
 use jim::core::session::run_most_informative;
 use jim::core::strategy::StrategyKind;
 use jim::core::{AtomSet, Engine, EngineOptions, GoalOracle, JoinPredicate, VersionSpace};
-use jim::relation::{
-    csv, DataType, JoinSpec, Product, Relation, RelationSchema, Tuple, Value,
-};
+use jim::relation::{csv, DataType, JoinSpec, Product, Relation, RelationSchema, Tuple, Value};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------- fixtures

@@ -8,10 +8,7 @@ use jim::core::{Engine, EngineOptions, GoalOracle, Transcript};
 use jim::relation::Product;
 use jim::synth::flights;
 
-fn fresh_engine<'a>(
-    f: &'a jim::relation::Relation,
-    h: &'a jim::relation::Relation,
-) -> Engine<'a> {
+fn fresh_engine(f: &jim::relation::Relation, h: &jim::relation::Relation) -> Engine {
     let p = Product::new(vec![f, h]).unwrap();
     Engine::new(p, &EngineOptions::default()).unwrap()
 }
