@@ -39,7 +39,7 @@ fn bench_lookahead_choice(c: &mut Criterion) {
     let engine = wb.engine();
     c.bench_function("lookahead_choice_same_instance", |b| {
         let mut s = jim_core::strategy::StrategyKind::LookaheadMinPrune.build();
-        b.iter(|| s.choose(std::hint::black_box(&engine)));
+        b.iter(|| jim_core::strategy::choose_next(s.as_mut(), std::hint::black_box(&engine)));
     });
 }
 

@@ -36,7 +36,9 @@ fn bench_choose(c: &mut Criterion) {
     for kind in strategy_kinds() {
         group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
             let mut strategy = kind.build();
-            b.iter(|| strategy.choose(std::hint::black_box(&engine)));
+            b.iter(|| {
+                jim_core::strategy::choose_next(strategy.as_mut(), std::hint::black_box(&engine))
+            });
         });
     }
     group.finish();

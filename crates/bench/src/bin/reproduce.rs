@@ -4,6 +4,7 @@
 //!   reproduce            # run everything
 //!   reproduce e1 e3 a1   # run selected experiments
 //!   reproduce --list     # list experiment ids
+//!   reproduce --smoke    # fast CI sanity subset (e1 + e5)
 
 use jim_bench::experiments as ex;
 use jim_bench::tables::Table;
@@ -65,6 +66,14 @@ fn main() {
         }
         return;
     }
+
+    // CI smoke: the two fastest experiments, enough to prove the whole
+    // bench crate (runner, experiments, tables) still works end to end.
+    let args: Vec<String> = if args.iter().any(|a| a == "--smoke") {
+        vec!["e1".into(), "e5".into()]
+    } else {
+        args
+    };
 
     let selected: Vec<&Entry> = if args.is_empty() {
         catalog.iter().collect()

@@ -70,7 +70,7 @@ pub fn run_instrumented(
     let mut interactions = 0u64;
     loop {
         let t0 = Instant::now();
-        let pick = strategy.choose(&engine);
+        let pick = jim_core::strategy::choose_next(strategy.as_mut(), &engine);
         choose_total += t0.elapsed();
         let Some(id) = pick else { break };
         let tuple = engine

@@ -142,6 +142,22 @@ impl AtomSet {
         out
     }
 
+    /// Write `self ∩ other` into `out` without allocating — the kernel the
+    /// lookahead simulation loop runs once per candidate, so it reuses one
+    /// scratch set instead of allocating a fresh `AtomSet` each time.
+    pub fn intersection_into(&self, other: &AtomSet, out: &mut AtomSet) {
+        self.check_same_universe(other);
+        self.check_same_universe(out);
+        for ((o, &a), &b) in out
+            .blocks
+            .iter_mut()
+            .zip(self.blocks.iter())
+            .zip(other.blocks.iter())
+        {
+            *o = a & b;
+        }
+    }
+
     /// In-place `self ∩= other`.
     pub fn intersect_with(&mut self, other: &AtomSet) {
         self.check_same_universe(other);

@@ -4,8 +4,32 @@
 //! signature `Θ(t)` (tuples with equal signatures are indistinguishable to
 //! every join predicate), maintains the [`VersionSpace`], absorbs labels,
 //! propagates them (graying out newly-certain tuples) and reports progress.
-//! Strategies query it through [`Engine::informative_groups`] and
-//! [`Engine::simulate`].
+//!
+//! ## The candidate index
+//!
+//! Strategies rank *informative candidates*: one [`Candidate`] per
+//! restricted signature `Θ(t) ∩ U`. An earlier revision rebuilt that list
+//! from the full group table on every query, which made each question
+//! O(groups × simulations) for the lookahead family. The engine now keeps
+//! an **incrementally maintained candidate index**, updated in place by
+//! [`Engine::label`] (and its propagation) and [`Engine::absorb_ids`]:
+//!
+//! * a **negative** label leaves `U` untouched, so restricted signatures
+//!   are stable — candidates subsumed by the new negative are dropped
+//!   whole, in O(candidates) subset tests;
+//! * a **positive** label shrinks `U`, so the aggregation is re-keyed —
+//!   but only over the groups that were still informative (certainty is
+//!   monotone under consistent labels), once per label rather than once
+//!   per strategy query.
+//!
+//! Strategies consume the index through the borrowed, allocation-free
+//! [`CandidateView`] ([`Engine::candidates`]) and score hypothetical
+//! labels with [`Engine::simulate_in`] against a reusable [`SimScratch`].
+//! Every mutation bumps a generation counter ([`Engine::generation`]) so
+//! callers (e.g. the server's per-session question cache) can detect
+//! staleness cheaply. [`Engine::recompute_candidates`] keeps the old
+//! from-scratch reclassification as the reference implementation the
+//! property tests compare against.
 
 use crate::atoms::{AtomScope, AtomUniverse};
 use crate::bitset::AtomSet;
@@ -85,6 +109,108 @@ pub struct Candidate {
     pub representative: ProductId,
 }
 
+/// A borrowed, allocation-free view of the engine's maintained candidate
+/// index — what strategies rank instead of materializing their own list.
+/// The `generation` identifies the engine state the slice reflects; any
+/// label or absorb invalidates it (the borrow checker enforces that
+/// locally, the counter lets owned caches detect it across requests).
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateView<'a> {
+    candidates: &'a [Candidate],
+    generation: u64,
+}
+
+impl<'a> CandidateView<'a> {
+    /// The informative candidates, one per restricted signature, in
+    /// first-seen group order. Empty iff inference is resolved.
+    pub fn candidates(&self) -> &'a [Candidate] {
+        self.candidates
+    }
+
+    /// The engine generation this view was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of distinct informative candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True iff no informative candidate remains (resolved).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Iterate the candidates.
+    pub fn iter(&self) -> std::slice::Iter<'a, Candidate> {
+        self.candidates.iter()
+    }
+
+    /// Total informative tuples across all candidates.
+    pub fn total_tuples(&self) -> u64 {
+        self.candidates.iter().map(|c| c.count).sum()
+    }
+}
+
+/// Reusable scratch for [`Engine::simulate_in`]: one intersection buffer
+/// sized to the atom universe, so the per-candidate inner loop of the
+/// lookahead strategies allocates nothing.
+#[derive(Debug, Clone)]
+pub struct SimScratch {
+    inter: AtomSet,
+}
+
+/// The incrementally maintained partition of signature groups by
+/// [`TupleClass`], aggregated by restricted signature (see module docs).
+/// `candidates` and `members` are parallel: `members[i]` lists the group
+/// indices whose restricted signature is `candidates[i].restricted_sig`.
+#[derive(Debug, Clone, Default)]
+struct CandidateIndex {
+    candidates: Vec<Candidate>,
+    members: Vec<Vec<usize>>,
+    by_restricted: HashMap<AtomSet, usize>,
+    /// Bumped on every engine mutation (label, absorb).
+    generation: u64,
+    /// Total tuples across informative groups (= `stats.informative`).
+    informative_tuples: u64,
+}
+
+impl CandidateIndex {
+    fn clear(&mut self) {
+        self.candidates.clear();
+        self.members.clear();
+        self.by_restricted.clear();
+        self.informative_tuples = 0;
+    }
+
+    /// Merge one informative group (with the given restricted signature)
+    /// into the aggregation, preserving first-seen candidate order.
+    fn add_group(&mut self, g: usize, restricted: AtomSet, count: u64, rep: ProductId) {
+        self.informative_tuples += count;
+        match self.by_restricted.get(&restricted) {
+            Some(&slot) => {
+                let c = &mut self.candidates[slot];
+                c.count += count;
+                if rep < c.representative {
+                    c.representative = rep;
+                }
+                self.members[slot].push(g);
+            }
+            None => {
+                self.by_restricted
+                    .insert(restricted.clone(), self.candidates.len());
+                self.candidates.push(Candidate {
+                    restricted_sig: restricted,
+                    count,
+                    representative: rep,
+                });
+                self.members.push(vec![g]);
+            }
+        }
+    }
+}
+
 /// The interactive join-inference engine.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -95,6 +221,7 @@ pub struct Engine {
     by_sig: HashMap<AtomSet, usize>,
     labels: HashMap<ProductId, Label>,
     stats: ProgressStats,
+    index: CandidateIndex,
 }
 
 impl Engine {
@@ -147,7 +274,10 @@ impl Engine {
                 total_tuples: ids.len() as u64,
                 ..Default::default()
             },
+            index: CandidateIndex::default(),
         };
+        let all: Vec<usize> = (0..engine.groups.len()).collect();
+        engine.reindex(&all);
         engine.refresh_counters();
         Ok(engine)
     }
@@ -196,7 +326,15 @@ impl Engine {
     /// True iff no informative tuple remains — the paper's termination
     /// condition (all consistent predicates are instance-equivalent).
     pub fn is_resolved(&self) -> bool {
-        self.groups.iter().all(|g| g.class.is_certain())
+        self.index.candidates.is_empty()
+    }
+
+    /// The generation counter of the candidate index: bumped on every
+    /// mutation (label, absorb), untouched by queries. Owned caches keyed
+    /// on it (the server's per-session question cache) stay valid exactly
+    /// while the engine state they were computed from does.
+    pub fn generation(&self) -> u64 {
+        self.index.generation
     }
 
     /// The inferred query: the canonical (maximal) consistent predicate.
@@ -219,14 +357,27 @@ impl Engine {
         out
     }
 
-    /// The informative candidates, one per *restricted* signature
-    /// (`Θ(t) ∩ U`), with per-class tuple counts aggregated. This is the
-    /// interface strategies choose from; an empty result means resolved.
-    pub fn informative_groups(&self) -> Vec<Candidate> {
+    /// The maintained informative candidates, one per *restricted*
+    /// signature (`Θ(t) ∩ U`), as a borrowed view — O(1), no allocation.
+    /// This is the interface strategies choose from; an empty view means
+    /// resolved.
+    pub fn candidates(&self) -> CandidateView<'_> {
+        CandidateView {
+            candidates: &self.index.candidates,
+            generation: self.index.generation,
+        }
+    }
+
+    /// Rebuild the candidate list by reclassifying **every** group from
+    /// scratch against the version space — the de-materialized hot path's
+    /// reference implementation. Property tests assert it always equals
+    /// [`Engine::candidates`]; the criterion bench measures what keeping
+    /// the index incremental buys. Never called on the per-question path.
+    pub fn recompute_candidates(&self) -> Vec<Candidate> {
         let mut agg: HashMap<AtomSet, (u64, ProductId)> = HashMap::new();
         let mut order: Vec<AtomSet> = Vec::new();
         for g in &self.groups {
-            if g.class != TupleClass::Informative {
+            if self.vs.classify(&g.sig) != TupleClass::Informative {
                 continue;
             }
             let restricted = self.vs.restrict(&g.sig);
@@ -257,26 +408,40 @@ impl Engine {
             .collect()
     }
 
+    /// A scratch buffer for [`Engine::simulate_in`], sized to this
+    /// engine's atom universe.
+    pub fn sim_scratch(&self) -> SimScratch {
+        SimScratch {
+            inter: self.universe.empty_set(),
+        }
+    }
+
     /// How many tuples would become certain if a tuple with the given
     /// *restricted* signature were labeled `(positive, negative)` — the
     /// one-step lookahead the paper's lookahead strategies score
     /// ("labeling which tuple allows us to prune as many tuples as
     /// possible?"). Counts include the labeled tuple's own group. Both
-    /// branches are computed without mutating the engine.
+    /// branches are computed without mutating the engine, directly over
+    /// the maintained index.
     pub fn simulate(&self, restricted_sig: &AtomSet) -> (u64, u64) {
-        let candidates = self.informative_groups();
-        let negs = self.vs.negatives();
+        let mut scratch = self.sim_scratch();
+        self.simulate_in(restricted_sig, &mut scratch)
+    }
 
+    /// [`Engine::simulate`] with a caller-provided scratch, so a strategy
+    /// scoring every candidate reuses one buffer across the whole sweep.
+    pub fn simulate_in(&self, restricted_sig: &AtomSet, scratch: &mut SimScratch) -> (u64, u64) {
+        let negs = self.vs.negatives();
         let mut pruned_pos = 0u64;
         let mut pruned_neg = 0u64;
-        for c in &candidates {
+        for c in &self.index.candidates {
             let r = &c.restricted_sig;
             // Positive branch: U' = restricted_sig. Tuple class of r under
             // (U', negs): certain-positive iff U' ⊆ r; certain-negative iff
             // r ∩ U' ⊆ n for some n.
-            let inter = r.intersection(restricted_sig);
+            r.intersection_into(restricted_sig, &mut scratch.inter);
             let becomes_pos = restricted_sig.is_subset(r);
-            let becomes_neg = negs.iter().any(|n| inter.is_subset(n));
+            let becomes_neg = negs.iter().any(|n| scratch.inter.is_subset(n));
             if becomes_pos || becomes_neg {
                 pruned_pos += c.count;
             }
@@ -289,7 +454,9 @@ impl Engine {
     }
 
     /// Absorb a user label for tuple `id` and propagate it (gray out every
-    /// tuple whose class becomes certain).
+    /// tuple whose class becomes certain) by updating the candidate index
+    /// in place: certainty is monotone under consistent labels, so only
+    /// the currently-informative groups can change class.
     pub fn label(&mut self, id: ProductId, label: Label) -> Result<LabelOutcome> {
         if self.labels.contains_key(&id) {
             return Err(InferenceError::AlreadyLabeled { tuple: id });
@@ -298,9 +465,24 @@ impl Engine {
         let was_informative = self.groups[g].class == TupleClass::Informative;
         let sig = self.groups[g].sig.clone();
 
+        let before_informative = self.index.informative_tuples;
         match label {
-            Label::Positive => self.vs.add_positive(id, &sig)?,
-            Label::Negative => self.vs.add_negative(id, &sig)?,
+            Label::Positive => {
+                self.vs.add_positive(id, &sig)?;
+                // `U` shrank: restricted signatures are re-keyed, but only
+                // the groups that were still informative can change class.
+                let mut alive: Vec<usize> = self.index.members.iter().flatten().copied().collect();
+                alive.sort_unstable();
+                self.reindex(&alive);
+            }
+            Label::Negative => {
+                self.vs.add_negative(id, &sig)?;
+                // `U` unchanged: restricted signatures are stable, and a
+                // whole candidate flips to certain-negative iff its
+                // restricted signature is inside the new negative.
+                let new_neg = self.vs.restrict(&sig);
+                self.drop_subsumed_candidates(&new_neg);
+            }
         }
 
         self.labels.insert(id, label);
@@ -310,14 +492,8 @@ impl Engine {
             Label::Negative => self.stats.labeled_negative += 1,
         }
 
-        // Propagate: reclassify every group under the updated version space.
-        let before_certain = self.certain_tuple_count();
-        for group in &mut self.groups {
-            group.class = self.vs.classify(&group.sig);
-        }
-        let after_certain = self.certain_tuple_count();
-        let pruned = after_certain.saturating_sub(before_certain);
-
+        let pruned = before_informative.saturating_sub(self.index.informative_tuples);
+        self.index.generation += 1;
         self.refresh_counters();
         let outcome = LabelOutcome {
             was_informative,
@@ -332,6 +508,74 @@ impl Engine {
             pruned,
         });
         Ok(outcome)
+    }
+
+    /// Rebuild the aggregation over the given group indices (ascending, so
+    /// candidate order stays the deterministic first-seen group order),
+    /// reclassifying each against the current version space and updating
+    /// its cached class. Groups outside `alive` keep their class — used
+    /// with the previously-informative set after a positive label, and
+    /// with all groups at construction.
+    fn reindex(&mut self, alive: &[usize]) {
+        self.index.clear();
+        for &g in alive {
+            let group = &mut self.groups[g];
+            group.class = self.vs.classify(&group.sig);
+            if group.class != TupleClass::Informative {
+                continue;
+            }
+            let restricted = self.vs.restrict(&group.sig);
+            let (count, rep) = (group.count(), group.ids[0]);
+            self.index.add_group(g, restricted, count, rep);
+        }
+    }
+
+    /// Drop every candidate whose restricted signature is subsumed by the
+    /// freshly-added negative, marking its member groups certain-negative.
+    /// Candidate order among survivors is preserved; the map keeps the
+    /// surviving keys (only their slot indices are fixed up), so nothing
+    /// is re-hashed or re-cloned.
+    fn drop_subsumed_candidates(&mut self, new_neg: &AtomSet) {
+        let keep: Vec<bool> = self
+            .index
+            .candidates
+            .iter()
+            .map(|c| !c.restricted_sig.is_subset(new_neg))
+            .collect();
+        if keep.iter().all(|&k| k) {
+            return;
+        }
+        for (slot, &k) in keep.iter().enumerate() {
+            if k {
+                continue;
+            }
+            self.index.informative_tuples -= self.index.candidates[slot].count;
+            for g in std::mem::take(&mut self.index.members[slot]) {
+                self.groups[g].class = TupleClass::CertainNegative;
+            }
+        }
+        self.index.by_restricted.retain(|_, slot| keep[*slot]);
+        let mut new_slot = vec![usize::MAX; keep.len()];
+        let mut next = 0usize;
+        for (old, &k) in keep.iter().enumerate() {
+            if k {
+                new_slot[old] = next;
+                next += 1;
+            }
+        }
+        for slot in self.index.by_restricted.values_mut() {
+            *slot = new_slot[*slot];
+        }
+        let mut i = 0;
+        self.index.candidates.retain(|_| {
+            i += 1;
+            keep[i - 1]
+        });
+        let mut i = 0;
+        self.index.members.retain(|_| {
+            i += 1;
+            keep[i - 1]
+        });
     }
 
     /// Absorb additional candidate tuples mid-session — freshly arrived
@@ -353,10 +597,26 @@ impl Engine {
             let tuple = self.product.tuple(id)?;
             let sig = self.universe.signature(&tuple);
             match self.by_sig.get(&sig) {
-                Some(&g) => self.groups[g].ids.push(id),
+                Some(&g) => {
+                    self.groups[g].ids.push(id);
+                    if self.groups[g].class == TupleClass::Informative {
+                        // The group's restricted signature is a live index
+                        // key; its candidate gains one tuple (the group's
+                        // representative `ids[0]` is unchanged by a push).
+                        let restricted = self.vs.restrict(&self.groups[g].sig);
+                        let slot = self.index.by_restricted[&restricted];
+                        self.index.candidates[slot].count += 1;
+                        self.index.informative_tuples += 1;
+                    }
+                }
                 None => {
                     let class = self.vs.classify(&sig);
-                    self.by_sig.insert(sig.clone(), self.groups.len());
+                    let g = self.groups.len();
+                    self.by_sig.insert(sig.clone(), g);
+                    if class == TupleClass::Informative {
+                        let restricted = self.vs.restrict(&sig);
+                        self.index.add_group(g, restricted, 1, id);
+                    }
                     self.groups.push(Group {
                         sig,
                         ids: vec![id],
@@ -368,6 +628,9 @@ impl Engine {
             added += 1;
         }
         self.stats.total_tuples += added;
+        if added > 0 {
+            self.index.generation += 1;
+        }
         self.refresh_counters();
         Ok(added)
     }
@@ -407,24 +670,14 @@ impl Engine {
             .ok_or(InferenceError::UnknownTuple { tuple: id })
     }
 
-    fn certain_tuple_count(&self) -> u64 {
-        self.groups
-            .iter()
-            .filter(|g| g.class.is_certain())
-            .map(|g| g.count())
-            .sum()
-    }
-
     fn refresh_counters(&mut self) {
         let labeled = self.labels.len() as u64;
-        let certain = self.certain_tuple_count();
+        let certain = self
+            .stats
+            .total_tuples
+            .saturating_sub(self.index.informative_tuples);
         self.stats.pruned = certain.saturating_sub(labeled);
-        self.stats.informative = self
-            .groups
-            .iter()
-            .filter(|g| g.class == TupleClass::Informative)
-            .map(|g| g.count())
-            .sum();
+        self.stats.informative = self.index.informative_tuples;
     }
 }
 
@@ -594,7 +847,7 @@ mod tests {
     fn simulate_agrees_with_actual_labeling() {
         let (f, h) = (flights(), hotels());
         let e = engine(&f, &h);
-        for c in e.informative_groups() {
+        for c in e.candidates().candidates().to_vec() {
             let (pos, neg) = e.simulate(&c.restricted_sig);
             let mut e_pos = e.clone();
             let out = e_pos.label(c.representative, Label::Positive).unwrap();
@@ -734,7 +987,7 @@ mod tests {
             e
         };
         // Answer every informative tuple truthfully.
-        while let Some(c) = e.informative_groups().into_iter().next() {
+        while let Some(c) = e.candidates().candidates().first().cloned() {
             let tuple = e.product().tuple(c.representative).unwrap();
             e.label(c.representative, Label::from_bool(u_goal.selects(&tuple)))
                 .unwrap();
@@ -750,14 +1003,65 @@ mod tests {
     fn informative_groups_merge_after_upper_shrinks() {
         let (f, h) = (flights(), hotels());
         let mut e = engine(&f, &h);
-        let before = e.informative_groups().len();
+        let before = e.candidates().len();
         assert_eq!(before, 6);
         // Labeling (12)+ sets U = {AD}; signatures {FC} and ∅ restrict to ∅
         // and merge; {TC,AD} and {FC,AD} become certain.
         e.label(t(12), Label::Positive).unwrap();
-        let after = e.informative_groups();
+        let after = e.candidates();
         // Remaining informative restricted signatures: ∅ (from ∅, {FC}, {TC}).
         assert_eq!(after.len(), 1);
-        assert_eq!(after[0].count, 8);
+        assert_eq!(after.candidates()[0].count, 8);
+    }
+
+    /// The maintained index always equals a from-scratch reclassification,
+    /// through positives, negatives and mid-session absorbs.
+    #[test]
+    fn index_matches_recompute_through_a_session() {
+        fn sorted(mut v: Vec<Candidate>) -> Vec<Candidate> {
+            v.sort_by(|a, b| a.restricted_sig.cmp(&b.restricted_sig));
+            v
+        }
+        let (f, h) = (flights(), hotels());
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut e = Engine::from_ids(p, &[t(3), t(8), t(12)], &EngineOptions::default()).unwrap();
+        assert_eq!(
+            sorted(e.candidates().candidates().to_vec()),
+            sorted(e.recompute_candidates())
+        );
+        e.label(t(12), Label::Negative).unwrap();
+        assert_eq!(
+            sorted(e.candidates().candidates().to_vec()),
+            sorted(e.recompute_candidates())
+        );
+        e.absorb_ids(&(0..12).map(ProductId).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(
+            sorted(e.candidates().candidates().to_vec()),
+            sorted(e.recompute_candidates())
+        );
+        e.label(t(3), Label::Positive).unwrap();
+        assert_eq!(
+            sorted(e.candidates().candidates().to_vec()),
+            sorted(e.recompute_candidates())
+        );
+    }
+
+    /// The generation counter moves on every mutation and only then.
+    #[test]
+    fn generation_counts_mutations_not_queries() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        let g0 = e.generation();
+        let _ = e.candidates();
+        let _ = e.simulate(&e.universe().empty_set());
+        let _ = e.recompute_candidates();
+        assert_eq!(e.generation(), g0);
+        e.label(t(12), Label::Positive).unwrap();
+        assert_eq!(e.generation(), g0 + 1);
+        // Absorbing only duplicates is a no-op and keeps caches valid.
+        let all: Vec<ProductId> = (0..12).map(ProductId).collect();
+        e.absorb_ids(&all).unwrap();
+        assert_eq!(e.generation(), g0 + 1);
     }
 }

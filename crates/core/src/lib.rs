@@ -85,7 +85,7 @@ mod version_space;
 pub use atoms::{Atom, AtomId, AtomScope, AtomUniverse};
 pub use bitset::{maximal_antichain, AtomSet, AtomSetIter};
 pub use cost::{Cost, CostModel};
-pub use engine::{Candidate, Engine, EngineOptions, LabelOutcome};
+pub use engine::{Candidate, CandidateView, Engine, EngineOptions, LabelOutcome, SimScratch};
 pub use error::{InferenceError, Result};
 pub use explain::{explain, Explanation};
 pub use label::Label;
@@ -100,7 +100,8 @@ pub use version_space::{TupleClass, VersionSpace};
 pub mod prelude {
     pub use crate::session::{run_free, run_most_informative, run_top_k};
     pub use crate::{
-        AtomScope, AtomSet, AtomUniverse, Engine, EngineOptions, GoalOracle, InferenceError,
-        JoinPredicate, Label, Oracle, Strategy, StrategyKind, TupleClass, VersionSpace,
+        AtomScope, AtomSet, AtomUniverse, CandidateView, Engine, EngineOptions, GoalOracle,
+        InferenceError, JoinPredicate, Label, Oracle, Strategy, StrategyKind, TupleClass,
+        VersionSpace,
     };
 }

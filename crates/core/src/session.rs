@@ -20,7 +20,7 @@ use crate::error::Result;
 use crate::oracle::Oracle;
 use crate::predicate::JoinPredicate;
 use crate::stats::ProgressStats;
-use crate::strategy::Strategy;
+use crate::strategy::{choose_next, top_k_next, Strategy};
 use jim_relation::ProductId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,7 +101,7 @@ pub fn run_most_informative(
     strategy: &mut dyn Strategy,
     oracle: &mut dyn Oracle,
 ) -> Result<SessionOutcome> {
-    while let Some(id) = strategy.choose(&engine) {
+    while let Some(id) = choose_next(strategy, &engine) {
         ask(&mut engine, oracle, id)?;
     }
     finish(engine, oracle)
@@ -119,7 +119,7 @@ pub fn run_top_k(
 ) -> Result<SessionOutcome> {
     assert!(k > 0, "k must be positive");
     loop {
-        let batch = strategy.top_k(&engine, k);
+        let batch = top_k_next(strategy, &engine, k);
         if batch.is_empty() {
             break;
         }

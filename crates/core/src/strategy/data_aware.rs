@@ -12,7 +12,7 @@
 //! between the paper's local and lookahead families; ablation A5 measures
 //! where that lands.
 
-use crate::engine::Engine;
+use crate::engine::{CandidateView, Engine};
 use crate::strategy::{ranked, Strategy};
 use jim_relation::stats::JoinStats;
 use jim_relation::ProductId;
@@ -69,17 +69,21 @@ impl Strategy for DataAware {
         "data-aware"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        self.top_k(engine, 1).first().copied()
+    fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        self.top_k(engine, candidates, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let sel = self.fit(engine).to_vec();
-        let candidates = engine.informative_groups();
+    fn top_k(
+        &mut self,
+        engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        let sel = self.fit(engine);
         // Score: 1 − (selectivity of the rarest atom satisfied). A tuple
         // satisfying a near-key atom scores close to 1; the empty
         // signature (satisfies nothing interesting) scores 0.
-        ranked(&candidates, |c| {
+        ranked(candidates.candidates(), |c| {
             c.restricted_sig
                 .iter()
                 .map(|i| 1.0 - sel[i])
@@ -98,6 +102,7 @@ mod tests {
     use crate::engine::EngineOptions;
     use crate::label::Label;
     use crate::predicate::JoinPredicate;
+    use crate::strategy::{choose_next, top_k_next};
     use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
 
     /// A relation pair with one key-like atom (id ≍ fk, selectivity 1/n)
@@ -128,7 +133,7 @@ mod tests {
         let key = u.id_by_names((0, "id"), (1, "fk")).unwrap();
 
         let mut s = DataAware::new();
-        let pick = s.choose(&e).unwrap();
+        let pick = choose_next(&mut s, &e).unwrap();
         let tuple = e.product().tuple(pick).unwrap();
         let sig = u.signature(&tuple);
         assert!(
@@ -148,7 +153,7 @@ mod tests {
 
         let mut s = DataAware::new();
         let mut steps = 0;
-        while let Some(id) = s.choose(&e) {
+        while let Some(id) = choose_next(&mut s, &e) {
             let t = e.product().tuple(id).unwrap();
             e.label(id, Label::from_bool(goal.selects(&t))).unwrap();
             steps += 1;
@@ -166,10 +171,10 @@ mod tests {
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
         let mut s = DataAware::new();
         assert!(s.selectivity.is_none());
-        let _ = s.choose(&e);
+        let _ = choose_next(&mut s, &e);
         assert!(s.selectivity.is_some());
         let first = s.selectivity.clone();
-        let _ = s.choose(&e);
+        let _ = choose_next(&mut s, &e);
         assert_eq!(s.selectivity, first);
     }
 
@@ -185,7 +190,7 @@ mod tests {
         let e = Engine::new(p, &opts).unwrap();
         // Intra-relation atoms take the row-scan selectivity path.
         let mut s = DataAware::new();
-        assert!(s.choose(&e).is_some());
+        assert!(choose_next(&mut s, &e).is_some());
         let sel = s.selectivity.as_ref().unwrap();
         assert_eq!(sel.len(), e.universe().len());
         assert!(sel.iter().all(|&x| (0.0..=1.0).contains(&x)));
@@ -196,7 +201,7 @@ mod tests {
         let (l, r) = keyed_instance();
         let p = Product::new(vec![&l, &r]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let ids = DataAware::new().top_k(&e, 3);
+        let ids = top_k_next(&mut DataAware::new(), &e, 3);
         let set: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(ids.len(), set.len());
         assert!(!ids.is_empty());

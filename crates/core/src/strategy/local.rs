@@ -2,7 +2,7 @@
 //! (paper, §2) — they rank informative signatures by a position in the
 //! signature lattice, without simulating answers.
 
-use crate::engine::Engine;
+use crate::engine::{CandidateView, Engine};
 use crate::strategy::{argmax_by_score, ranked, Strategy};
 use jim_relation::ProductId;
 
@@ -17,18 +17,25 @@ impl Strategy for LocalGeneral {
         "local-general"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        let c = engine.informative_groups();
-        argmax_by_score(&c, |c| -(c.restricted_sig.len() as i64))
+    fn choose(&mut self, _engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        argmax_by_score(candidates.candidates(), |c| {
+            -(c.restricted_sig.len() as i64)
+        })
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let c = engine.informative_groups();
-        ranked(&c, |c| -(c.restricted_sig.len() as i64))
-            .into_iter()
-            .take(k)
-            .map(|c| c.representative)
-            .collect()
+    fn top_k(
+        &mut self,
+        _engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        ranked(candidates.candidates(), |c| {
+            -(c.restricted_sig.len() as i64)
+        })
+        .into_iter()
+        .take(k)
+        .map(|c| c.representative)
+        .collect()
     }
 }
 
@@ -44,14 +51,17 @@ impl Strategy for LocalSpecific {
         "local-specific"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        let c = engine.informative_groups();
-        argmax_by_score(&c, |c| c.restricted_sig.len() as i64)
+    fn choose(&mut self, _engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        argmax_by_score(candidates.candidates(), |c| c.restricted_sig.len() as i64)
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let c = engine.informative_groups();
-        ranked(&c, |c| c.restricted_sig.len() as i64)
+    fn top_k(
+        &mut self,
+        _engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        ranked(candidates.candidates(), |c| c.restricted_sig.len() as i64)
             .into_iter()
             .take(k)
             .map(|c| c.representative)
@@ -70,14 +80,17 @@ impl Strategy for LocalFrequency {
         "local-frequency"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        let c = engine.informative_groups();
-        argmax_by_score(&c, |c| c.count)
+    fn choose(&mut self, _engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        argmax_by_score(candidates.candidates(), |c| c.count)
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let c = engine.informative_groups();
-        ranked(&c, |c| c.count)
+    fn top_k(
+        &mut self,
+        _engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        ranked(candidates.candidates(), |c| c.count)
             .into_iter()
             .take(k)
             .map(|c| c.representative)
@@ -89,6 +102,7 @@ impl Strategy for LocalFrequency {
 mod tests {
     use super::*;
     use crate::engine::EngineOptions;
+    use crate::strategy::{choose_next, top_k_next};
     use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
 
     /// Figure-1 instance: signatures ∅×3, {FC}×3, {TC,AD}×2, {FC,AD}×1,
@@ -134,7 +148,7 @@ mod tests {
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
         // The most general signature is ∅, first carried by tuple (1) = rank 0.
-        let id = LocalGeneral.choose(&e).unwrap();
+        let id = choose_next(&mut LocalGeneral, &e).unwrap();
         let t = e.product().tuple(id).unwrap();
         assert!(e.universe().signature(&t).is_empty());
     }
@@ -144,7 +158,7 @@ mod tests {
         let (f, h) = engine_fixture();
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let id = LocalSpecific.choose(&e).unwrap();
+        let id = choose_next(&mut LocalSpecific, &e).unwrap();
         let t = e.product().tuple(id).unwrap();
         assert_eq!(e.universe().signature(&t).len(), 2);
     }
@@ -154,7 +168,7 @@ mod tests {
         let (f, h) = engine_fixture();
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let id = LocalFrequency.choose(&e).unwrap();
+        let id = choose_next(&mut LocalFrequency, &e).unwrap();
         let t = e.product().tuple(id).unwrap();
         let sig = e.universe().signature(&t);
         // The ties at count 3 are ∅ and {FC}; tie-break is the smaller
@@ -167,7 +181,7 @@ mod tests {
         let (f, h) = engine_fixture();
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let ids = LocalSpecific.top_k(&e, 6);
+        let ids = top_k_next(&mut LocalSpecific, &e, 6);
         assert_eq!(ids.len(), 6);
         let sizes: Vec<usize> = ids
             .iter()

@@ -6,7 +6,7 @@
 //! (closed-form on restricted signatures, see [`Engine::simulate`]) and/or
 //! by the split it induces on the version-space mass.
 
-use crate::engine::Engine;
+use crate::engine::{CandidateView, Engine};
 use crate::strategy::{ranked, Strategy};
 use jim_relation::ProductId;
 
@@ -20,14 +20,19 @@ impl Strategy for LookaheadMinPrune {
         "lookahead-minprune"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        self.top_k(engine, 1).first().copied()
+    fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        self.top_k(engine, candidates, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let c = engine.informative_groups();
-        ranked(&c, |c| {
-            let (pos, neg) = engine.simulate(&c.restricted_sig);
+    fn top_k(
+        &mut self,
+        engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        let mut scratch = engine.sim_scratch();
+        ranked(candidates.candidates(), |c| {
+            let (pos, neg) = engine.simulate_in(&c.restricted_sig, &mut scratch);
             (pos.min(neg), pos + neg)
         })
         .into_iter()
@@ -47,14 +52,19 @@ impl Strategy for LookaheadExpected {
         "lookahead-expected"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        self.top_k(engine, 1).first().copied()
+    fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        self.top_k(engine, candidates, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let c = engine.informative_groups();
-        ranked(&c, |c| {
-            let (pos, neg) = engine.simulate(&c.restricted_sig);
+    fn top_k(
+        &mut self,
+        engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        let mut scratch = engine.sim_scratch();
+        ranked(candidates.candidates(), |c| {
+            let (pos, neg) = engine.simulate_in(&c.restricted_sig, &mut scratch);
             pos + neg
         })
         .into_iter()
@@ -115,21 +125,26 @@ impl Strategy for LookaheadEntropy {
         "lookahead-entropy"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        self.top_k(engine, 1).first().copied()
+    fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        self.top_k(engine, candidates, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let c = engine.informative_groups();
+    fn top_k(
+        &mut self,
+        engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
         let vs = engine.version_space();
-        ranked(&c, |c| {
+        let mut scratch = engine.sim_scratch();
+        ranked(candidates.candidates(), |c| {
             match vs.selecting_probability(&c.restricted_sig) {
                 Some(p) => self.entropy(p),
                 None => {
                     // Counting blew its budget: fall back to a prune score,
                     // squashed into (0, 1) so entropy scores still dominate
                     // ln 2 ≥ ... no — keep comparable by scaling to [0, ln2).
-                    let (pos, neg) = engine.simulate(&c.restricted_sig);
+                    let (pos, neg) = engine.simulate_in(&c.restricted_sig, &mut scratch);
                     let worst = pos.min(neg) as f64;
                     std::f64::consts::LN_2 * worst / (worst + 1.0)
                 }
@@ -146,6 +161,7 @@ impl Strategy for LookaheadEntropy {
 mod tests {
     use super::*;
     use crate::engine::EngineOptions;
+    use crate::strategy::choose_next;
     use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
 
     fn paper_instance() -> (Relation, Relation) {
@@ -188,7 +204,7 @@ mod tests {
         let (f, h) = paper_instance();
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let id = LookaheadMinPrune.choose(&e).unwrap();
+        let id = choose_next(&mut LookaheadMinPrune, &e).unwrap();
         let t = e.product().tuple(id).unwrap();
         let sig = e.universe().signature(&t);
         let (pos, neg) = e.simulate(&e.version_space().restrict(&sig));
@@ -202,7 +218,7 @@ mod tests {
         let (f, h) = paper_instance();
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let id = LookaheadExpected.choose(&e).unwrap();
+        let id = choose_next(&mut LookaheadExpected, &e).unwrap();
         assert!(e.is_informative(id).unwrap());
     }
 
@@ -236,7 +252,7 @@ mod tests {
         let (f, h) = paper_instance();
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let id = LookaheadEntropy::default().choose(&e).unwrap();
+        let id = choose_next(&mut LookaheadEntropy::default(), &e).unwrap();
         assert!(e.is_informative(id).unwrap());
     }
 

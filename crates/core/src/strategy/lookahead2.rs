@@ -10,7 +10,7 @@
 //! "one more step" extension and ablation A4 measures what it buys.
 
 use crate::bitset::{maximal_antichain, AtomSet};
-use crate::engine::Engine;
+use crate::engine::{CandidateView, Engine};
 use crate::strategy::{LocalSpecific, LookaheadMinPrune, Strategy};
 use jim_relation::ProductId;
 
@@ -25,15 +25,14 @@ struct SimState {
 }
 
 impl SimState {
-    fn from_engine(engine: &Engine) -> SimState {
+    fn from_view(engine: &Engine, candidates: &CandidateView<'_>) -> SimState {
         let vs = engine.version_space();
         SimState {
             upper: vs.upper().clone(),
             negs: vs.negatives().to_vec(),
-            sigs: engine
-                .informative_groups()
-                .into_iter()
-                .map(|c| (c.restricted_sig, c.count))
+            sigs: candidates
+                .iter()
+                .map(|c| (c.restricted_sig.clone(), c.count))
                 .collect(),
         }
     }
@@ -113,16 +112,20 @@ impl Strategy for LookaheadTwoStep {
         "lookahead-2step"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        self.top_k(engine, 1).first().copied()
+    fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        self.top_k(engine, candidates, 1).first().copied()
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let candidates = engine.informative_groups();
+    fn top_k(
+        &mut self,
+        engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
         if candidates.is_empty() {
             return Vec::new();
         }
-        let state = SimState::from_engine(engine);
+        let state = SimState::from_view(engine, candidates);
         let mut scored: Vec<(u64, u64, &crate::engine::Candidate)> = candidates
             .iter()
             .map(|c| {
@@ -180,19 +183,24 @@ impl Strategy for HybridStrategy {
         "hybrid"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        if engine.informative_groups().len() > self.threshold {
-            LocalSpecific.choose(engine)
+    fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        if candidates.len() > self.threshold {
+            LocalSpecific.choose(engine, candidates)
         } else {
-            LookaheadMinPrune.choose(engine)
+            LookaheadMinPrune.choose(engine, candidates)
         }
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        if engine.informative_groups().len() > self.threshold {
-            LocalSpecific.top_k(engine, k)
+    fn top_k(
+        &mut self,
+        engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        if candidates.len() > self.threshold {
+            LocalSpecific.top_k(engine, candidates, k)
         } else {
-            LookaheadMinPrune.top_k(engine, k)
+            LookaheadMinPrune.top_k(engine, candidates, k)
         }
     }
 }
@@ -203,6 +211,7 @@ mod tests {
     use crate::engine::EngineOptions;
     use crate::label::Label;
     use crate::predicate::JoinPredicate;
+    use crate::strategy::choose_next;
     use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
 
     fn paper_instance() -> (Relation, Relation) {
@@ -249,7 +258,7 @@ mod tests {
         let ad = u.id_by_names((0, "Airline"), (1, "Discount")).unwrap();
         let goal = JoinPredicate::of(u, [tc, ad]);
         let mut steps = 0;
-        while let Some(id) = strategy.choose(&e) {
+        while let Some(id) = choose_next(strategy, &e) {
             let t = e.product().tuple(id).unwrap();
             e.label(id, Label::from_bool(goal.selects(&t))).unwrap();
             steps += 1;
@@ -281,7 +290,7 @@ mod tests {
         let (f, h) = paper_instance();
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let state = SimState::from_engine(&e);
+        let state = SimState::from_view(&e, &e.candidates());
 
         let bound_of = |id: jim_relation::ProductId, depth2: bool| {
             let t = e.product().tuple(id).unwrap();
@@ -295,8 +304,8 @@ mod tests {
             }
         };
 
-        let two = LookaheadTwoStep.choose(&e).unwrap();
-        let one = LookaheadMinPrune.choose(&e).unwrap();
+        let two = choose_next(&mut LookaheadTwoStep, &e).unwrap();
+        let one = choose_next(&mut LookaheadMinPrune, &e).unwrap();
         assert!(bound_of(two, true) <= bound_of(one, true));
     }
 
@@ -307,10 +316,13 @@ mod tests {
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
         // 6 candidates: a threshold of 0 means "never small enough" ->
         // local behaviour; a threshold of 100 admits lookahead already.
-        let local_pick = LocalSpecific.choose(&e);
-        let lookahead_pick = LookaheadMinPrune.choose(&e);
-        assert_eq!(HybridStrategy::new(0).choose(&e), local_pick);
-        assert_eq!(HybridStrategy::new(100).choose(&e), lookahead_pick);
+        let local_pick = choose_next(&mut LocalSpecific, &e);
+        let lookahead_pick = choose_next(&mut LookaheadMinPrune, &e);
+        assert_eq!(choose_next(&mut HybridStrategy::new(0), &e), local_pick);
+        assert_eq!(
+            choose_next(&mut HybridStrategy::new(100), &e),
+            lookahead_pick
+        );
         assert_eq!(HybridStrategy::new(7).threshold(), 7);
     }
 
@@ -319,8 +331,8 @@ mod tests {
         let (f, h) = paper_instance();
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let state = SimState::from_engine(&e);
-        for c in e.informative_groups() {
+        let state = SimState::from_view(&e, &e.candidates());
+        for c in e.candidates().candidates().to_vec() {
             // Remaining-after counts must equal total minus the engine's
             // simulate() prune counts.
             let (pos_pruned, neg_pruned) = e.simulate(&c.restricted_sig);

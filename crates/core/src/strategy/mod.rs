@@ -21,32 +21,71 @@ pub use lookahead2::{HybridStrategy, LookaheadTwoStep};
 pub use optimal::OptimalStrategy;
 pub use random::RandomStrategy;
 
-use crate::engine::{Candidate, Engine};
+use crate::engine::{Candidate, CandidateView, Engine};
 use jim_relation::ProductId;
 use std::fmt;
 
 /// A strategy proposes the next tuple for the user to label.
+///
+/// Strategies rank the **borrowed** candidate view the engine maintains
+/// incrementally ([`Engine::candidates`]) — they never materialize their
+/// own candidate list, so a `choose` call costs the ranking, not a rebuild
+/// of the group table. Callers take the view and hand it in:
+///
+/// ```ignore
+/// let choice = {
+///     let view = engine.candidates();
+///     strategy.choose(&engine, &view)
+/// };
+/// ```
 pub trait Strategy {
     /// Stable identifier used in experiment tables.
     fn name(&self) -> &'static str;
 
     /// Pick the next informative tuple, or `None` when inference is
-    /// complete (no informative tuple remains).
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId>;
+    /// complete (the view is empty).
+    fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId>;
 
     /// Rank the informative candidates best-first and return the top `k`
     /// (the demo's "top-k informative tuples" interaction, Figure 3.3).
     /// Default implementation returns the single best choice.
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        self.choose(engine).into_iter().take(k).collect()
+    fn top_k(
+        &mut self,
+        engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        self.choose(engine, candidates)
+            .into_iter()
+            .take(k)
+            .collect()
     }
+}
+
+/// Convenience: take the engine's current candidate view and run
+/// [`Strategy::choose`] against it. For callers that do not keep the view
+/// across calls (sessions, oracles, tests).
+pub fn choose_next(strategy: &mut (impl Strategy + ?Sized), engine: &Engine) -> Option<ProductId> {
+    let view = engine.candidates();
+    strategy.choose(engine, &view)
+}
+
+/// Convenience: take the engine's current candidate view and run
+/// [`Strategy::top_k`] against it.
+pub fn top_k_next(
+    strategy: &mut (impl Strategy + ?Sized),
+    engine: &Engine,
+    k: usize,
+) -> Vec<ProductId> {
+    let view = engine.candidates();
+    strategy.top_k(engine, &view, k)
 }
 
 /// Pick the best candidate under a score, breaking ties by the smallest
 /// restricted signature and then representative — fully deterministic.
 pub(crate) fn argmax_by_score<S: PartialOrd + Copy>(
     candidates: &[Candidate],
-    score: impl Fn(&Candidate) -> S,
+    score: impl FnMut(&Candidate) -> S,
 ) -> Option<ProductId> {
     ranked(candidates, score).first().map(|c| c.representative)
 }
@@ -54,7 +93,7 @@ pub(crate) fn argmax_by_score<S: PartialOrd + Copy>(
 /// All candidates sorted best-first under a score with deterministic ties.
 pub(crate) fn ranked<S: PartialOrd + Copy>(
     candidates: &[Candidate],
-    score: impl Fn(&Candidate) -> S,
+    mut score: impl FnMut(&Candidate) -> S,
 ) -> Vec<Candidate> {
     let mut scored: Vec<(S, &Candidate)> = candidates.iter().map(|c| (score(c), c)).collect();
     scored.sort_by(|(sa, ca), (sb, cb)| {
@@ -227,7 +266,7 @@ mod tests {
 
         let mut strategy = kind.build();
         let mut steps = 0u64;
-        while let Some(id) = strategy.choose(&engine) {
+        while let Some(id) = choose_next(strategy.as_mut(), &engine) {
             let tuple = engine.product().tuple(id).unwrap();
             let label = Label::from_bool(goal.selects(&tuple));
             engine.label(id, label).unwrap();
@@ -296,7 +335,7 @@ mod tests {
             // Label (3)+ to create uninformative tuples.
             engine.label(ProductId(2), Label::Positive).unwrap();
             for _ in 0..10 {
-                match strategy.choose(&engine) {
+                match choose_next(strategy.as_mut(), &engine) {
                     None => break,
                     Some(id) => {
                         assert!(engine.is_informative(id).unwrap(), "{kind} proposed {id}");
@@ -321,7 +360,7 @@ mod tests {
             .into_iter()
             .chain([StrategyKind::Optimal])
         {
-            assert_eq!(kind.build().choose(&engine), None, "{kind}");
+            assert_eq!(choose_next(kind.build().as_mut(), &engine), None, "{kind}");
         }
     }
 
@@ -332,7 +371,7 @@ mod tests {
         let p = Product::new(vec![&f, &h]).unwrap();
         let engine = Engine::new(p, &EngineOptions::default()).unwrap();
         let mut s = StrategyKind::LookaheadMinPrune.build();
-        let top = s.top_k(&engine, 3);
+        let top = top_k_next(s.as_mut(), &engine, 3);
         assert_eq!(top.len(), 3);
         let set: std::collections::HashSet<_> = top.iter().collect();
         assert_eq!(set.len(), 3);
@@ -381,7 +420,11 @@ mod tests {
             let e1 = Engine::new(p1, &EngineOptions::default()).unwrap();
             let p2 = Product::new(vec![&f, &h]).unwrap();
             let e2 = Engine::new(p2, &EngineOptions::default()).unwrap();
-            assert_eq!(kind.build().choose(&e1), kind.build().choose(&e2), "{kind}");
+            assert_eq!(
+                choose_next(kind.build().as_mut(), &e1),
+                choose_next(kind.build().as_mut(), &e2),
+                "{kind}"
+            );
         }
     }
 }

@@ -9,7 +9,7 @@
 //! close the heuristics come to optimal.
 
 use crate::bitset::{maximal_antichain, AtomSet};
-use crate::engine::Engine;
+use crate::engine::{CandidateView, Engine};
 use crate::error::{InferenceError, Result};
 use crate::strategy::Strategy;
 use jim_relation::ProductId;
@@ -34,9 +34,9 @@ impl State {
         let mut negs: Vec<AtomSet> = vs.negatives().to_vec();
         negs.sort();
         let mut sigs: Vec<AtomSet> = engine
-            .informative_groups()
-            .into_iter()
-            .map(|c| c.restricted_sig)
+            .candidates()
+            .iter()
+            .map(|c| c.restricted_sig.clone())
             .collect();
         sigs.sort();
         sigs.dedup();
@@ -226,8 +226,8 @@ impl Strategy for OptimalStrategy {
         "optimal"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        let candidates = engine.informative_groups();
+    fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        let candidates = candidates.candidates();
         if candidates.is_empty() {
             return None;
         }
@@ -250,6 +250,7 @@ mod tests {
     use super::*;
     use crate::engine::EngineOptions;
     use crate::label::Label;
+    use crate::strategy::choose_next;
     use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
 
     fn paper_instance() -> (Relation, Relation) {
@@ -311,8 +312,8 @@ mod tests {
         // prev - 1.
         while let Some((sig, _)) = planner.best_move(&e).unwrap() {
             let rep = e
-                .informative_groups()
-                .into_iter()
+                .candidates()
+                .iter()
                 .find(|c| c.restricted_sig == sig)
                 .unwrap()
                 .representative;
@@ -356,7 +357,7 @@ mod tests {
         let p = Product::new(vec![&f, &h]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
         let mut s = OptimalStrategy::with_budget(1);
-        let id = s.choose(&e);
+        let id = choose_next(&mut s, &e);
         assert!(id.is_some());
         assert!(s.fell_back());
     }
@@ -394,7 +395,7 @@ mod tests {
             let mut e = e0.clone();
             let mut s = OptimalStrategy::with_budget(1_000_000);
             let mut steps = 0;
-            while let Some(id) = s.choose(&e) {
+            while let Some(id) = choose_next(&mut s, &e) {
                 let t = e.product().tuple(id).unwrap();
                 e.label(id, Label::from_bool(goal.selects(&t))).unwrap();
                 steps += 1;

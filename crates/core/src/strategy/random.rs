@@ -1,7 +1,7 @@
 //! The random baseline: "for comparison we have also introduced the random
 //! strategy which chooses randomly an informative tuple" (paper, §2).
 
-use crate::engine::Engine;
+use crate::engine::{CandidateView, Engine};
 use crate::strategy::Strategy;
 use jim_relation::ProductId;
 use rand::rngs::StdRng;
@@ -29,14 +29,13 @@ impl Strategy for RandomStrategy {
         "random"
     }
 
-    fn choose(&mut self, engine: &Engine) -> Option<ProductId> {
-        let candidates = engine.informative_groups();
-        let total: u64 = candidates.iter().map(|c| c.count).sum();
+    fn choose(&mut self, _engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+        let total: u64 = candidates.total_tuples();
         if total == 0 {
             return None;
         }
         let mut pick = self.rng.gen_range(0..total);
-        for c in &candidates {
+        for c in candidates.iter() {
             if pick < c.count {
                 return Some(c.representative);
             }
@@ -45,12 +44,17 @@ impl Strategy for RandomStrategy {
         unreachable!("pick < total by construction")
     }
 
-    fn top_k(&mut self, engine: &Engine, k: usize) -> Vec<ProductId> {
-        let mut candidates = engine.informative_groups();
-        let mut out = Vec::with_capacity(k.min(candidates.len()));
-        while out.len() < k && !candidates.is_empty() {
-            let i = self.rng.gen_range(0..candidates.len());
-            out.push(candidates.swap_remove(i).representative);
+    fn top_k(
+        &mut self,
+        _engine: &Engine,
+        candidates: &CandidateView<'_>,
+        k: usize,
+    ) -> Vec<ProductId> {
+        let mut reps: Vec<ProductId> = candidates.iter().map(|c| c.representative).collect();
+        let mut out = Vec::with_capacity(k.min(reps.len()));
+        while out.len() < k && !reps.is_empty() {
+            let i = self.rng.gen_range(0..reps.len());
+            out.push(reps.swap_remove(i));
         }
         out
     }
@@ -60,6 +64,7 @@ impl Strategy for RandomStrategy {
 mod tests {
     use super::*;
     use crate::engine::EngineOptions;
+    use crate::strategy::choose_next;
     use jim_relation::{tup, DataType, Product, Relation, RelationSchema};
 
     /// Two candidate atoms (x≍y, x≍z); three signature groups, all
@@ -83,8 +88,8 @@ mod tests {
         let (a, b) = two_column_instance();
         let p = Product::new(vec![&a, &b]).unwrap();
         let e = Engine::new(p, &EngineOptions::default()).unwrap();
-        let c1 = RandomStrategy::seeded(5).choose(&e);
-        let c2 = RandomStrategy::seeded(5).choose(&e);
+        let c1 = choose_next(&mut RandomStrategy::seeded(5), &e);
+        let c2 = choose_next(&mut RandomStrategy::seeded(5), &e);
         assert_eq!(c1, c2);
         assert!(c1.is_some());
     }
@@ -97,7 +102,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         let mut s = RandomStrategy::seeded(0);
         for _ in 0..200 {
-            seen.insert(s.choose(&e).unwrap());
+            seen.insert(choose_next(&mut s, &e).unwrap());
         }
         // Three informative groups ({x≍y}, {x≍z}, ∅); all should be sampled.
         assert_eq!(seen.len(), 3);

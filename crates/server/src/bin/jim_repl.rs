@@ -12,6 +12,10 @@
 //! Commands: `open [scenario] [strategy]`, `load <left.csv> <right.csv>`,
 //! `ask`, `y`/`n`, `answer <tuple> <+|->`, `top <k>`, `stats`,
 //! `explain [tuple]`, `sql`, `transcript`, `sessions`, `close`, `quit`.
+//!
+//! `open` and `load` accept sampling knobs as trailing `max=N` (enumerate
+//! or sample at most N product tuples) and `seed=N` (sample RNG seed)
+//! words; the server reports when a session runs over a sample.
 
 use jim_json::Json;
 use jim_server::handler::Handler;
@@ -56,6 +60,28 @@ struct Repl {
 
 fn escape(s: &str) -> String {
     Json::from(s).render()
+}
+
+/// Split trailing `max=N` / `seed=N` words off a command line; returns the
+/// remaining words and the extra JSON fields (`,"max_product":N,...`).
+fn sampling_opts<'a>(words: &[&'a str]) -> Result<(Vec<&'a str>, String), String> {
+    let mut rest = Vec::new();
+    let mut extra = String::new();
+    for w in words {
+        let (key, field) = match w.split_once('=') {
+            Some(("max", v)) => (v, "max_product"),
+            Some(("seed", v)) => (v, "sample_seed"),
+            _ => {
+                rest.push(*w);
+                continue;
+            }
+        };
+        let n: u64 = key
+            .parse()
+            .map_err(|_| format!("bad value in `{w}` (want a non-negative integer)"))?;
+        extra.push_str(&format!(r#","{field}":{n}"#));
+    }
+    Ok((rest, extra))
 }
 
 impl Repl {
@@ -110,19 +136,34 @@ impl Repl {
     }
 
     fn open(&mut self, words: &[&str]) {
+        let (words, extra) = match sampling_opts(words) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                println!("! {e}");
+                return;
+            }
+        };
         let scenario = words.first().copied().unwrap_or("flights");
         let strategy = words.get(1).copied().unwrap_or("lookahead-minprune");
         let line = format!(
-            r#"{{"op":"CreateSession","source":{{"scenario":{}}},"strategy":{}}}"#,
+            r#"{{"op":"CreateSession","source":{{"scenario":{}}},"strategy":{}{}}}"#,
             escape(scenario),
             escape(strategy),
+            extra,
         );
         self.finish_open(line);
     }
 
     fn load(&mut self, words: &[&str]) {
+        let (words, extra) = match sampling_opts(words) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                println!("! {e}");
+                return;
+            }
+        };
         if words.len() < 2 {
-            println!("! usage: load <left.csv> <right.csv> [strategy]");
+            println!("! usage: load <left.csv> <right.csv> [strategy] [max=N] [seed=N]");
             return;
         }
         let mut relations = Vec::new();
@@ -146,9 +187,10 @@ impl Repl {
         }
         let strategy = words.get(2).copied().unwrap_or("lookahead-minprune");
         let line = format!(
-            r#"{{"op":"CreateSession","source":{{"relations":[{}]}},"strategy":{}}}"#,
+            r#"{{"op":"CreateSession","source":{{"relations":[{}]}},"strategy":{}{}}}"#,
             relations.join(","),
             escape(strategy),
+            extra,
         );
         self.finish_open(line);
     }
@@ -165,10 +207,16 @@ impl Repl {
                         .collect()
                 })
                 .unwrap_or_default();
+            let sampled = if r.get("sampled").and_then(Json::as_bool) == Some(true) {
+                " (a uniform sample of a larger product)"
+            } else {
+                ""
+            };
             println!(
-                "session {} open: {} candidate tuples, {} candidate atoms, strategy {}",
+                "session {} open: {} candidate tuples{}, {} candidate atoms, strategy {}",
                 self.session.unwrap_or(0),
                 r.get("tuples").and_then(Json::as_u64).unwrap_or(0),
+                sampled,
                 r.get("atoms").and_then(Json::as_u64).unwrap_or(0),
                 r.get("strategy").and_then(Json::as_str).unwrap_or("?"),
             );
@@ -241,6 +289,7 @@ impl Repl {
                     println!("commands:");
                     println!("  open [scenario] [strategy]   flights | setgame | tpch | random");
                     println!("  load <l.csv> <r.csv> [strat] infer over your own data");
+                    println!("  ... open/load accept max=N (sample cap) and seed=N (sample seed)");
                     println!("  ask                          next most-informative question");
                     println!("  y | n                        answer the pending question");
                     println!("  answer <tuple> <+|->         label an explicit tuple");

@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]
+//!           [--shards N] [--max-product N]
 //! ```
 //!
 //! Speaks the JSON-lines protocol of `jim_server::protocol`; try it with
 //! the `jim` REPL client or plain `nc`.
 
-use jim_server::handler::Handler;
+use jim_server::handler::{Handler, ServerLimits};
 use jim_server::serve::{serve, spawn_sweeper};
 use jim_server::store::{SessionStore, StoreConfig};
 use std::net::TcpListener;
@@ -15,7 +16,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]");
+    eprintln!(
+        "usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N] \
+         [--shards N] [--max-product N]"
+    );
     std::process::exit(2);
 }
 
@@ -23,6 +27,7 @@ fn main() -> std::io::Result<()> {
     let mut host = "127.0.0.1".to_string();
     let mut port = 7914u16; // "JIM" on a phone pad, more or less.
     let mut config = StoreConfig::default();
+    let mut limits = ServerLimits::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -47,6 +52,14 @@ fn main() -> std::io::Result<()> {
                 Ok(secs) if secs > 0 => config.ttl = Duration::from_secs(secs),
                 _ => usage(),
             },
+            "--shards" => match value("--shards").parse() {
+                Ok(n) if n > 0 => config.shards = n,
+                _ => usage(),
+            },
+            "--max-product" => match value("--max-product").parse() {
+                Ok(n) if n > 0 => limits.max_product = n,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("jim-serve: unknown flag {other}");
@@ -57,14 +70,17 @@ fn main() -> std::io::Result<()> {
 
     let store = Arc::new(SessionStore::new(config));
     spawn_sweeper(&store, Duration::from_secs(5).min(config.ttl));
-    let handler = Arc::new(Handler::new(store));
+    let shards = store.num_shards();
+    let handler = Arc::new(Handler::with_limits(store, limits));
 
     let listener = TcpListener::bind((host.as_str(), port))?;
     eprintln!(
-        "jim-serve: listening on {} (max {} sessions, ttl {:?})",
+        "jim-serve: listening on {} (max {} sessions, {} shards, ttl {:?}, sample past {} tuples)",
         listener.local_addr()?,
         config.max_sessions,
-        config.ttl
+        shards,
+        config.ttl,
+        limits.max_product
     );
     serve(listener, handler)
 }

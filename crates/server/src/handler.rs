@@ -6,21 +6,46 @@
 
 use crate::protocol::{error, ok, parse_strategy, Request, Source};
 use crate::scenario;
-use crate::store::{Session, SessionStore};
+use crate::store::{QuestionCache, Session, SessionStore};
 use jim_core::{explain, Engine, EngineOptions, StrategyKind, Transcript};
 use jim_json::Json;
 use jim_relation::{csv, Database, Product, ProductId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Server-side resource ceilings the client cannot raise.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLimits {
+    /// The most product tuples a session may enumerate **or sample**. A
+    /// client `max_product` is clamped to this; products larger than the
+    /// effective limit are uniformly sampled down to it.
+    pub max_product: u64,
+}
+
+impl Default for ServerLimits {
+    fn default() -> Self {
+        ServerLimits {
+            max_product: EngineOptions::default().max_product,
+        }
+    }
+}
 
 /// Dispatches decoded requests against the session store.
 pub struct Handler {
     store: Arc<SessionStore>,
+    limits: ServerLimits,
 }
 
 impl Handler {
-    /// A handler over a shared store.
+    /// A handler over a shared store with default limits.
     pub fn new(store: Arc<SessionStore>) -> Self {
-        Handler { store }
+        Handler::with_limits(store, ServerLimits::default())
+    }
+
+    /// A handler with explicit resource ceilings.
+    pub fn with_limits(store: Arc<SessionStore>, limits: ServerLimits) -> Self {
+        Handler { store, limits }
     }
 
     /// The shared store (the server's sweeper thread also holds it).
@@ -45,7 +70,8 @@ impl Handler {
                 source,
                 strategy,
                 max_product,
-            } => self.create_session(source, strategy, max_product),
+                sample_seed,
+            } => self.create_session(source, strategy, max_product, sample_seed),
             Request::NextQuestion { session } => self.with_session(session, Self::next_question),
             Request::TopK { session, k } => self.with_session(session, |s| Self::top_k(s, k)),
             Request::Answer {
@@ -85,6 +111,7 @@ impl Handler {
         source: Source,
         strategy: Option<String>,
         max_product: Option<u64>,
+        sample_seed: Option<u64>,
     ) -> Json {
         let product = match build_product(&source) {
             Ok(p) => p,
@@ -95,27 +122,46 @@ impl Handler {
             Some(Ok(kind)) => kind,
             Some(Err(message)) => return error(message),
         };
-        let mut options = EngineOptions::default();
-        if let Some(limit) = max_product {
-            // Clients may lower the product-size guard, never raise it:
-            // the engine eagerly enumerates the product, so an unbounded
-            // client-supplied limit would be a remote allocation bomb.
-            options.max_product = limit.min(options.max_product);
-        }
-        let engine = match Engine::new(product, &options) {
+        // Clients may lower the product-size guard, never raise it: the
+        // engine eagerly enumerates (or samples) up to `limit` tuples, so
+        // an unbounded client-supplied limit would be a remote allocation
+        // bomb.
+        let limit = match max_product {
+            None => self.limits.max_product,
+            Some(0) => return error("`max_product` must be positive"),
+            Some(l) => l.min(self.limits.max_product),
+        };
+        let options = EngineOptions {
+            max_product: limit,
+            ..Default::default()
+        };
+        let sampled = product.size() > limit;
+        let built = if sampled {
+            // Too large to enumerate: infer over a uniform sample instead
+            // of rejecting (Product::sample → Engine::from_ids).
+            let mut rng = StdRng::seed_from_u64(sample_seed.unwrap_or(0));
+            let ids = product.sample(&mut rng, limit as usize);
+            Engine::from_ids(product, &ids, &options)
+        } else {
+            Engine::new(product, &options)
+        };
+        let engine = match built {
             Ok(e) => e,
             Err(e) => return error(e.to_string()),
         };
         let columns = columns_of(&engine);
         let tuples = engine.stats().total_tuples;
         let atoms = engine.universe().len();
-        let (session, evicted) = self.store.create(engine, kind.build(), kind.to_string());
+        let (session, evicted) =
+            self.store
+                .create_session(engine, kind.build(), kind.to_string(), sampled);
         let id = session.lock().expect("session lock").id;
         let mut fields = vec![
             ("session", Json::from(id)),
             ("strategy", Json::from(kind.to_string())),
             ("tuples", Json::from(tuples)),
             ("atoms", Json::from(atoms)),
+            ("sampled", Json::Bool(sampled)),
             ("columns", Json::Array(columns)),
         ];
         if let Some(evicted) = evicted {
@@ -125,17 +171,32 @@ impl Handler {
     }
 
     fn next_question(session: &mut Session) -> Json {
-        // Re-propose a pending question that is still informative rather
-        // than consulting the strategy again (idempotent retries; stable
-        // under Random). A pending tuple that free-form answers meanwhile
-        // labeled OR pruned must not be re-proposed — in particular, the
-        // session may already be resolved.
-        let pending = session
-            .pending
-            .filter(|&id| session.engine.is_informative(id).unwrap_or(false));
-        let choice = match pending {
-            Some(id) => Some(id),
-            None => session.strategy.choose(&session.engine),
+        let session = &mut *session;
+        let generation = session.engine.generation();
+        let choice = match session.cache {
+            // The engine hasn't changed since the last NextQuestion: the
+            // cached choice is still exactly right — no strategy work.
+            Some(c) if c.generation == generation => c.choice,
+            _ => {
+                // Re-propose a pending question that is still informative
+                // rather than consulting the strategy again (idempotent
+                // retries; stable under Random). A pending tuple that
+                // free-form answers meanwhile labeled OR pruned must not
+                // be re-proposed — in particular, the session may already
+                // be resolved.
+                let pending = session
+                    .pending
+                    .filter(|&id| session.engine.is_informative(id).unwrap_or(false));
+                let choice = match pending {
+                    Some(id) => Some(id),
+                    None => {
+                        let view = session.engine.candidates();
+                        session.strategy.choose(&session.engine, &view)
+                    }
+                };
+                session.cache = Some(QuestionCache { generation, choice });
+                choice
+            }
         };
         match choice {
             None => {
@@ -157,11 +218,21 @@ impl Handler {
 
     fn top_k(session: &mut Session, k: usize) -> Json {
         let session = &mut *session;
-        let batch = session.strategy.top_k(&session.engine, k);
+        let batch = {
+            let view = session.engine.candidates();
+            session.strategy.top_k(&session.engine, &view, k)
+        };
         if batch.is_empty() {
             return resolved_response(&session.engine);
         }
         session.pending = Some(batch[0]);
+        // The batch head supersedes any earlier NextQuestion proposal: the
+        // question cache must follow it, or a NextQuestion at the same
+        // generation would resurrect the stale choice over the pending one.
+        session.cache = Some(QuestionCache {
+            generation: session.engine.generation(),
+            choice: Some(batch[0]),
+        });
         let tuples: Vec<Json> = batch
             .iter()
             .map(|&id| Json::object(tuple_fields(&session.engine, id)))
@@ -221,6 +292,7 @@ impl Handler {
             ),
             ("resolved_fraction", Json::from(stats.resolved_fraction())),
             ("resolved", Json::Bool(session.engine.is_resolved())),
+            ("sampled", Json::Bool(session.sampled)),
             ("strategy", Json::from(session.strategy_name.as_str())),
             ("summary", Json::from(stats.to_string())),
         ])
@@ -363,6 +435,8 @@ fn build_product(source: &Source) -> Result<Product, String> {
 mod tests {
     use super::*;
     use crate::store::StoreConfig;
+    use jim_core::{CandidateView, Strategy};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn handler() -> Handler {
         Handler::new(Arc::new(SessionStore::new(StoreConfig::default())))
@@ -370,6 +444,24 @@ mod tests {
 
     fn send(h: &Handler, line: &str) -> Json {
         Json::parse(&h.handle_line(line)).expect("responses are valid JSON")
+    }
+
+    /// Wraps a strategy and counts `choose` calls — observes whether the
+    /// generation-keyed question cache short-circuits the strategy.
+    struct Counting {
+        calls: Arc<AtomicUsize>,
+        inner: Box<dyn Strategy + Send>,
+    }
+
+    impl Strategy for Counting {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+
+        fn choose(&mut self, engine: &Engine, candidates: &CandidateView<'_>) -> Option<ProductId> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.inner.choose(engine, candidates)
+        }
     }
 
     #[test]
@@ -414,7 +506,7 @@ mod tests {
             ),
             (
                 r#"{"op":"CreateSession","source":{"relations":[{"name":"a","csv":"x\n1\n"}]},"max_product":0}"#,
-                "above the limit",
+                "must be positive",
             ),
             (
                 r#"{"op":"CreateSession","source":{"relations":[{"name":"a","csv":"\"bad"}]}}"#,
@@ -468,6 +560,175 @@ mod tests {
             q2.get("tuple").unwrap().as_u64(),
             "a random strategy must not re-roll an unanswered question"
         );
+    }
+
+    #[test]
+    fn oversized_product_is_sampled_not_rejected() {
+        // Server ceiling of 100 tuples; the setgame scenario is 144.
+        let h = Handler::with_limits(
+            Arc::new(SessionStore::new(StoreConfig::default())),
+            ServerLimits { max_product: 100 },
+        );
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"sample_seed":7}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("tuples").unwrap().as_u64(), Some(100));
+
+        // A client max_product below the ceiling shrinks the sample; one
+        // above it is clamped to the ceiling, never honored.
+        for (requested, expect) in [(40u64, 40u64), (10_000, 100)] {
+            let r = send(
+                &h,
+                &format!(
+                    r#"{{"op":"CreateSession","source":{{"scenario":"setgame"}},"max_product":{requested}}}"#
+                ),
+            );
+            assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");
+            assert_eq!(r.get("tuples").unwrap().as_u64(), Some(expect), "{r}");
+        }
+
+        // A sampled session is fully usable: it asks questions and its
+        // Stats carry the sampled marker.
+        let id = r#"{"op":"CreateSession","source":{"scenario":"setgame"},"max_product":50}"#;
+        let id = send(&h, id).get("session").unwrap().as_u64().unwrap();
+        let q = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        assert_eq!(q.get("resolved").unwrap().as_bool(), Some(false), "{q}");
+        let s = send(&h, &format!(r#"{{"op":"Stats","session":{id}}}"#));
+        assert_eq!(s.get("sampled").unwrap().as_bool(), Some(true));
+
+        // Small products still enumerate exactly.
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#,
+        );
+        assert_eq!(r.get("sampled").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("tuples").unwrap().as_u64(), Some(12));
+    }
+
+    #[test]
+    fn sample_seed_is_reproducible() {
+        let h = Handler::with_limits(
+            Arc::new(SessionStore::new(StoreConfig::default())),
+            ServerLimits { max_product: 30 },
+        );
+        let open = |seed: u64| {
+            let r = send(
+                &h,
+                &format!(
+                    r#"{{"op":"CreateSession","source":{{"scenario":"setgame"}},"sample_seed":{seed}}}"#
+                ),
+            );
+            let id = r.get("session").unwrap().as_u64().unwrap();
+            let q = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+            q.get("tuple").unwrap().as_u64().unwrap()
+        };
+        assert_eq!(open(3), open(3), "same seed, same sample, same question");
+    }
+
+    /// `choose` proposes the first candidate, `top_k` leads with the last —
+    /// guarantees the two proposals differ on any multi-candidate instance.
+    struct FirstChooseLastTopK;
+
+    impl Strategy for FirstChooseLastTopK {
+        fn name(&self) -> &'static str {
+            "first-last"
+        }
+
+        fn choose(
+            &mut self,
+            _engine: &Engine,
+            candidates: &CandidateView<'_>,
+        ) -> Option<ProductId> {
+            candidates.candidates().first().map(|c| c.representative)
+        }
+
+        fn top_k(
+            &mut self,
+            _engine: &Engine,
+            candidates: &CandidateView<'_>,
+            _k: usize,
+        ) -> Vec<ProductId> {
+            candidates
+                .candidates()
+                .last()
+                .map(|c| c.representative)
+                .into_iter()
+                .collect()
+        }
+    }
+
+    #[test]
+    fn top_k_supersedes_the_cached_next_question() {
+        // A NextQuestion answer is cached per generation; a TopK at the
+        // same generation re-points `pending` at its batch head, and the
+        // following NextQuestion must propose that head, not resurrect
+        // the stale cached choice.
+        let h = handler();
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#,
+        );
+        let id = r.get("session").unwrap().as_u64().unwrap();
+        {
+            let handle = h.store().peek(id).unwrap();
+            handle.lock().unwrap().strategy = Box::new(FirstChooseLastTopK);
+        }
+        let q1 = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        let first = q1.get("tuple").unwrap().as_u64().unwrap();
+        let batch = send(&h, &format!(r#"{{"op":"TopK","session":{id},"k":1}}"#));
+        let head = batch.get("tuples").unwrap().as_array().unwrap()[0]
+            .get("tuple")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_ne!(first, head, "fixture must make the proposals differ");
+        let q2 = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        assert_eq!(q2.get("tuple").unwrap().as_u64(), Some(head));
+    }
+
+    #[test]
+    fn next_question_cache_is_keyed_on_generation() {
+        let h = handler();
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#,
+        );
+        let id = r.get("session").unwrap().as_u64().unwrap();
+        let calls = Arc::new(AtomicUsize::new(0));
+        {
+            let handle = h.store().peek(id).unwrap();
+            handle.lock().unwrap().strategy = Box::new(Counting {
+                calls: Arc::clone(&calls),
+                inner: StrategyKind::LocalGeneral.build(),
+            });
+        }
+
+        // Retried NextQuestions hit the cache: one strategy consultation.
+        let q1 = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        let q2 = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        assert_eq!(
+            q1.get("tuple").unwrap().as_u64(),
+            q2.get("tuple").unwrap().as_u64()
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+
+        // Answering bumps the engine generation: the cache is invalidated
+        // and the next question is freshly computed.
+        let a = send(
+            &h,
+            &format!(r#"{{"op":"Answer","session":{id},"label":"-"}}"#),
+        );
+        assert_eq!(a.get("ok").unwrap().as_bool(), Some(true), "{a}");
+        assert_eq!(a.get("resolved").unwrap().as_bool(), Some(false), "{a}");
+        send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+
+        // And once recomputed, retries are cached again.
+        send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 
     #[test]

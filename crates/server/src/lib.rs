@@ -5,17 +5,21 @@
 //! `jim-core` engine into a long-lived service able to host many such
 //! users at once:
 //!
-//! * [`store`] — an id-keyed concurrent [`SessionStore`] of **owned**
-//!   sessions (engine + strategy + pending question), with a max-sessions
-//!   cap, LRU eviction and TTL sweeping. This is what the ownership
-//!   refactor in `jim-relation`/`jim-core` (products own `Arc<Relation>`,
-//!   `Engine` is `Send + 'static`) exists for.
+//! * [`store`] — an id-**sharded** concurrent [`SessionStore`] of **owned**
+//!   sessions (engine + strategy + pending question + generation-keyed
+//!   question cache), with a global max-sessions cap, LRU eviction and TTL
+//!   sweeping. This is what the ownership refactor in
+//!   `jim-relation`/`jim-core` (products own `Arc<Relation>`, `Engine` is
+//!   `Send + 'static`) exists for.
 //! * [`protocol`] — a JSON-lines wire protocol: `CreateSession` (inline
-//!   CSV or a named `jim-synth` scenario, with strategy choice),
-//!   `NextQuestion`, `TopK`, `Answer`, `Stats`, `Explain`, `Sql`,
-//!   `Transcript`, `ListSessions`, `CloseSession`.
+//!   CSV or a named `jim-synth` scenario, with strategy choice and
+//!   `max_product`/`sample_seed` sampling knobs), `NextQuestion`, `TopK`,
+//!   `Answer`, `Stats`, `Explain`, `Sql`, `Transcript`, `ListSessions`,
+//!   `CloseSession`.
 //! * [`handler`] — transport-independent dispatch: one request line in,
-//!   one response line out.
+//!   one response line out. Products larger than the (clamped) limit are
+//!   uniformly sampled instead of rejected, and responses say so with a
+//!   `sampled` flag.
 //! * [`serve`] — a thread-per-connection TCP listener plus the TTL
 //!   sweeper thread.
 //! * [`scenario`] — named demo datasets a client can open without
@@ -48,6 +52,6 @@ pub mod scenario;
 pub mod serve;
 pub mod store;
 
-pub use handler::Handler;
+pub use handler::{Handler, ServerLimits};
 pub use protocol::{Request, Source};
-pub use store::{Session, SessionStore, StoreConfig};
+pub use store::{QuestionCache, Session, SessionStore, StoreConfig};

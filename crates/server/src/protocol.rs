@@ -11,6 +11,7 @@
 //! ```json
 //! {"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}
 //! {"op":"CreateSession","source":{"relations":[{"name":"flights","csv":"From,To\n..."}]}}
+//! {"op":"CreateSession","source":{"scenario":"setgame"},"max_product":1000,"sample_seed":7}
 //! {"op":"NextQuestion","session":1}
 //! {"op":"TopK","session":1,"k":3}
 //! {"op":"Answer","session":1,"label":"+"}
@@ -54,8 +55,12 @@ pub enum Request {
         source: Source,
         /// Strategy name (see [`parse_strategy`]); default lookahead-minprune.
         strategy: Option<String>,
-        /// Refuse products larger than this (default: engine default).
+        /// Enumerate at most this many product tuples (clamped to the
+        /// server ceiling); larger products are uniformly *sampled* down
+        /// to this size instead of being rejected.
         max_product: Option<u64>,
+        /// RNG seed for the product sample (default 0, reproducible).
+        sample_seed: Option<u64>,
     },
     /// Ask for the next most-informative tuple (Figure 3.4).
     NextQuestion {
@@ -178,6 +183,7 @@ impl Request {
                         .and_then(Json::as_str)
                         .map(str::to_string),
                     max_product: json.get("max_product").and_then(Json::as_u64),
+                    sample_seed: json.get("sample_seed").and_then(Json::as_u64),
                 })
             }
             "NextQuestion" => Ok(Request::NextQuestion {
@@ -312,6 +318,7 @@ mod tests {
                 source,
                 strategy,
                 max_product,
+                sample_seed,
             } => {
                 assert_eq!(
                     source,
@@ -321,6 +328,26 @@ mod tests {
                 );
                 assert_eq!(strategy.as_deref(), Some("LookaheadMinPrune"));
                 assert_eq!(max_product, None);
+                assert_eq!(sample_seed, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_with_sampling_knobs() {
+        let r = Request::parse(
+            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"max_product":1000,"sample_seed":7}"#,
+        )
+        .unwrap();
+        match r {
+            Request::CreateSession {
+                max_product,
+                sample_seed,
+                ..
+            } => {
+                assert_eq!(max_product, Some(1000));
+                assert_eq!(sample_seed, Some(7));
             }
             other => panic!("{other:?}"),
         }

@@ -1,27 +1,46 @@
-//! The session store: id-keyed, concurrent, bounded.
+//! The session store: id-keyed, sharded, concurrent, bounded.
 //!
 //! A [`Session`] owns everything the interaction loop needs — the engine
-//! (which owns its product, which owns its relations), the strategy state
-//! and the pending question. Nothing borrows; the ownership refactor in
-//! `jim-relation`/`jim-core` made `Engine` a `Send + 'static` value
-//! precisely so it can live here across requests.
+//! (which owns its product, which owns its relations), the strategy state,
+//! the pending question and the generation-keyed question cache. Nothing
+//! borrows; the ownership refactor in `jim-relation`/`jim-core` made
+//! `Engine` a `Send + 'static` value precisely so it can live here across
+//! requests.
 //!
-//! Concurrency model: a short-lived store lock guards the id map; each
-//! session has its own lock, so requests against different sessions
-//! proceed in parallel and a slow strategy choice in one session never
-//! blocks another. Capacity is bounded two ways:
+//! Concurrency model: the id map is **sharded** by session id (power-of-two
+//! mask), so the per-request lookup (`get`/`peek`/`remove`) contends only
+//! on one shard instead of one global map lock — at high session counts,
+//! requests against sessions in different shards never serialize on the
+//! store at all. Each session additionally has its own lock, so a slow
+//! strategy choice in one session never blocks another. `create` is the
+//! only cross-shard operation (it must enforce the *global* cap): it takes
+//! every shard lock in index order, which is deadlock-free and rare
+//! relative to lookups. Capacity is bounded two ways:
 //!
-//! * **max sessions** — creating one past the cap evicts the
-//!   least-recently-used session (LRU);
-//! * **TTL** — [`SessionStore::sweep_at`] drops sessions idle longer than
-//!   the configured time-to-live (the server runs it periodically).
+//! * **max sessions** — creating one past the cap evicts the globally
+//!   least-recently-used session (LRU across all shards);
+//! * **TTL** — [`SessionStore::sweep_at`] walks all shards and drops
+//!   sessions idle longer than the configured time-to-live (the server
+//!   runs it periodically).
 
 use jim_core::{Engine, Strategy};
 use jim_relation::ProductId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// The strategy's answer for one engine generation — what `NextQuestion`
+/// computed, kept so an unanswered (or retried) question never re-runs the
+/// strategy. Any label or absorb bumps [`Engine::generation`], which makes
+/// the entry stale; the handler then recomputes and re-caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuestionCache {
+    /// [`Engine::generation`] at compute time.
+    pub generation: u64,
+    /// The proposed tuple, or `None` when the engine was resolved.
+    pub choice: Option<ProductId>,
+}
 
 /// One live inference session, owned by the store.
 pub struct Session {
@@ -36,6 +55,11 @@ pub struct Session {
     pub strategy_name: String,
     /// The question last proposed and not yet answered, if any.
     pub pending: Option<ProductId>,
+    /// The last `NextQuestion` result, valid while the engine generation
+    /// it was computed at is current.
+    pub cache: Option<QuestionCache>,
+    /// Whether the session's instance is a sample of a larger product.
+    pub sampled: bool,
 }
 
 /// Store limits.
@@ -46,6 +70,8 @@ pub struct StoreConfig {
     pub max_sessions: usize,
     /// Idle time after which a session may be swept.
     pub ttl: Duration,
+    /// Number of id-keyed shards (rounded up to a power of two, min 1).
+    pub shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -53,6 +79,7 @@ impl Default for StoreConfig {
         StoreConfig {
             max_sessions: 64,
             ttl: Duration::from_secs(30 * 60),
+            shards: 8,
         }
     }
 }
@@ -62,19 +89,24 @@ struct Entry {
     last_touched: Instant,
 }
 
-/// The concurrent session map (see module docs).
+type Shard = Mutex<HashMap<u64, Entry>>;
+
+/// The concurrent, sharded session map (see module docs).
 pub struct SessionStore {
     config: StoreConfig,
-    entries: Mutex<HashMap<u64, Entry>>,
+    shards: Box<[Shard]>,
+    mask: u64,
     next_id: AtomicU64,
 }
 
 impl SessionStore {
     /// A store with the given limits.
     pub fn new(config: StoreConfig) -> Self {
+        let n = config.shards.max(1).next_power_of_two();
         SessionStore {
             config,
-            entries: Mutex::new(HashMap::new()),
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
             next_id: AtomicU64::new(1),
         }
     }
@@ -84,9 +116,23 @@ impl SessionStore {
         self.config
     }
 
-    /// Number of live sessions.
+    /// Number of shards actually allocated (the config rounded up to a
+    /// power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: u64) -> &Shard {
+        // Sequential ids round-robin across shards.
+        &self.shards[(id & self.mask) as usize]
+    }
+
+    /// Number of live sessions across all shards.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("store lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store lock").len())
+            .sum()
     }
 
     /// True iff no session is live.
@@ -95,14 +141,26 @@ impl SessionStore {
     }
 
     /// Insert a new session built from `engine` + `strategy`; returns its
-    /// id and handle. Evicts expired sessions first, then the LRU session
-    /// if the store is still at capacity. Returns the id of the evicted
-    /// LRU session, if any, alongside the new session.
+    /// id and handle. Evicts expired sessions first, then the globally
+    /// least-recently-used session if the store is still at capacity.
+    /// Returns the id of the evicted LRU session, if any, alongside the
+    /// new session.
     pub fn create(
         &self,
         engine: Engine,
         strategy: Box<dyn Strategy + Send>,
         strategy_name: String,
+    ) -> (Arc<Mutex<Session>>, Option<u64>) {
+        self.create_session(engine, strategy, strategy_name, false)
+    }
+
+    /// [`SessionStore::create`] with the sampled flag set on the session.
+    pub fn create_session(
+        &self,
+        engine: Engine,
+        strategy: Box<dyn Strategy + Send>,
+        strategy_name: String,
+        sampled: bool,
     ) -> (Arc<Mutex<Session>>, Option<u64>) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let session = Arc::new(Mutex::new(Session {
@@ -111,22 +169,35 @@ impl SessionStore {
             strategy,
             strategy_name,
             pending: None,
+            cache: None,
+            sampled,
         }));
         let now = Instant::now();
-        let mut entries = self.entries.lock().expect("store lock");
-        Self::sweep_locked(&mut entries, now, self.config.ttl);
+        // The global cap needs a consistent view: take every shard lock in
+        // index order (deadlock-free; creates are rare next to lookups).
+        let mut guards: Vec<MutexGuard<'_, HashMap<u64, Entry>>> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("store lock"))
+            .collect();
+        for guard in guards.iter_mut() {
+            Self::sweep_locked(guard, now, self.config.ttl);
+        }
         let mut evicted = None;
-        if entries.len() >= self.config.max_sessions {
-            if let Some(&lru) = entries
+        let total: usize = guards.iter().map(|g| g.len()).sum();
+        if total >= self.config.max_sessions {
+            // Global LRU victim; ties broken by smallest id for determinism.
+            let victim = guards
                 .iter()
-                .min_by_key(|(_, e)| e.last_touched)
-                .map(|(id, _)| id)
-            {
-                entries.remove(&lru);
+                .enumerate()
+                .flat_map(|(si, g)| g.iter().map(move |(&id, e)| (e.last_touched, id, si)))
+                .min();
+            if let Some((_, lru, si)) = victim {
+                guards[si].remove(&lru);
                 evicted = Some(lru);
             }
         }
-        entries.insert(
+        guards[(id & self.mask) as usize].insert(
             id,
             Entry {
                 session: Arc::clone(&session),
@@ -138,7 +209,7 @@ impl SessionStore {
 
     /// Fetch a session handle, refreshing its LRU/TTL stamp.
     pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        let mut entries = self.entries.lock().expect("store lock");
+        let mut entries = self.shard(id).lock().expect("store lock");
         entries.get_mut(&id).map(|e| {
             e.last_touched = Instant::now();
             Arc::clone(&e.session)
@@ -149,38 +220,51 @@ impl SessionStore {
     /// for observers (listing, metrics) that must not keep idle sessions
     /// alive or reorder eviction.
     pub fn peek(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        let entries = self.entries.lock().expect("store lock");
+        let entries = self.shard(id).lock().expect("store lock");
         entries.get(&id).map(|e| Arc::clone(&e.session))
     }
 
     /// Drop a session; `true` if it existed.
     pub fn remove(&self, id: u64) -> bool {
-        self.entries
+        self.shard(id)
             .lock()
             .expect("store lock")
             .remove(&id)
             .is_some()
     }
 
-    /// Live session ids, ascending.
+    /// Live session ids across all shards, ascending.
     pub fn ids(&self) -> Vec<u64> {
         let mut ids: Vec<u64> = self
-            .entries
-            .lock()
-            .expect("store lock")
-            .keys()
-            .copied()
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("store lock")
+                    .keys()
+                    .copied()
+                    .collect::<Vec<u64>>()
+            })
             .collect();
         ids.sort_unstable();
         ids
     }
 
-    /// Evict every session idle at `now` for longer than the TTL; returns
-    /// the evicted ids. The server's sweeper thread calls this with
-    /// `Instant::now()`; tests can pass a synthetic "future" instant.
+    /// Evict every session idle at `now` for longer than the TTL, in every
+    /// shard; returns the evicted ids ascending. The server's sweeper
+    /// thread calls this with `Instant::now()`; tests can pass a synthetic
+    /// "future" instant.
     pub fn sweep_at(&self, now: Instant) -> Vec<u64> {
-        let mut entries = self.entries.lock().expect("store lock");
-        Self::sweep_locked(&mut entries, now, self.config.ttl)
+        let mut expired: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                let mut entries = s.lock().expect("store lock");
+                Self::sweep_locked(&mut entries, now, self.config.ttl)
+            })
+            .collect();
+        expired.sort_unstable();
+        expired
     }
 
     fn sweep_locked(entries: &mut HashMap<u64, Entry>, now: Instant, ttl: Duration) -> Vec<u64> {
@@ -212,6 +296,7 @@ mod tests {
         SessionStore::new(StoreConfig {
             max_sessions: max,
             ttl,
+            ..Default::default()
         })
     }
 
@@ -251,6 +336,44 @@ mod tests {
     }
 
     #[test]
+    fn lru_eviction_spans_shards() {
+        // Sessions land in distinct shards (sequential ids, power-of-two
+        // mask), yet the cap is global and the LRU victim is found across
+        // all of them.
+        let s = SessionStore::new(StoreConfig {
+            max_sessions: 4,
+            ttl: Duration::from_secs(60),
+            shards: 4,
+        });
+        assert_eq!(s.num_shards(), 4);
+        let ids: Vec<u64> = (0..4).map(|_| create(&s).0).collect();
+        // Touch everything except the second session.
+        for &id in ids.iter().filter(|&&id| id != ids[1]) {
+            assert!(s.get(id).is_some());
+        }
+        let (e, evicted) = create(&s);
+        assert_eq!(evicted, Some(ids[1]), "global LRU evicted across shards");
+        assert_eq!(s.len(), 4);
+        assert!(s.get(e).is_some());
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        let s = SessionStore::new(StoreConfig {
+            shards: 5,
+            ..Default::default()
+        });
+        assert_eq!(s.num_shards(), 8);
+        let s = SessionStore::new(StoreConfig {
+            shards: 0,
+            ..Default::default()
+        });
+        assert_eq!(s.num_shards(), 1);
+        assert!(create(&s).1.is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
     fn ttl_sweep_expires_idle_sessions() {
         let ttl = Duration::from_secs(60);
         let s = store(8, ttl);
@@ -262,6 +385,20 @@ mod tests {
         assert_eq!(s.sweep_at(future), vec![a]);
         assert!(s.is_empty());
         assert!(s.get(a).is_none());
+    }
+
+    #[test]
+    fn ttl_sweep_walks_every_shard() {
+        let ttl = Duration::from_secs(60);
+        let s = SessionStore::new(StoreConfig {
+            max_sessions: 16,
+            ttl,
+            shards: 4,
+        });
+        let ids: Vec<u64> = (0..6).map(|_| create(&s).0).collect();
+        let future = Instant::now() + ttl + Duration::from_secs(1);
+        assert_eq!(s.sweep_at(future), ids, "all shards swept, ids ascending");
+        assert!(s.is_empty());
     }
 
     #[test]
@@ -286,7 +423,8 @@ mod tests {
             let h = s.get(id).unwrap();
             let mut guard = h.lock().unwrap();
             let session = &mut *guard;
-            let pick = session.strategy.choose(&session.engine).unwrap();
+            let pick = jim_core::strategy::choose_next(session.strategy.as_mut(), &session.engine)
+                .unwrap();
             session.pending = Some(pick);
         }
         let h = s.get(id).unwrap();

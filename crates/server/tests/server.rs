@@ -5,7 +5,7 @@
 use jim_core::{Engine, EngineOptions, Transcript};
 use jim_json::Json;
 use jim_relation::Product;
-use jim_server::handler::Handler;
+use jim_server::handler::{Handler, ServerLimits};
 use jim_server::store::{SessionStore, StoreConfig};
 use jim_synth::flights;
 use std::sync::Arc;
@@ -264,6 +264,7 @@ fn lru_eviction_when_over_capacity() {
     let h = handler_with(StoreConfig {
         max_sessions: 2,
         ttl: Duration::from_secs(600),
+        ..Default::default()
     });
     let a = expect_ok(&h, CREATE_FLIGHTS_INLINE)
         .get("session")
@@ -298,6 +299,7 @@ fn ttl_eviction_of_an_expired_session() {
     let h = handler_with(StoreConfig {
         max_sessions: 8,
         ttl,
+        ..Default::default()
     });
     let r = expect_ok(&h, CREATE_FLIGHTS_INLINE);
     let session = r.get("session").unwrap().as_u64().unwrap();
@@ -377,6 +379,7 @@ fn list_sessions_does_not_keep_idle_sessions_alive() {
     let h = handler_with(StoreConfig {
         max_sessions: 8,
         ttl,
+        ..Default::default()
     });
     let r = expect_ok(&h, CREATE_FLIGHTS_INLINE);
     let session = r.get("session").unwrap().as_u64().unwrap();
@@ -390,41 +393,66 @@ fn list_sessions_does_not_keep_idle_sessions_alive() {
 
 #[test]
 fn client_cannot_raise_the_product_size_guard() {
-    // 30 rows self-joined 5 ways = 24.3M tuples, over the 5M default
-    // guard; a client-supplied huge max_product must not lift it.
+    // 30 rows self-joined 3 ways = 27,000 tuples, over a 500-tuple server
+    // ceiling; a client-supplied huge max_product must not lift it — the
+    // session opens over a *sample* of exactly the ceiling instead.
     let mut csv = String::from("x\n");
     for i in 0..30 {
         csv.push_str(&format!("{i}\n"));
     }
-    let h = handler();
+    let h = Handler::with_limits(
+        Arc::new(SessionStore::new(StoreConfig::default())),
+        ServerLimits { max_product: 500 },
+    );
     let line = format!(
-        r#"{{"op":"CreateSession","source":{{"relations":[{{"name":"r","csv":"{}"}}],"view":["r","r","r","r","r"]}},"max_product":18446744073709551615}}"#,
+        r#"{{"op":"CreateSession","source":{{"relations":[{{"name":"r","csv":"{}"}}],"view":["r","r","r"]}},"max_product":18446744073709551615}}"#,
         csv.replace('\n', "\\n")
     );
-    let r = send(&h, &line);
-    assert_eq!(r.get("ok").unwrap().as_bool(), Some(false), "{r}");
-    assert!(
-        r.get("error")
-            .unwrap()
-            .as_str()
-            .unwrap()
-            .contains("above the limit"),
-        "{r}"
+    let r = expect_ok(&h, &line);
+    assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");
+    assert_eq!(
+        r.get("tuples").unwrap().as_u64(),
+        Some(500),
+        "sample size clamped to the server ceiling: {r}"
     );
-    // Lowering the guard still works.
+    // Lowering the guard shrinks the sample further.
     let lowered = CREATE_FLIGHTS_INLINE.replace(
         r#""strategy":"LookaheadMinPrune""#,
         r#""strategy":"LookaheadMinPrune","max_product":4"#,
     );
-    let r = send(&h, &lowered);
-    assert!(
-        r.get("error")
-            .unwrap()
-            .as_str()
-            .unwrap()
-            .contains("above the limit"),
-        "{r}"
+    let r = expect_ok(&h, &lowered);
+    assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");
+    assert_eq!(r.get("tuples").unwrap().as_u64(), Some(4), "{r}");
+    // A zero guard is rejected outright.
+    let zeroed = CREATE_FLIGHTS_INLINE.replace(
+        r#""strategy":"LookaheadMinPrune""#,
+        r#""strategy":"LookaheadMinPrune","max_product":0"#,
     );
+    let r = send(&h, &zeroed);
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(false), "{r}");
+}
+
+#[test]
+fn sampled_session_resolves_end_to_end() {
+    // A product over the limit opens via sampling and still drives the
+    // whole inference loop to resolution through the wire protocol.
+    let h = handler();
+    let line = CREATE_FLIGHTS_INLINE.replace(
+        r#""strategy":"LookaheadMinPrune""#,
+        r#""strategy":"LookaheadMinPrune","max_product":9,"sample_seed":5"#,
+    );
+    let r = expect_ok(&h, &line);
+    assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");
+    assert_eq!(r.get("tuples").unwrap().as_u64(), Some(9));
+    let session = r.get("session").unwrap().as_u64().unwrap();
+    let (resolved, interactions) = drive_to_resolution(&h, session, q2_label);
+    assert!(interactions >= 1);
+    // The inferred predicate is consistent with every (truthful) answer on
+    // the sample; on this instance 9 of 12 tuples pin Q2 or a superset.
+    assert!(resolved.get("sql").unwrap().as_str().is_some());
+    let stats = expect_ok(&h, &format!(r#"{{"op":"Stats","session":{session}}}"#));
+    assert_eq!(stats.get("sampled").unwrap().as_bool(), Some(true));
+    assert_eq!(stats.get("total_tuples").unwrap().as_u64(), Some(9));
 }
 
 #[test]

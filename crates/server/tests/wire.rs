@@ -51,6 +51,7 @@ fn start_server() -> std::net::SocketAddr {
     let store = Arc::new(SessionStore::new(StoreConfig {
         max_sessions: 8,
         ttl: Duration::from_secs(600),
+        ..Default::default()
     }));
     spawn_sweeper(&store, Duration::from_millis(200));
     let handler = Arc::new(Handler::new(store));
@@ -114,6 +115,45 @@ fn two_concurrent_sessions_over_tcp_infer_q2() {
         assert!(sql.contains("r1.To = r2.City"), "{sql}");
         assert!(sql.contains("r1.Airline = r2.Discount"), "{sql}");
     }
+}
+
+#[test]
+fn oversized_product_samples_and_resolves_over_tcp() {
+    // The setgame scenario is a 144-tuple self-join; with max_product 40
+    // the server must open the session over a 40-tuple uniform sample
+    // instead of erroring, and the whole loop still runs to resolution.
+    let addr = start_server();
+    let mut client = Client::connect(addr);
+    let r = client.send(
+        r#"{"op":"CreateSession","source":{"scenario":"setgame"},"strategy":"local-general","max_product":40,"sample_seed":7}"#,
+    );
+    assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");
+    assert_eq!(r.get("tuples").unwrap().as_u64(), Some(40));
+    let session = r.get("session").unwrap().as_u64().unwrap();
+
+    // A user who wants the empty join answers every question negatively;
+    // negatives on informative tuples are always consistent, and the
+    // session must terminate within the number of distinct signatures.
+    let mut resolved = false;
+    for _ in 0..40 {
+        let q = client.send(&format!(r#"{{"op":"NextQuestion","session":{session}}}"#));
+        if q.get("resolved").unwrap().as_bool() == Some(true) {
+            resolved = true;
+            break;
+        }
+        let a = client.send(&format!(
+            r#"{{"op":"Answer","session":{session},"label":"-"}}"#
+        ));
+        if a.get("resolved").unwrap().as_bool() == Some(true) {
+            resolved = true;
+            break;
+        }
+    }
+    assert!(resolved, "sampled session did not resolve");
+    let stats = client.send(&format!(r#"{{"op":"Stats","session":{session}}}"#));
+    assert_eq!(stats.get("sampled").unwrap().as_bool(), Some(true));
+    assert_eq!(stats.get("total_tuples").unwrap().as_u64(), Some(40));
+    client.send(&format!(r#"{{"op":"CloseSession","session":{session}}}"#));
 }
 
 #[test]

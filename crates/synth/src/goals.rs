@@ -34,8 +34,8 @@ pub fn satisfiable_goals(
 
     // Candidate signatures with at least `atoms` atoms.
     let mut witnesses: Vec<Vec<usize>> = engine
-        .informative_groups()
-        .into_iter()
+        .candidates()
+        .iter()
         .map(|c| c.restricted_sig.iter().collect::<Vec<usize>>())
         .filter(|s| s.len() >= atoms)
         .collect();

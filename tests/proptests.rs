@@ -204,6 +204,108 @@ proptest! {
     }
 }
 
+// ------------------------------------------------- candidate-index laws
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The incrementally maintained candidate index equals a from-scratch
+    /// reclassification of all groups after **any** random label sequence
+    /// (positives, negatives, wasted labels) and mid-session absorbs — the
+    /// equivalence contract of the de-materialized hot path.
+    #[test]
+    fn incremental_index_matches_recompute(
+        r1 in arb_relation("p", 2..=3, 2..=7, 3),
+        r2 in arb_relation("q", 2..=3, 2..=7, 3),
+        picks in proptest::collection::vec(any::<u64>(), 1..=12),
+        start_fraction in 1u64..=4,
+    ) {
+        use jim::core::{Candidate, Label};
+        fn sorted(mut v: Vec<Candidate>) -> Vec<Candidate> {
+            v.sort_by(|a, b| {
+                a.restricted_sig
+                    .cmp(&b.restricted_sig)
+                    .then(a.count.cmp(&b.count))
+                    .then(a.representative.cmp(&b.representative))
+            });
+            v
+        }
+        let p = Product::new(vec![&r1, &r2]).unwrap();
+        prop_assume!(!p.is_empty());
+
+        // Start from a prefix sample so absorb_ids is on the tested path.
+        let prefix = (p.size() / start_fraction).max(1);
+        let ids: Vec<jim::relation::ProductId> =
+            (0..prefix).map(jim::relation::ProductId).collect();
+        let mut engine =
+            Engine::from_ids(p.clone(), &ids, &EngineOptions::default()).unwrap();
+
+        let mut absorbed = false;
+        for (step, pick) in picks.iter().enumerate() {
+            prop_assert_eq!(
+                sorted(engine.candidates().candidates().to_vec()),
+                sorted(engine.recompute_candidates()),
+                "index diverged at step {}", step
+            );
+            prop_assert_eq!(
+                engine.candidates().total_tuples(),
+                engine.stats().informative
+            );
+            if engine.is_resolved() {
+                break;
+            }
+            if !absorbed && step == picks.len() / 2 {
+                // Widen the sample mid-session.
+                let all: Vec<jim::relation::ProductId> =
+                    (0..p.size()).map(jim::relation::ProductId).collect();
+                engine.absorb_ids(&all).unwrap();
+                absorbed = true;
+                continue;
+            }
+            // Label a random informative representative. Both labels are
+            // consistent for an informative tuple by definition.
+            let cands = engine.candidates().candidates().to_vec();
+            let c = &cands[(*pick as usize) % cands.len()];
+            let label = if pick & 1 == 0 { Label::Positive } else { Label::Negative };
+            engine.label(c.representative, label).unwrap();
+        }
+        prop_assert_eq!(
+            sorted(engine.candidates().candidates().to_vec()),
+            sorted(engine.recompute_candidates())
+        );
+    }
+
+    /// The generation counter strictly increases on every label and on
+    /// every absorb that adds tuples — the invalidation signal owned
+    /// caches (the server's question cache) rely on.
+    #[test]
+    fn generation_tracks_mutations(
+        r1 in arb_relation("p", 2..=2, 2..=6, 3),
+        r2 in arb_relation("q", 2..=2, 2..=6, 3),
+        picks in proptest::collection::vec(any::<u64>(), 1..=8),
+    ) {
+        use jim::core::Label;
+        let p = Product::new(vec![&r1, &r2]).unwrap();
+        prop_assume!(!p.is_empty());
+        let mut engine = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut last = engine.generation();
+        for pick in picks {
+            let _ = engine.candidates();
+            let _ = engine.recompute_candidates();
+            prop_assert_eq!(engine.generation(), last, "queries must not bump");
+            let cands = engine.candidates().candidates().to_vec();
+            if cands.is_empty() {
+                break;
+            }
+            let c = &cands[(pick as usize) % cands.len()];
+            let label = if pick & 1 == 0 { Label::Positive } else { Label::Negative };
+            engine.label(c.representative, label).unwrap();
+            prop_assert!(engine.generation() > last, "labels must bump");
+            last = engine.generation();
+        }
+    }
+}
+
 // -------------------------------------------- inference run-level invariants
 
 proptest! {
@@ -293,7 +395,7 @@ proptest! {
                     TupleClass::Informative => {}
                 }
             }
-            let Some(next) = strategy.choose(&engine) else { break };
+            let Some(next) = jim::core::strategy::choose_next(strategy.as_mut(), &engine) else { break };
             let t = p.tuple(next).unwrap();
             engine.label(next, Label::from_bool(goal.selects(&t))).unwrap();
         }

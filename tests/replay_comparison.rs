@@ -88,7 +88,7 @@ fn interrupted_session_resumes_from_transcript() {
     let mut oracle = GoalOracle::new(goal.clone());
     for _ in 0..2 {
         use jim::core::{Label, Oracle};
-        let id = strategy.choose(&partial).unwrap();
+        let id = jim::core::strategy::choose_next(strategy.as_mut(), &partial).unwrap();
         let t = partial.product().tuple(id).unwrap();
         let l: Label = oracle.label(&t);
         partial.label(id, l).unwrap();
