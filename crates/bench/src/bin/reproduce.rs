@@ -41,6 +41,11 @@ fn catalog() -> Vec<Entry> {
         ),
         ("e6", "optimal planner blow-up", ex::e6_optimal),
         ("e7", "crowd cost under noise", ex::e7_crowd_cost),
+        (
+            "e8",
+            "batched top-k answer propagation",
+            ex::e8_batched_topk,
+        ),
         ("a1", "ablation: pruning off/on", ex::a1_pruning_ablation),
         ("a3", "ablation: entropy order α", ex::a3_alpha_sweep),
         (
@@ -67,10 +72,12 @@ fn main() {
         return;
     }
 
-    // CI smoke: the two fastest experiments, enough to prove the whole
-    // bench crate (runner, experiments, tables) still works end to end.
+    // CI smoke: the fastest experiments, enough to prove the whole bench
+    // crate (runner, experiments, tables) still works end to end — e8
+    // additionally drives complete top-k sessions through the batched
+    // label path.
     let args: Vec<String> = if args.iter().any(|a| a == "--smoke") {
-        vec!["e1".into(), "e5".into()]
+        vec!["e1".into(), "e5".into(), "e8".into()]
     } else {
         args
     };

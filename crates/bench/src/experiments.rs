@@ -505,6 +505,55 @@ pub fn a3_alpha_sweep() -> Table {
     t
 }
 
+/// E8 — batched answer propagation: the top-k mode driven through
+/// `Engine::label_batch`, one engine pass per answered batch. The
+/// "passes" column is the engine's generation counter at the end of the
+/// session — with batching it equals the number of batches, not the
+/// number of labels (k=1 degenerates to one pass per label).
+pub fn e8_batched_topk() -> Table {
+    let mut t = Table::new(
+        "E8 — batched top-k sessions: one propagation pass per answer batch",
+        &[
+            "workload",
+            "k",
+            "interactions",
+            "passes",
+            "skipped",
+            "resolved",
+        ],
+    );
+    let mut workloads: Vec<(&str, Workbench, JoinPredicate)> = Vec::new();
+    {
+        let wb = Workbench::new(flights::database(), &["flights", "hotels"]);
+        let q2 = flights::q2(wb.engine().universe());
+        workloads.push(("flights Q2", wb, q2));
+    }
+    {
+        let db = random_db::generate(&random_db::RandomDbConfig::uniform(2, 3, 12, 3, 11));
+        let wb = Workbench::new(db, &["r1", "r2"]);
+        let goal =
+            goals::satisfiable_goal(&wb.product(), 2, 11).expect("random instance has goals");
+        workloads.push(("random d3", wb, goal));
+    }
+    for (name, wb, goal) in &workloads {
+        for k in [1usize, 4, 10] {
+            let mut strategy = DEFAULT_STRATEGY.build();
+            let mut oracle = GoalOracle::new(goal.clone());
+            let out = run_top_k(wb.engine(), k, strategy.as_mut(), &mut oracle)
+                .expect("truthful labels are consistent");
+            t.push(vec![
+                name.to_string(),
+                k.to_string(),
+                out.interactions.to_string(),
+                out.engine.generation().to_string(),
+                out.skipped.to_string(),
+                out.resolved.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -95,6 +95,30 @@ pub struct LabelOutcome {
     pub resolved: bool,
 }
 
+/// What a whole answer batch did to the instance (returned by
+/// [`Engine::label_batch`]). The batch shares **one** candidate-index
+/// maintenance pass and one generation bump, so per-label attribution is
+/// deliberately absent — the counters describe the batch as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Labels actually applied (duplicate ids with equal labels collapse
+    /// to one application).
+    pub applied: u64,
+    /// How many applied labels were informative **at the start of the
+    /// batch**. Batch semantics follow the paper's top-k mode: the user
+    /// answers every proposed tuple before anything propagates, so
+    /// informativeness is judged against the state the batch was proposed
+    /// from, not against sibling answers inside the same batch.
+    pub informative_labels: u64,
+    /// Tuples the batch made certain (newly grayed out), including the
+    /// labeled tuples themselves.
+    pub pruned: u64,
+    /// Informative tuples remaining after the single propagation pass.
+    pub informative_remaining: u64,
+    /// True iff inference is complete (no informative tuple remains).
+    pub resolved: bool,
+}
+
 /// A view of one informative candidate offered to strategies: the signature
 /// restricted to the current `U`, the number of tuples carrying it, and a
 /// representative.
@@ -454,59 +478,148 @@ impl Engine {
     }
 
     /// Absorb a user label for tuple `id` and propagate it (gray out every
-    /// tuple whose class becomes certain) by updating the candidate index
-    /// in place: certainty is monotone under consistent labels, so only
-    /// the currently-informative groups can change class.
+    /// tuple whose class becomes certain). The 1-element special case of
+    /// [`Engine::label_batch`].
     pub fn label(&mut self, id: ProductId, label: Label) -> Result<LabelOutcome> {
-        if self.labels.contains_key(&id) {
-            return Err(InferenceError::AlreadyLabeled { tuple: id });
-        }
-        let g = self.group_of(id)?;
-        let was_informative = self.groups[g].class == TupleClass::Informative;
-        let sig = self.groups[g].sig.clone();
+        let outcome = self.label_batch(&[(id, label)])?;
+        Ok(LabelOutcome {
+            was_informative: outcome.informative_labels == 1,
+            pruned: outcome.pruned,
+            informative_remaining: outcome.informative_remaining,
+            resolved: outcome.resolved,
+        })
+    }
 
+    /// Absorb a whole batch of user labels (the unit of work of the
+    /// paper's top-k mode and the wire protocol's `AnswerBatch`) and
+    /// propagate them in **one** pass.
+    ///
+    /// The batch is applied atomically: every entry is validated up front
+    /// (an unknown id, an id labeled in an earlier interaction, or the
+    /// same id carrying both labels rejects the batch with a typed error)
+    /// and the version-space updates are trialed on a copy (an entry whose
+    /// label contradicts the rest rejects the batch too) — on any error
+    /// the engine is untouched. Duplicate ids with equal labels collapse
+    /// to one application.
+    ///
+    /// On success the candidate index is maintained with a **single**
+    /// pass — one re-key of the previously-informative groups when any
+    /// label was positive, otherwise one sweep against the new negative
+    /// antichain — and the generation counter is bumped **once**, so a
+    /// k-label batch costs one propagation instead of k.
+    pub fn label_batch(&mut self, labels: &[(ProductId, Label)]) -> Result<BatchOutcome> {
+        // Stage 1 — validate the whole batch up front, touching nothing.
+        let mut entries: Vec<(ProductId, Label, usize)> = Vec::with_capacity(labels.len());
+        let mut batch_label: HashMap<ProductId, Label> = HashMap::with_capacity(labels.len());
+        for &(id, label) in labels {
+            if self.labels.contains_key(&id) {
+                return Err(InferenceError::AlreadyLabeled { tuple: id });
+            }
+            let g = self.group_of(id)?;
+            match batch_label.insert(id, label) {
+                None => entries.push((id, label, g)),
+                Some(prev) if prev == label => {}
+                Some(_) => return Err(InferenceError::ConflictingBatchLabels { tuple: id }),
+            }
+        }
+        if entries.is_empty() {
+            return Ok(BatchOutcome {
+                applied: 0,
+                informative_labels: 0,
+                pruned: 0,
+                informative_remaining: self.stats.informative,
+                resolved: self.is_resolved(),
+            });
+        }
+
+        // Stage 2 — apply every version-space update, in batch order, so
+        // an inconsistent entry anywhere rejects atomically. A single
+        // entry updates in place (`add_positive`/`add_negative` validate
+        // before mutating, so the 1-element case is already atomic — no
+        // trial clone on the one-label-per-question hot path); a larger
+        // batch trials the updates on a copy first.
+        let mut any_positive = false;
+        if let [(id, label, g)] = entries[..] {
+            let sig = &self.groups[g].sig;
+            match label {
+                Label::Positive => {
+                    self.vs.add_positive(id, sig)?;
+                    any_positive = true;
+                }
+                Label::Negative => self.vs.add_negative(id, sig)?,
+            }
+        } else {
+            let mut vs = self.vs.clone();
+            for &(id, label, g) in &entries {
+                let sig = &self.groups[g].sig;
+                match label {
+                    Label::Positive => {
+                        vs.add_positive(id, sig)?;
+                        any_positive = true;
+                    }
+                    Label::Negative => vs.add_negative(id, sig)?,
+                }
+            }
+            self.vs = vs;
+        }
+
+        // Stage 3 — commit: record the labels (informativeness is judged
+        // against the pre-batch classes, still cached on the groups).
         let before_informative = self.index.informative_tuples;
-        match label {
-            Label::Positive => {
-                self.vs.add_positive(id, &sig)?;
-                // `U` shrank: restricted signatures are re-keyed, but only
-                // the groups that were still informative can change class.
-                let mut alive: Vec<usize> = self.index.members.iter().flatten().copied().collect();
-                alive.sort_unstable();
-                self.reindex(&alive);
-            }
-            Label::Negative => {
-                self.vs.add_negative(id, &sig)?;
-                // `U` unchanged: restricted signatures are stable, and a
-                // whole candidate flips to certain-negative iff its
-                // restricted signature is inside the new negative.
-                let new_neg = self.vs.restrict(&sig);
-                self.drop_subsumed_candidates(&new_neg);
+        let mut informative = Vec::with_capacity(entries.len());
+        for &(id, label, g) in &entries {
+            informative.push(self.groups[g].class == TupleClass::Informative);
+            self.labels.insert(id, label);
+            self.groups[g].labeled += 1;
+            match label {
+                Label::Positive => self.stats.labeled_positive += 1,
+                Label::Negative => self.stats.labeled_negative += 1,
             }
         }
 
-        self.labels.insert(id, label);
-        self.groups[g].labeled += 1;
-        match label {
-            Label::Positive => self.stats.labeled_positive += 1,
-            Label::Negative => self.stats.labeled_negative += 1,
+        // Stage 4 — one candidate-index maintenance pass for the batch.
+        if any_positive {
+            // `U` shrank: restricted signatures are re-keyed, but only the
+            // groups that were still informative can change class.
+            let mut alive: Vec<usize> = self.index.members.iter().flatten().copied().collect();
+            alive.sort_unstable();
+            self.reindex(&alive);
+        } else {
+            // `U` unchanged: restricted signatures are stable, and a
+            // previously-informative candidate can only have flipped to
+            // certain-negative via one of *this batch's* negatives — the
+            // older antichain entries already cleared every survivor, so
+            // the sweep tests the fresh restrictions only.
+            let new_negs: Vec<AtomSet> = entries
+                .iter()
+                .map(|&(_, _, g)| self.vs.restrict(&self.groups[g].sig))
+                .collect();
+            self.drop_subsumed_candidates(&new_negs);
         }
 
+        // Stage 5 — one generation bump, then the progress accounting.
         let pruned = before_informative.saturating_sub(self.index.informative_tuples);
         self.index.generation += 1;
         self.refresh_counters();
-        let outcome = LabelOutcome {
-            was_informative,
+        let outcome = BatchOutcome {
+            applied: entries.len() as u64,
+            informative_labels: informative.iter().filter(|&&i| i).count() as u64,
             pruned,
             informative_remaining: self.stats.informative,
             resolved: self.is_resolved(),
         };
-        self.stats.log.push(InteractionRecord {
-            tuple: id,
-            label,
-            informative: was_informative,
-            pruned,
-        });
+        // One log record per applied label; the batch's prune count is not
+        // attributable per label (propagation was shared), so the final
+        // record of the batch carries the total.
+        let last = entries.len() - 1;
+        for (i, &(id, label, _)) in entries.iter().enumerate() {
+            self.stats.log.push(InteractionRecord {
+                tuple: id,
+                label,
+                informative: informative[i],
+                pruned: if i == last { pruned } else { 0 },
+            });
+        }
         Ok(outcome)
     }
 
@@ -530,17 +643,21 @@ impl Engine {
         }
     }
 
-    /// Drop every candidate whose restricted signature is subsumed by the
-    /// freshly-added negative, marking its member groups certain-negative.
-    /// Candidate order among survivors is preserved; the map keeps the
-    /// surviving keys (only their slot indices are fixed up), so nothing
-    /// is re-hashed or re-cloned.
-    fn drop_subsumed_candidates(&mut self, new_neg: &AtomSet) {
+    /// Drop every candidate whose restricted signature is subsumed by one
+    /// of the freshly-added negatives (sound after negative-only updates:
+    /// `U` is unchanged, so a previously-informative candidate can only
+    /// have become certain-**negative**, and only via a fresh negative —
+    /// the older antichain entries already cleared every survivor),
+    /// marking its member groups certain-negative. Candidate order among
+    /// survivors is preserved; the map keeps the surviving keys (only
+    /// their slot indices are fixed up), so nothing is re-hashed or
+    /// re-cloned.
+    fn drop_subsumed_candidates(&mut self, new_negs: &[AtomSet]) {
         let keep: Vec<bool> = self
             .index
             .candidates
             .iter()
-            .map(|c| !c.restricted_sig.is_subset(new_neg))
+            .map(|c| !new_negs.iter().any(|n| c.restricted_sig.is_subset(n)))
             .collect();
         if keep.iter().all(|&k| k) {
             return;
@@ -1045,6 +1162,144 @@ mod tests {
             sorted(e.candidates().candidates().to_vec()),
             sorted(e.recompute_candidates())
         );
+    }
+
+    /// One batch of the paper's three terminating labels: same final state
+    /// as labeling one at a time, but a single generation bump.
+    #[test]
+    fn label_batch_resolves_paper_example_in_one_pass() {
+        let (f, h) = (flights(), hotels());
+        let mut batched = engine(&f, &h);
+        let g0 = batched.generation();
+        let out = batched
+            .label_batch(&[
+                (t(3), Label::Positive),
+                (t(7), Label::Negative),
+                (t(8), Label::Negative),
+            ])
+            .unwrap();
+        assert_eq!(out.applied, 3);
+        assert_eq!(out.informative_labels, 3);
+        assert!(out.resolved);
+        assert_eq!(out.informative_remaining, 0);
+        assert_eq!(out.pruned, 12, "the whole instance becomes certain");
+        assert_eq!(batched.generation(), g0 + 1, "one bump for the batch");
+
+        let mut sequential = engine(&f, &h);
+        sequential.label(t(3), Label::Positive).unwrap();
+        sequential.label(t(7), Label::Negative).unwrap();
+        sequential.label(t(8), Label::Negative).unwrap();
+        assert_eq!(batched.result(), sequential.result());
+        assert_eq!(batched.stats().labeled_positive, 1);
+        assert_eq!(batched.stats().labeled_negative, 2);
+        assert_eq!(batched.stats().interactions(), 3);
+        assert_eq!(
+            batched.entailed_positive_ids(),
+            sequential.entailed_positive_ids()
+        );
+        assert_eq!(batched.recompute_candidates(), Vec::new());
+    }
+
+    /// A negative-only batch shares one antichain sweep; the maintained
+    /// index still equals the from-scratch reference afterwards.
+    #[test]
+    fn label_batch_negative_only_matches_recompute() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        let out = e
+            .label_batch(&[(t(12), Label::Negative), (t(8), Label::Negative)])
+            .unwrap();
+        assert_eq!(out.applied, 2);
+        assert!(!out.resolved);
+        let mut maintained = e.candidates().candidates().to_vec();
+        let mut reference = e.recompute_candidates();
+        maintained.sort_by(|a, b| a.restricted_sig.cmp(&b.restricted_sig));
+        reference.sort_by(|a, b| a.restricted_sig.cmp(&b.restricted_sig));
+        assert_eq!(maintained, reference);
+    }
+
+    /// Every rejection leaves the engine exactly as it was: unknown id,
+    /// already-labeled id, conflicting duplicate, inconsistent entry.
+    #[test]
+    fn label_batch_rejections_are_atomic() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        e.label(t(5), Label::Negative).unwrap();
+        let before_stats = e.stats().clone();
+        let before_gen = e.generation();
+        let before_cands = e.candidates().candidates().to_vec();
+
+        // Unknown id anywhere in the batch (out of range here; an id
+        // outside a sampled subset reports `UnknownTuple` the same way).
+        let err = e.label_batch(&[(t(3), Label::Positive), (ProductId(99), Label::Negative)]);
+        assert!(err.is_err());
+        // An id labeled in an earlier interaction.
+        let err = e.label_batch(&[(t(3), Label::Positive), (t(5), Label::Negative)]);
+        assert!(matches!(
+            err,
+            Err(InferenceError::AlreadyLabeled { tuple }) if tuple == t(5)
+        ));
+        // The same id with both labels.
+        let err = e.label_batch(&[
+            (t(3), Label::Positive),
+            (t(8), Label::Negative),
+            (t(3), Label::Negative),
+        ]);
+        assert!(matches!(
+            err,
+            Err(InferenceError::ConflictingBatchLabels { tuple }) if tuple == t(3)
+        ));
+        // An entry inconsistent with a sibling: (3)+ makes (4) certain-
+        // positive, so (4)− contradicts it mid-batch.
+        let err = e.label_batch(&[(t(3), Label::Positive), (t(4), Label::Negative)]);
+        assert!(matches!(err, Err(InferenceError::InconsistentLabel { .. })));
+
+        assert_eq!(e.stats(), &before_stats, "stats untouched");
+        assert_eq!(e.generation(), before_gen, "no generation bump");
+        assert_eq!(e.candidates().candidates(), &before_cands[..]);
+    }
+
+    /// Duplicate ids with equal labels collapse to one application; the
+    /// empty batch is a no-op that does not bump the generation.
+    #[test]
+    fn label_batch_collapses_duplicates_and_skips_empty() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        let g0 = e.generation();
+        let out = e.label_batch(&[]).unwrap();
+        assert_eq!((out.applied, out.pruned), (0, 0));
+        assert_eq!(e.generation(), g0, "empty batch keeps caches valid");
+
+        let out = e
+            .label_batch(&[(t(12), Label::Positive), (t(12), Label::Positive)])
+            .unwrap();
+        assert_eq!(out.applied, 1);
+        assert_eq!(e.stats().interactions(), 1);
+        assert_eq!(e.stats().log.len(), 1);
+        assert_eq!(e.generation(), g0 + 1);
+    }
+
+    /// A batch entry a sibling makes uninformative is still applied (the
+    /// paper's "user labels the whole batch" slack) and judged against the
+    /// batch-start state.
+    #[test]
+    fn label_batch_keeps_sibling_pruned_entries() {
+        let (f, h) = (flights(), hotels());
+        let mut e = engine(&f, &h);
+        // (3)+ makes (4) certain-positive; labeling both in one batch is
+        // consistent, applies twice, and both count as informative because
+        // both were informative when the batch was proposed.
+        let out = e
+            .label_batch(&[(t(3), Label::Positive), (t(4), Label::Positive)])
+            .unwrap();
+        assert_eq!(out.applied, 2);
+        assert_eq!(out.informative_labels, 2);
+        assert_eq!(e.stats().interactions(), 2);
+        let mut sequential = engine(&f, &h);
+        sequential.label(t(3), Label::Positive).unwrap();
+        sequential.label(t(4), Label::Positive).unwrap();
+        assert_eq!(e.result(), sequential.result());
+        assert_eq!(e.stats().informative, sequential.stats().informative);
     }
 
     /// The generation counter moves on every mutation and only then.

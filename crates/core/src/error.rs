@@ -22,6 +22,13 @@ pub enum InferenceError {
         /// The tuple that was labeled before.
         tuple: ProductId,
     },
+    /// One answer batch contained the same tuple id with *both* labels.
+    /// Duplicates with equal labels collapse silently; a contradiction
+    /// rejects the whole batch atomically (no label of it is applied).
+    ConflictingBatchLabels {
+        /// The tuple that appeared with both labels.
+        tuple: ProductId,
+    },
     /// The tuple id does not belong to the engine's instance.
     UnknownTuple {
         /// The offending tuple id.
@@ -65,6 +72,9 @@ impl fmt::Display for InferenceError {
             }
             InferenceError::AlreadyLabeled { tuple } => {
                 write!(f, "tuple {tuple} is already labeled")
+            }
+            InferenceError::ConflictingBatchLabels { tuple } => {
+                write!(f, "batch labels tuple {tuple} both + and -")
             }
             InferenceError::UnknownTuple { tuple } => {
                 write!(f, "tuple {tuple} is not part of this instance")

@@ -85,7 +85,9 @@ mod version_space;
 pub use atoms::{Atom, AtomId, AtomScope, AtomUniverse};
 pub use bitset::{maximal_antichain, AtomSet, AtomSetIter};
 pub use cost::{Cost, CostModel};
-pub use engine::{Candidate, CandidateView, Engine, EngineOptions, LabelOutcome, SimScratch};
+pub use engine::{
+    BatchOutcome, Candidate, CandidateView, Engine, EngineOptions, LabelOutcome, SimScratch,
+};
 pub use error::{InferenceError, Result};
 pub use explain::{explain, Explanation};
 pub use label::Label;

@@ -19,6 +19,17 @@ pub trait Oracle {
     /// Label one tuple.
     fn label(&mut self, tuple: &Tuple) -> Label;
 
+    /// Label a whole proposed batch — the unit of work of the top-k
+    /// interaction mode, where the user answers every proposed tuple
+    /// before the engine propagates anything. The default asks
+    /// [`Oracle::label`] once per tuple; oracles with cheaper bulk access
+    /// (a crowd front end shipping one HIT carrying k questions, a UI
+    /// form submitted whole) can override it. Must return exactly one
+    /// label per input tuple, in order.
+    fn label_batch(&mut self, tuples: &[Tuple]) -> Vec<Label> {
+        tuples.iter().map(|t| self.label(t)).collect()
+    }
+
     /// How many elementary questions the previous answers cost in total
     /// (a plain oracle costs one per answer; a majority-vote oracle costs
     /// `votes` per answer). Used by the crowd cost model.
@@ -256,6 +267,22 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn bad_error_rate_rejected() {
         NoisyOracle::new(goal(), 1.5, 0);
+    }
+
+    #[test]
+    fn label_batch_defaults_to_per_tuple_answers() {
+        let mut o = GoalOracle::new(goal());
+        let answers = o.label_batch(&[sel(), unsel(), sel()]);
+        assert_eq!(
+            answers,
+            vec![Label::Positive, Label::Negative, Label::Positive]
+        );
+        assert_eq!(o.questions_asked(), 3);
+        // The majority oracle's cost accounting flows through the default
+        // batch hook too: `votes` questions per batch entry.
+        let mut m = MajorityOracle::new(goal(), 0.1, 3, 9);
+        assert_eq!(m.label_batch(&[sel(), unsel()]).len(), 2);
+        assert_eq!(m.questions_asked(), 6);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::engine::Engine;
 use crate::error::Result;
+use crate::label::Label;
 use crate::oracle::Oracle;
 use crate::predicate::JoinPredicate;
 use crate::stats::ProgressStats;
@@ -70,11 +71,18 @@ pub struct SessionOutcome {
     pub engine: Engine,
     /// The inferred query (the canonical consistent predicate).
     pub inferred: JoinPredicate,
-    /// Number of membership queries the user answered.
+    /// Number of membership queries the user answered (= oracle questions
+    /// posed; skipped proposals never reach the oracle).
     pub interactions: u64,
     /// Elementary questions asked of the oracle (≥ `interactions` for
     /// majority-vote crowd oracles).
     pub questions: u64,
+    /// Proposed-batch entries dropped **before** the oracle saw them — an
+    /// id the engine already had a label for, or a duplicate inside one
+    /// batch (a strategy is free to repeat itself). These are engine-side
+    /// skips, not user interactions; keeping them explicit is what lets
+    /// `interactions` count oracle questions rather than engine mutations.
+    pub skipped: u64,
     /// Whether the session reached the unique-query termination condition.
     pub resolved: bool,
 }
@@ -108,9 +116,16 @@ pub fn run_most_informative(
 }
 
 /// Mode 3 — top-k proposals: JIM proposes the `k` most informative tuples,
-/// the user labels the whole batch (even entries that earlier answers in
-/// the same batch made uninformative — that slack is the point of the
+/// the user labels the whole batch (even entries that sibling answers in
+/// the same batch make uninformative — that slack is the point of the
 /// demonstration), then a fresh batch is computed.
+///
+/// The whole batch of answers is collected **first** and propagated with
+/// one [`Engine::label_batch`] pass, so a k-label round costs one
+/// candidate-index maintenance pass instead of k. Proposals the engine
+/// already has a label for (or duplicates inside one batch) are skipped
+/// *before* the oracle sees them and surface in
+/// [`SessionOutcome::skipped`] — they cost no question.
 pub fn run_top_k(
     mut engine: Engine,
     k: usize,
@@ -118,21 +133,39 @@ pub fn run_top_k(
     oracle: &mut dyn Oracle,
 ) -> Result<SessionOutcome> {
     assert!(k > 0, "k must be positive");
+    let mut skipped = 0u64;
     loop {
         let batch = top_k_next(strategy, &engine, k);
         if batch.is_empty() {
             break;
         }
+        let mut asked: Vec<ProductId> = Vec::with_capacity(batch.len());
         for id in batch {
-            if engine.label_of(id).is_none() {
-                ask(&mut engine, oracle, id)?;
+            if engine.label_of(id).is_some() || asked.contains(&id) {
+                skipped += 1;
+            } else {
+                asked.push(id);
             }
         }
-        if engine.is_resolved() {
+        if asked.is_empty() {
+            break;
+        }
+        let tuples = asked
+            .iter()
+            .map(|&id| engine.product().tuple(id))
+            .collect::<jim_relation::Result<Vec<_>>>()?;
+        let answers = oracle.label_batch(&tuples);
+        // A short answer vector would silently zip-truncate the batch and
+        // loop forever re-proposing the unanswered tail — fail fast on a
+        // broken oracle contract instead.
+        assert_eq!(answers.len(), asked.len(), "one label per question");
+        let labels: Vec<(ProductId, Label)> = asked.into_iter().zip(answers).collect();
+        let outcome = engine.label_batch(&labels)?;
+        if outcome.resolved {
             break;
         }
     }
-    finish(engine, oracle)
+    finish_with_skips(engine, oracle, skipped)
 }
 
 /// Modes 1 and 2 — free labeling. With `gray_out` the user only sees (and
@@ -156,10 +189,19 @@ pub fn run_free(
 }
 
 fn finish(engine: Engine, oracle: &mut dyn Oracle) -> Result<SessionOutcome> {
+    finish_with_skips(engine, oracle, 0)
+}
+
+fn finish_with_skips(
+    engine: Engine,
+    oracle: &mut dyn Oracle,
+    skipped: u64,
+) -> Result<SessionOutcome> {
     let outcome = SessionOutcome {
         inferred: engine.result(),
         interactions: engine.stats().interactions(),
         questions: oracle.questions_asked(),
+        skipped,
         resolved: engine.is_resolved(),
         engine,
     };
@@ -346,6 +388,99 @@ mod tests {
                 "{kind}"
             );
         }
+    }
+
+    /// A strategy whose batches repeat themselves: every proposal is the
+    /// full candidate list twice over, so half of every batch (and every
+    /// re-proposed id across rounds, were the engine not to prune them)
+    /// must be skipped without ever reaching the oracle.
+    struct RepeatingTopK;
+
+    impl Strategy for RepeatingTopK {
+        fn name(&self) -> &'static str {
+            "repeating"
+        }
+
+        fn choose(
+            &mut self,
+            _engine: &Engine,
+            candidates: &crate::engine::CandidateView<'_>,
+        ) -> Option<jim_relation::ProductId> {
+            candidates.candidates().first().map(|c| c.representative)
+        }
+
+        fn top_k(
+            &mut self,
+            _engine: &Engine,
+            candidates: &crate::engine::CandidateView<'_>,
+            k: usize,
+        ) -> Vec<jim_relation::ProductId> {
+            let once: Vec<_> = candidates
+                .iter()
+                .take(k)
+                .map(|c| c.representative)
+                .collect();
+            let mut twice = once.clone();
+            twice.extend(once);
+            twice
+        }
+    }
+
+    /// The skip is explicit: `interactions` counts oracle questions, not
+    /// engine mutations, and duplicate proposals land in `skipped`.
+    #[test]
+    fn top_k_skips_are_accounted_not_asked() {
+        let (f, h) = paper_instance();
+        let engine = fresh_engine(&f, &h);
+        let goal = q2_goal(&engine);
+        let mut oracle = GoalOracle::new(goal.clone());
+        let out = run_top_k(engine, 3, &mut RepeatingTopK, &mut oracle).unwrap();
+        assert!(out.resolved);
+        assert!(out.skipped > 0, "duplicate proposals must be skipped");
+        // Every question the oracle answered became exactly one engine
+        // label; skipped entries cost nothing.
+        assert_eq!(out.interactions, out.questions);
+        assert_eq!(out.interactions, out.engine.stats().interactions());
+        assert_eq!(oracle.questions_asked(), out.questions);
+    }
+
+    /// Mode 3 drives the oracle through its batch hook — a bulk-answer
+    /// oracle sees whole batches, not single questions.
+    #[test]
+    fn top_k_asks_the_oracle_in_batches() {
+        struct BatchSizes<O> {
+            inner: O,
+            sizes: Vec<usize>,
+        }
+        impl<O: Oracle> Oracle for BatchSizes<O> {
+            fn label(&mut self, tuple: &jim_relation::Tuple) -> crate::label::Label {
+                self.inner.label(tuple)
+            }
+            fn label_batch(&mut self, tuples: &[jim_relation::Tuple]) -> Vec<crate::label::Label> {
+                self.sizes.push(tuples.len());
+                self.inner.label_batch(tuples)
+            }
+            fn questions_asked(&self) -> u64 {
+                self.inner.questions_asked()
+            }
+        }
+        let (f, h) = paper_instance();
+        let engine = fresh_engine(&f, &h);
+        let goal = q2_goal(&engine);
+        let mut oracle = BatchSizes {
+            inner: GoalOracle::new(goal),
+            sizes: Vec::new(),
+        };
+        let mut strategy = StrategyKind::LookaheadMinPrune.build();
+        let out = run_top_k(engine, 3, strategy.as_mut(), &mut oracle).unwrap();
+        assert!(out.resolved);
+        assert!(!oracle.sizes.is_empty());
+        assert!(
+            oracle.sizes.iter().any(|&s| s > 1),
+            "k=3 must produce at least one multi-question batch: {:?}",
+            oracle.sizes
+        );
+        assert_eq!(oracle.sizes.iter().sum::<usize>() as u64, out.interactions);
     }
 
     #[test]

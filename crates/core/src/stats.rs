@@ -17,7 +17,10 @@ pub struct InteractionRecord {
     /// waste effort on uninformative tuples; strategies never do).
     pub informative: bool,
     /// Tuples that became certain (were grayed out) due to this label,
-    /// including the labeled tuple itself.
+    /// including the labeled tuple itself. For labels applied as one
+    /// batch (`Engine::label_batch`) propagation is shared and the prune
+    /// count is not attributable per label: the batch's final record
+    /// carries the batch total, earlier records carry 0.
     pub pruned: u64,
 }
 

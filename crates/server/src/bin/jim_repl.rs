@@ -10,8 +10,9 @@
 //! ```
 //!
 //! Commands: `open [scenario] [strategy]`, `load <left.csv> <right.csv>`,
-//! `ask`, `y`/`n`, `answer <tuple> <+|->`, `top <k>`, `stats`,
-//! `explain [tuple]`, `sql`, `transcript`, `sessions`, `close`, `quit`.
+//! `ask`, `y`/`n`, `answer <tuple> <+|->`, `answer <t>=<+|-> ...` (label a
+//! whole batch in one engine pass), `top <k>`, `stats`, `explain [tuple]`,
+//! `sql`, `transcript`, `sessions`, `close`, `quit`.
 //!
 //! `open` and `load` accept sampling knobs as trailing `max=N` (enumerate
 //! or sample at most N product tuples) and `seed=N` (sample RNG seed)
@@ -256,6 +257,52 @@ impl Repl {
         }
     }
 
+    /// `answer 3=+ 7=- 9=+` — one `AnswerBatch` request, one propagation
+    /// pass server-side, applied atomically.
+    fn answer_batch(&mut self, pairs: &[&str]) {
+        let Some(id) = self.session_id() else { return };
+        let mut labels = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            let parsed = pair.split_once('=').and_then(|(t, l)| {
+                let sign = match l {
+                    "+" => '+',
+                    "-" => '-',
+                    _ => return None,
+                };
+                t.parse::<u64>().ok().map(|t| (t, sign))
+            });
+            match parsed {
+                Some((t, sign)) => {
+                    labels.push(format!(r#"{{"tuple":{t},"label":"{sign}"}}"#));
+                }
+                None => {
+                    println!("! bad batch entry `{pair}` (want <tuple>=<+|->)");
+                    return;
+                }
+            }
+        }
+        let line = format!(
+            r#"{{"op":"AnswerBatch","session":{id},"labels":[{}]}}"#,
+            labels.join(",")
+        );
+        if let Some(r) = self.request(&line) {
+            println!(
+                "applied {} label(s) in one pass; pruned {} tuple(s); {} informative left",
+                r.get("applied").and_then(Json::as_u64).unwrap_or(0),
+                r.get("pruned").and_then(Json::as_u64).unwrap_or(0),
+                r.get("informative_remaining")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            );
+            if r.get("resolved").and_then(Json::as_bool) == Some(true) {
+                println!("resolved! inferred query:");
+                if let Some(sql) = r.get("sql").and_then(Json::as_str) {
+                    println!("{sql}");
+                }
+            }
+        }
+    }
+
     fn simple(&mut self, op: &str, extra: &str, show: &[&str]) {
         let Some(id) = self.session_id() else { return };
         let line = format!(r#"{{"op":"{op}","session":{id}{extra}}}"#);
@@ -293,6 +340,7 @@ impl Repl {
                     println!("  ask                          next most-informative question");
                     println!("  y | n                        answer the pending question");
                     println!("  answer <tuple> <+|->         label an explicit tuple");
+                    println!("  answer <t>=<+|-> ...         label a batch in one pass");
                     println!("  top <k>                      k most informative tuples");
                     println!("  stats | explain [t] | sql | transcript | sessions | close | quit");
                 }
@@ -306,7 +354,10 @@ impl Repl {
                         Ok(t) => self.answer(Some(t), l.chars().next().unwrap_or('+')),
                         Err(_) => println!("! bad tuple rank `{t}`"),
                     },
-                    _ => println!("! usage: answer <tuple> <+|->"),
+                    pairs if !pairs.is_empty() && pairs.iter().all(|w| w.contains('=')) => {
+                        self.answer_batch(pairs)
+                    }
+                    _ => println!("! usage: answer <tuple> <+|->  or  answer <t>=<+|-> ..."),
                 },
                 Some((&"top", rest)) => {
                     let k = rest

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]
-//!           [--shards N] [--max-product N]
+//!           [--shards N] [--max-product N] [--max-batch N]
 //! ```
 //!
 //! Speaks the JSON-lines protocol of `jim_server::protocol`; try it with
@@ -18,7 +18,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N] \
-         [--shards N] [--max-product N]"
+         [--shards N] [--max-product N] [--max-batch N]"
     );
     std::process::exit(2);
 }
@@ -60,6 +60,10 @@ fn main() -> std::io::Result<()> {
                 Ok(n) if n > 0 => limits.max_product = n,
                 _ => usage(),
             },
+            "--max-batch" => match value("--max-batch").parse() {
+                Ok(n) if n > 0 => limits.max_batch = n,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("jim-serve: unknown flag {other}");
@@ -75,12 +79,14 @@ fn main() -> std::io::Result<()> {
 
     let listener = TcpListener::bind((host.as_str(), port))?;
     eprintln!(
-        "jim-serve: listening on {} (max {} sessions, {} shards, ttl {:?}, sample past {} tuples)",
+        "jim-serve: listening on {} (max {} sessions, {} shards, ttl {:?}, sample past {} \
+         tuples, answer batches up to {} labels)",
         listener.local_addr()?,
         config.max_sessions,
         shards,
         config.ttl,
-        limits.max_product
+        limits.max_product,
+        limits.max_batch
     );
     serve(listener, handler)
 }

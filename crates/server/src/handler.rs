@@ -21,12 +21,18 @@ pub struct ServerLimits {
     /// client `max_product` is clamped to this; products larger than the
     /// effective limit are uniformly sampled down to it.
     pub max_product: u64,
+    /// The most labels one `AnswerBatch` may carry. Validation is O(batch)
+    /// and the batch is held in memory while the session lock is taken,
+    /// so the cap bounds per-request work the same way `max_product`
+    /// bounds per-session memory.
+    pub max_batch: usize,
 }
 
 impl Default for ServerLimits {
     fn default() -> Self {
         ServerLimits {
             max_product: EngineOptions::default().max_product,
+            max_batch: 64,
         }
     }
 }
@@ -79,6 +85,18 @@ impl Handler {
                 tuple,
                 label,
             } => self.with_session(session, |s| Self::answer(s, tuple, label)),
+            Request::AnswerBatch { session, labels } => {
+                let max_batch = self.limits.max_batch;
+                if labels.len() > max_batch {
+                    // Reject before taking the session lock: an oversized
+                    // batch must cost the server nothing.
+                    return error(format!(
+                        "batch of {} labels exceeds the server cap of {max_batch}",
+                        labels.len()
+                    ));
+                }
+                self.with_session(session, |s| Self::answer_batch(s, &labels))
+            }
             Request::Stats { session } => self.with_session(session, Self::stats),
             Request::Explain { session, tuple } => {
                 self.with_session(session, |s| Self::explain_tuple(s, tuple))
@@ -260,6 +278,45 @@ impl Handler {
                     ("tuple", Json::from(id.0)),
                     ("label", Json::from(label.to_string())),
                     ("was_informative", Json::Bool(outcome.was_informative)),
+                    ("pruned", Json::from(outcome.pruned)),
+                    (
+                        "informative_remaining",
+                        Json::from(outcome.informative_remaining),
+                    ),
+                    ("resolved", Json::Bool(outcome.resolved)),
+                ];
+                if outcome.resolved {
+                    let predicate = session.engine.result();
+                    fields.push(("predicate", Json::from(predicate.to_string())));
+                    fields.push(("sql", Json::from(predicate.to_sql())));
+                }
+                ok(fields)
+            }
+        }
+    }
+
+    fn answer_batch(session: &mut Session, labels: &[(u64, jim_core::Label)]) -> Json {
+        let batch: Vec<(ProductId, jim_core::Label)> = labels
+            .iter()
+            .map(|&(rank, label)| (ProductId(rank), label))
+            .collect();
+        match session.engine.label_batch(&batch) {
+            // Atomic: on any rejected entry the engine is untouched, so
+            // the pending question and its generation-keyed cache stay
+            // exactly valid.
+            Err(e) => error(e.to_string()),
+            Ok(outcome) => {
+                if let Some(p) = session.pending {
+                    if batch.iter().any(|&(id, _)| id == p) {
+                        session.pending = None;
+                    }
+                }
+                // No cache surgery needed: the batch bumped the engine
+                // generation exactly once, which is what the question
+                // cache is keyed on.
+                let mut fields = vec![
+                    ("applied", Json::from(outcome.applied)),
+                    ("informative_labels", Json::from(outcome.informative_labels)),
                     ("pruned", Json::from(outcome.pruned)),
                     (
                         "informative_remaining",
@@ -567,7 +624,10 @@ mod tests {
         // Server ceiling of 100 tuples; the setgame scenario is 144.
         let h = Handler::with_limits(
             Arc::new(SessionStore::new(StoreConfig::default())),
-            ServerLimits { max_product: 100 },
+            ServerLimits {
+                max_product: 100,
+                ..Default::default()
+            },
         );
         let r = send(
             &h,
@@ -612,7 +672,10 @@ mod tests {
     fn sample_seed_is_reproducible() {
         let h = Handler::with_limits(
             Arc::new(SessionStore::new(StoreConfig::default())),
-            ServerLimits { max_product: 30 },
+            ServerLimits {
+                max_product: 30,
+                ..Default::default()
+            },
         );
         let open = |seed: u64| {
             let r = send(
@@ -729,6 +792,86 @@ mod tests {
         // And once recomputed, retries are cached again.
         send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
         assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn answer_batch_applies_atomically_and_invalidates_once() {
+        let h = handler();
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#,
+        );
+        let id = r.get("session").unwrap().as_u64().unwrap();
+        let q1 = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        let proposed = q1.get("tuple").unwrap().as_u64().unwrap();
+
+        // A conflicting-duplicate batch is rejected atomically: no label
+        // lands, and the cached pending question survives untouched.
+        let r = send(
+            &h,
+            &format!(
+                r#"{{"op":"AnswerBatch","session":{id},"labels":[{{"tuple":2,"label":"+"}},{{"tuple":2,"label":"-"}}]}}"#
+            ),
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert!(r.get("error").unwrap().as_str().unwrap().contains("both"));
+        let s = send(&h, &format!(r#"{{"op":"Stats","session":{id}}}"#));
+        assert_eq!(s.get("interactions").unwrap().as_u64(), Some(0));
+        let q2 = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        assert_eq!(q2.get("tuple").unwrap().as_u64(), Some(proposed));
+
+        // The paper's three terminating labels as one batch: applied in a
+        // single pass, resolving the session.
+        let r = send(
+            &h,
+            &format!(
+                r#"{{"op":"AnswerBatch","session":{id},"labels":[{{"tuple":2,"label":"+"}},{{"tuple":6,"label":"-"}},{{"tuple":7,"label":"-"}}]}}"#
+            ),
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(r.get("applied").unwrap().as_u64(), Some(3));
+        assert_eq!(r.get("resolved").unwrap().as_bool(), Some(true));
+        assert!(r
+            .get("sql")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("r1.To = r2.City"));
+        let s = send(&h, &format!(r#"{{"op":"Stats","session":{id}}}"#));
+        assert_eq!(s.get("interactions").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn answer_batch_respects_the_server_cap() {
+        let h = Handler::with_limits(
+            Arc::new(SessionStore::new(StoreConfig::default())),
+            ServerLimits {
+                max_batch: 2,
+                ..Default::default()
+            },
+        );
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#,
+        );
+        let id = r.get("session").unwrap().as_u64().unwrap();
+        let r = send(
+            &h,
+            &format!(
+                r#"{{"op":"AnswerBatch","session":{id},"labels":[{{"tuple":2,"label":"+"}},{{"tuple":6,"label":"-"}},{{"tuple":7,"label":"-"}}]}}"#
+            ),
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert!(r.get("error").unwrap().as_str().unwrap().contains("cap"));
+        // A batch within the cap goes through.
+        let r = send(
+            &h,
+            &format!(
+                r#"{{"op":"AnswerBatch","session":{id},"labels":[{{"tuple":2,"label":"+"}},{{"tuple":6,"label":"-"}}]}}"#
+            ),
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(r.get("applied").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! {"op":"TopK","session":1,"k":3}
 //! {"op":"Answer","session":1,"label":"+"}
 //! {"op":"Answer","session":1,"tuple":11,"label":"-"}
+//! {"op":"AnswerBatch","session":1,"labels":[{"tuple":2,"label":"+"},{"tuple":6,"label":"-"}]}
 //! {"op":"Stats","session":1}
 //! {"op":"Explain","session":1,"tuple":4}
 //! {"op":"Sql","session":1}
@@ -83,6 +84,16 @@ pub enum Request {
         tuple: Option<u64>,
         /// The membership answer.
         label: Label,
+    },
+    /// Label a whole batch of tuples in one engine propagation pass — the
+    /// wire form of the top-k mode's "user answers the whole batch".
+    /// Applied atomically: any invalid entry rejects the batch and leaves
+    /// the session untouched. Batch size is clamped by the server.
+    AnswerBatch {
+        /// Target session.
+        session: u64,
+        /// `(tuple rank, label)` pairs, in order.
+        labels: Vec<(u64, Label)>,
     },
     /// Progress statistics (the demo UI's counters).
     Stats {
@@ -202,6 +213,31 @@ impl Request {
                 tuple,
                 label: parse_label(json.get("label").ok_or("`Answer` needs a `label`")?)?,
             }),
+            "AnswerBatch" => {
+                let entries = json
+                    .get("labels")
+                    .and_then(Json::as_array)
+                    .ok_or("`AnswerBatch` needs a `labels` array")?;
+                if entries.is_empty() {
+                    return Err("`labels` must not be empty".into());
+                }
+                let mut labels = Vec::with_capacity(entries.len());
+                for (i, entry) in entries.iter().enumerate() {
+                    let rank = entry
+                        .get("tuple")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("labels[{i}]: `tuple` must be a non-negative rank"))?;
+                    let label = entry
+                        .get("label")
+                        .ok_or(format!("labels[{i}]: missing `label`"))
+                        .and_then(|l| parse_label(l).map_err(|e| format!("labels[{i}]: {e}")))?;
+                    labels.push((rank, label));
+                }
+                Ok(Request::AnswerBatch {
+                    session: session()?,
+                    labels,
+                })
+            }
             "Stats" => Ok(Request::Stats {
                 session: session()?,
             }),
@@ -408,6 +444,21 @@ mod tests {
     }
 
     #[test]
+    fn parses_answer_batch() {
+        let r = Request::parse(
+            r#"{"op":"AnswerBatch","session":4,"labels":[{"tuple":2,"label":"+"},{"tuple":6,"label":false}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::AnswerBatch {
+                session: 4,
+                labels: vec![(2, Label::Positive), (6, Label::Negative)],
+            }
+        );
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         for bad in [
             "not json",
@@ -417,6 +468,12 @@ mod tests {
             r#"{"op":"TopK","session":1,"k":0}"#,
             r#"{"op":"Answer","session":1}"#,
             r#"{"op":"Answer","session":1,"label":"maybe"}"#,
+            r#"{"op":"AnswerBatch","session":1}"#,
+            r#"{"op":"AnswerBatch","session":1,"labels":[]}"#,
+            r#"{"op":"AnswerBatch","session":1,"labels":[{"label":"+"}]}"#,
+            r#"{"op":"AnswerBatch","session":1,"labels":[{"tuple":-1,"label":"+"}]}"#,
+            r#"{"op":"AnswerBatch","session":1,"labels":[{"tuple":2,"label":"maybe"}]}"#,
+            r#"{"op":"AnswerBatch","session":1,"labels":[{"tuple":2}]}"#,
             r#"{"op":"CreateSession"}"#,
             r#"{"op":"CreateSession","source":{}}"#,
             r#"{"op":"CreateSession","source":{"relations":[{"csv":"x"}]}}"#,

@@ -402,7 +402,10 @@ fn client_cannot_raise_the_product_size_guard() {
     }
     let h = Handler::with_limits(
         Arc::new(SessionStore::new(StoreConfig::default())),
-        ServerLimits { max_product: 500 },
+        ServerLimits {
+            max_product: 500,
+            ..Default::default()
+        },
     );
     let line = format!(
         r#"{{"op":"CreateSession","source":{{"relations":[{{"name":"r","csv":"{}"}}],"view":["r","r","r"]}},"max_product":18446744073709551615}}"#,

@@ -5,7 +5,7 @@
 //! strategy, answer until `resolved`, and receive the goal join's SQL.
 
 use jim_json::Json;
-use jim_server::handler::Handler;
+use jim_server::handler::{Handler, ServerLimits};
 use jim_server::serve::{serve, spawn_sweeper};
 use jim_server::store::{SessionStore, StoreConfig};
 use std::io::{BufRead, BufReader, Write};
@@ -31,21 +31,30 @@ impl Client {
     }
 
     fn send(&mut self, line: &str) -> Json {
+        let json = self.send_raw(line);
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{line} -> {json}"
+        );
+        json
+    }
+
+    /// `send` without the ok-assertion, for exercising error responses.
+    fn send_raw(&mut self, line: &str) -> Json {
         writeln!(self.writer, "{line}").expect("write request");
         self.writer.flush().expect("flush request");
         let mut response = String::new();
         self.reader.read_line(&mut response).expect("read response");
-        let json = Json::parse(response.trim()).expect("valid JSON response");
-        assert_eq!(
-            json.get("ok").and_then(Json::as_bool),
-            Some(true),
-            "{line} -> {response}"
-        );
-        json
+        Json::parse(response.trim()).expect("valid JSON response")
     }
 }
 
 fn start_server() -> std::net::SocketAddr {
+    start_server_with_limits(ServerLimits::default())
+}
+
+fn start_server_with_limits(limits: ServerLimits) -> std::net::SocketAddr {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind test port");
     let addr = listener.local_addr().expect("local addr");
     let store = Arc::new(SessionStore::new(StoreConfig {
@@ -54,7 +63,7 @@ fn start_server() -> std::net::SocketAddr {
         ..Default::default()
     }));
     spawn_sweeper(&store, Duration::from_millis(200));
-    let handler = Arc::new(Handler::new(store));
+    let handler = Arc::new(Handler::with_limits(store, limits));
     std::thread::spawn(move || serve(listener, handler));
     addr
 }
@@ -154,6 +163,131 @@ fn oversized_product_samples_and_resolves_over_tcp() {
     assert_eq!(stats.get("sampled").unwrap().as_bool(), Some(true));
     assert_eq!(stats.get("total_tuples").unwrap().as_u64(), Some(40));
     client.send(&format!(r#"{{"op":"CloseSession","session":{session}}}"#));
+}
+
+/// The truthful Q2 label for one rendered flights×hotels tuple:
+/// To ≍ City ∧ Airline ≍ Discount.
+fn q2_label(values: &[&str]) -> char {
+    if values[1] == values[3] && values[2] == values[4] {
+        '+'
+    } else {
+        '-'
+    }
+}
+
+#[test]
+fn top_k_batches_answered_with_answer_batch_over_tcp() {
+    // The batched interaction loop end to end: TopK proposes a batch, the
+    // client answers the *whole* batch with one AnswerBatch request, one
+    // propagation pass happens server-side, repeat until resolved.
+    let addr = start_server();
+    let mut client = Client::connect(addr);
+    let r = client.send(
+        r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}"#,
+    );
+    let session = r.get("session").unwrap().as_u64().unwrap();
+
+    let mut rounds = 0;
+    let sql = loop {
+        rounds += 1;
+        assert!(rounds <= 12, "batched session did not resolve");
+        let batch = client.send(&format!(r#"{{"op":"TopK","session":{session},"k":3}}"#));
+        if batch.get("resolved").unwrap().as_bool() == Some(true) {
+            break batch.get("sql").unwrap().as_str().unwrap().to_string();
+        }
+        let labels: Vec<String> = batch
+            .get("tuples")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|t| {
+                let id = t.get("tuple").unwrap().as_u64().unwrap();
+                let values: Vec<&str> = t
+                    .get("values")
+                    .unwrap()
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.as_str().unwrap())
+                    .collect();
+                format!(r#"{{"tuple":{id},"label":"{}"}}"#, q2_label(&values))
+            })
+            .collect();
+        let a = client.send(&format!(
+            r#"{{"op":"AnswerBatch","session":{session},"labels":[{}]}}"#,
+            labels.join(",")
+        ));
+        assert_eq!(
+            a.get("applied").unwrap().as_u64(),
+            Some(labels.len() as u64),
+            "the whole batch is applied in one pass: {a}"
+        );
+        if a.get("resolved").unwrap().as_bool() == Some(true) {
+            break a.get("sql").unwrap().as_str().unwrap().to_string();
+        }
+    };
+    assert!(sql.contains("r1.To = r2.City"), "{sql}");
+    assert!(sql.contains("r1.Airline = r2.Discount"), "{sql}");
+    client.send(&format!(r#"{{"op":"CloseSession","session":{session}}}"#));
+}
+
+#[test]
+fn oversized_answer_batch_is_rejected_by_server_limits() {
+    let addr = start_server_with_limits(ServerLimits {
+        max_batch: 2,
+        ..Default::default()
+    });
+    let mut client = Client::connect(addr);
+    let r = client.send(r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#);
+    let session = r.get("session").unwrap().as_u64().unwrap();
+
+    let r = client.send_raw(&format!(
+        r#"{{"op":"AnswerBatch","session":{session},"labels":[{{"tuple":2,"label":"+"}},{{"tuple":6,"label":"-"}},{{"tuple":7,"label":"-"}}]}}"#
+    ));
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+    assert!(
+        r.get("error").unwrap().as_str().unwrap().contains("cap"),
+        "{r}"
+    );
+    // Nothing was applied, and a within-cap batch still works.
+    let s = client.send(&format!(r#"{{"op":"Stats","session":{session}}}"#));
+    assert_eq!(s.get("interactions").unwrap().as_u64(), Some(0));
+    let r = client.send(&format!(
+        r#"{{"op":"AnswerBatch","session":{session},"labels":[{{"tuple":2,"label":"+"}},{{"tuple":6,"label":"-"}}]}}"#
+    ));
+    assert_eq!(r.get("applied").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn conflicting_batch_is_rejected_atomically_over_tcp() {
+    let addr = start_server();
+    let mut client = Client::connect(addr);
+    let r = client.send(r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#);
+    let session = r.get("session").unwrap().as_u64().unwrap();
+    let q = client.send(&format!(r#"{{"op":"NextQuestion","session":{session}}}"#));
+    let proposed = q.get("tuple").unwrap().as_u64().unwrap();
+
+    // Tuple 2 labeled + and − in one batch: typed rejection, no state
+    // change — stats stay at zero, the question cache still proposes the
+    // same pending tuple, and the same labels minus the conflict apply.
+    let r = client.send_raw(&format!(
+        r#"{{"op":"AnswerBatch","session":{session},"labels":[{{"tuple":2,"label":"+"}},{{"tuple":6,"label":"-"}},{{"tuple":2,"label":"-"}}]}}"#
+    ));
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+    assert!(
+        r.get("error").unwrap().as_str().unwrap().contains("both"),
+        "{r}"
+    );
+    let s = client.send(&format!(r#"{{"op":"Stats","session":{session}}}"#));
+    assert_eq!(s.get("interactions").unwrap().as_u64(), Some(0), "{s}");
+    assert_eq!(s.get("pruned").unwrap().as_u64(), Some(0), "{s}");
+    let q = client.send(&format!(r#"{{"op":"NextQuestion","session":{session}}}"#));
+    assert_eq!(q.get("tuple").unwrap().as_u64(), Some(proposed));
+    let r = client.send(&format!(
+        r#"{{"op":"AnswerBatch","session":{session},"labels":[{{"tuple":2,"label":"+"}},{{"tuple":6,"label":"-"}}]}}"#
+    ));
+    assert_eq!(r.get("applied").unwrap().as_u64(), Some(2));
 }
 
 #[test]

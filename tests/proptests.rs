@@ -275,6 +275,80 @@ proptest! {
         );
     }
 
+    /// Batch-vs-sequential equivalence: any sequentially-consistent label
+    /// sequence, randomly split into batches, leaves the engine in the
+    /// same state as one-at-a-time labeling — same inferred predicate,
+    /// same candidate set (also pinned against `recompute_candidates`),
+    /// same resolution state, same label/prune accounting. This is the
+    /// contract that lets `run_top_k` and the wire's `AnswerBatch` share
+    /// one propagation pass per batch.
+    #[test]
+    fn batch_labeling_equals_sequential(
+        r1 in arb_relation("p", 2..=3, 2..=7, 3),
+        r2 in arb_relation("q", 2..=3, 2..=7, 3),
+        picks in proptest::collection::vec(any::<u64>(), 1..=14),
+        chunk_sizes in proptest::collection::vec(1usize..=5, 1..=14),
+    ) {
+        use jim::core::{Candidate, Label};
+        fn sorted(mut v: Vec<Candidate>) -> Vec<Candidate> {
+            v.sort_by(|a, b| {
+                a.restricted_sig
+                    .cmp(&b.restricted_sig)
+                    .then(a.count.cmp(&b.count))
+                    .then(a.representative.cmp(&b.representative))
+            });
+            v
+        }
+        let p = Product::new(vec![&r1, &r2]).unwrap();
+        prop_assume!(!p.is_empty());
+
+        // Drive a sequential engine with random-but-consistent labels
+        // (an informative tuple accepts either label), recording the
+        // sequence.
+        let mut sequential =
+            Engine::new(p.clone(), &EngineOptions::default()).unwrap();
+        let mut sequence: Vec<(jim::relation::ProductId, Label)> = Vec::new();
+        for pick in &picks {
+            let cands = sequential.candidates().candidates().to_vec();
+            if cands.is_empty() {
+                break;
+            }
+            let c = &cands[(*pick as usize) % cands.len()];
+            let label = if pick & 1 == 0 { Label::Positive } else { Label::Negative };
+            sequential.label(c.representative, label).unwrap();
+            sequence.push((c.representative, label));
+        }
+
+        // Replay the same sequence through label_batch in random chunks.
+        let mut batched = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut rest = sequence.as_slice();
+        let mut chunk_iter = chunk_sizes.iter().cycle();
+        while !rest.is_empty() {
+            let size = (*chunk_iter.next().unwrap()).min(rest.len());
+            let (chunk, tail) = rest.split_at(size);
+            let outcome = batched.label_batch(chunk).unwrap();
+            prop_assert_eq!(outcome.applied, chunk.len() as u64);
+            rest = tail;
+        }
+
+        prop_assert_eq!(batched.result(), sequential.result());
+        prop_assert_eq!(batched.is_resolved(), sequential.is_resolved());
+        prop_assert_eq!(
+            sorted(batched.candidates().candidates().to_vec()),
+            sorted(sequential.candidates().candidates().to_vec())
+        );
+        prop_assert_eq!(
+            sorted(batched.candidates().candidates().to_vec()),
+            sorted(batched.recompute_candidates())
+        );
+        prop_assert_eq!(batched.entailed_positive_ids(), sequential.entailed_positive_ids());
+        let (bs, ss) = (batched.stats(), sequential.stats());
+        prop_assert_eq!(bs.labeled_positive, ss.labeled_positive);
+        prop_assert_eq!(bs.labeled_negative, ss.labeled_negative);
+        prop_assert_eq!(bs.pruned, ss.pruned);
+        prop_assert_eq!(bs.informative, ss.informative);
+    }
+
     /// The generation counter strictly increases on every label and on
     /// every absorb that adds tuples — the invalidation signal owned
     /// caches (the server's question cache) rely on.
