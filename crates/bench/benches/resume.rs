@@ -1,0 +1,118 @@
+//! Criterion bench for resume-by-replay: how fast can an evicted session
+//! come back? Three ways to reconstruct the same resolved session state:
+//!
+//! * `replay_batched` — engine build + **one** [`Transcript::replay_batched`]
+//!   pass over the whole label log (what journal rehydration amortizes to);
+//! * `replay_sequential` — engine build + one [`jim_core::Engine::label`]
+//!   call per recorded label, each paying its own version-space update,
+//!   candidate-index maintenance pass and generation bump;
+//! * `live_session_build` — engine build + actually re-running the strategy
+//!   loop against an oracle (what "resume" would cost with no transcript at
+//!   all: every strategy choice is re-paid).
+//!
+//! All arms include the engine construction from the shared product (the
+//! honest cost of rehydrating from nothing); the `engine_build` baseline
+//! measures that shared part so it can be subtracted when reading the
+//! numbers. Equal final states are asserted before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jim_bench::runner::Workbench;
+use jim_core::session::run_most_informative;
+use jim_core::{GoalOracle, JoinPredicate, StrategyKind, Transcript};
+use jim_relation::ProductId;
+use jim_synth::random_db::{generate, RandomDbConfig};
+
+/// A random 2-relation instance (the `answers`/`candidates` bench
+/// fixture), a goal selecting a nontrivial subset, and the transcript of
+/// one complete strategy-driven session inferring it.
+fn fixture() -> (Workbench, Transcript, JoinPredicate) {
+    let db = generate(&RandomDbConfig::uniform(2, 3, 120, 3, 42));
+    let wb = Workbench::new(db, &["r1", "r2"]);
+    let engine = wb.engine();
+    let universe = engine.universe().clone();
+    let witness = engine
+        .product()
+        .tuple(ProductId(0))
+        .expect("non-empty product");
+    let goal = JoinPredicate::new(universe.clone(), universe.signature(&witness));
+    let mut strategy = StrategyKind::LookaheadMinPrune.build();
+    let mut oracle = GoalOracle::new(goal.clone());
+    let out = run_most_informative(wb.engine(), strategy.as_mut(), &mut oracle)
+        .expect("truthful labels are consistent");
+    assert!(out.resolved);
+    let transcript = Transcript::capture(&out.engine);
+    assert!(!transcript.labels.is_empty());
+    (wb, transcript, goal)
+}
+
+/// The replay comparison itself, isolated from instance construction:
+/// both arms clone a pre-built unlabeled engine (cheap next to a build —
+/// the `clone_baseline` of the `answers` bench measures it) and replay
+/// the same transcript.
+fn bench_replay(c: &mut Criterion) {
+    let (wb, transcript, _) = fixture();
+    let fresh = wb.engine();
+
+    // Both reconstructions must land in the same state before we time
+    // either of them.
+    let mut batched = fresh.clone();
+    transcript.replay_batched(&mut batched).unwrap();
+    let mut sequential = fresh.clone();
+    transcript.replay(&mut sequential).unwrap();
+    assert!(batched.is_resolved() && sequential.is_resolved());
+    assert_eq!(batched.result(), sequential.result());
+    assert_eq!(batched.stats().pruned, sequential.stats().pruned);
+
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(50);
+    group.bench_function("replay_batched", |b| {
+        b.iter(|| {
+            let mut e = fresh.clone();
+            transcript
+                .replay_batched(std::hint::black_box(&mut e))
+                .unwrap();
+            e.generation()
+        })
+    });
+    group.bench_function("replay_sequential", |b| {
+        b.iter(|| {
+            let mut e = fresh.clone();
+            transcript.replay(std::hint::black_box(&mut e)).unwrap();
+            e.generation()
+        })
+    });
+    group.finish();
+}
+
+/// The whole-resume picture, from nothing: rebuilding the instance plus
+/// replaying (what journal rehydration pays), versus re-running the live
+/// strategy loop (what "resume" would cost with no transcript at all —
+/// every strategy choice re-paid), over the shared `engine_build` cost.
+fn bench_resume_from_nothing(c: &mut Criterion) {
+    let (wb, transcript, goal) = fixture();
+    let mut group = c.benchmark_group("resume");
+    group.sample_size(20);
+    group.bench_function("rebuild_and_replay_batched", |b| {
+        b.iter(|| {
+            let mut e = wb.engine();
+            transcript
+                .replay_batched(std::hint::black_box(&mut e))
+                .unwrap();
+            e.generation()
+        })
+    });
+    group.bench_function("live_session_build", |b| {
+        b.iter(|| {
+            let mut strategy = StrategyKind::LookaheadMinPrune.build();
+            let mut oracle = GoalOracle::new(goal.clone());
+            run_most_informative(wb.engine(), strategy.as_mut(), &mut oracle)
+                .expect("truthful labels are consistent")
+                .questions
+        })
+    });
+    group.bench_function("engine_build", |b| b.iter(|| wb.engine().generation()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_resume_from_nothing);
+criterion_main!(benches);

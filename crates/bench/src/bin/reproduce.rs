@@ -46,6 +46,11 @@ fn catalog() -> Vec<Entry> {
             "batched top-k answer propagation",
             ex::e8_batched_topk,
         ),
+        (
+            "e9",
+            "durable sessions: evict/resume mid-session",
+            ex::e9_evict_resume,
+        ),
         ("a1", "ablation: pruning off/on", ex::a1_pruning_ablation),
         ("a3", "ablation: entropy order α", ex::a3_alpha_sweep),
         (
@@ -75,9 +80,10 @@ fn main() {
     // CI smoke: the fastest experiments, enough to prove the whole bench
     // crate (runner, experiments, tables) still works end to end — e8
     // additionally drives complete top-k sessions through the batched
-    // label path.
+    // label path, e9 a full evict/restart/resume lifecycle through the
+    // journaled server.
     let args: Vec<String> = if args.iter().any(|a| a == "--smoke") {
-        vec!["e1".into(), "e5".into(), "e8".into()]
+        vec!["e1".into(), "e5".into(), "e8".into(), "e9".into()]
     } else {
         args
     };

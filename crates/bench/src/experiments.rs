@@ -554,6 +554,148 @@ pub fn e8_batched_topk() -> Table {
     t
 }
 
+/// E9 — durable sessions: a mid-session evict **and a full process
+/// restart** (fresh store over the same data dir) lose nothing — the
+/// resumed session finishes to the paper's unique query Q2. Each row is
+/// one lifecycle step of the same session, driven entirely over the wire
+/// protocol against journaled `jim-server` stores.
+pub fn e9_evict_resume() -> Table {
+    use jim_json::Json;
+    use jim_server::handler::Handler;
+    use jim_server::journal::JournalStore;
+    use jim_server::store::{SessionStore, StoreConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("jim-e9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ttl = Duration::from_secs(60);
+    let journaled = |dir: &std::path::Path| {
+        Handler::new(Arc::new(SessionStore::with_journal(
+            StoreConfig {
+                max_sessions: 8,
+                ttl,
+                ..Default::default()
+            },
+            JournalStore::open(dir).expect("journal dir"),
+        )))
+    };
+    let send = |h: &Handler, line: &str| -> Json {
+        let r = Json::parse(&h.handle_line(line)).expect("valid response");
+        assert_eq!(
+            r.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{line} -> {r}"
+        );
+        r
+    };
+
+    let mut t = Table::new(
+        "E9 — durable sessions: evict + restart mid-session still yields Q2",
+        &["step", "resident", "on disk", "interactions", "outcome"],
+    );
+    let mut row = |step: &str, h: &Handler, outcome: String| {
+        let list = send(h, r#"{"op":"ListSessions"}"#);
+        let sessions = list.get("sessions").unwrap().as_array().unwrap();
+        let resident = sessions
+            .iter()
+            .filter(|s| s.get("resident").and_then(Json::as_bool) == Some(true))
+            .count();
+        let interactions: u64 = sessions
+            .iter()
+            .filter_map(|s| s.get("interactions").and_then(Json::as_u64))
+            .sum();
+        t.push(vec![
+            step.to_string(),
+            resident.to_string(),
+            (sessions.len() - resident).to_string(),
+            interactions.to_string(),
+            outcome,
+        ]);
+    };
+
+    // Phase 1: create + first walkthrough label, then evict to disk.
+    let h1 = journaled(&dir);
+    let r = send(
+        &h1,
+        r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"lookahead-minprune"}"#,
+    );
+    let session = r.get("session").unwrap().as_u64().unwrap();
+    assert_eq!(r.get("persisted").unwrap().as_bool(), Some(true));
+    row("create", &h1, "persisted:true".into());
+    send(
+        &h1,
+        &format!(r#"{{"op":"Answer","session":{session},"tuple":2,"label":"+"}}"#),
+    );
+    row("label (3)+", &h1, "journaled before ack".into());
+    let future = std::time::Instant::now() + ttl + Duration::from_secs(1);
+    h1.store().sweep_at(future);
+    row("evict (TTL)", &h1, "no write needed: WAL".into());
+    drop(h1);
+
+    // Phase 2: a fresh store over the same directory — the restart.
+    let h2 = journaled(&dir);
+    row("restart", &h2, "fresh store, same dir".into());
+    let r = send(
+        &h2,
+        &format!(r#"{{"op":"ResumeSession","session":{session}}}"#),
+    );
+    assert_eq!(r.get("interactions").unwrap().as_u64(), Some(1));
+    row("resume", &h2, "1 label replayed".into());
+
+    // Finish with the truthful Q2 user (To ≍ City ∧ Airline ≍ Discount).
+    let sql = loop {
+        let q = send(
+            &h2,
+            &format!(r#"{{"op":"NextQuestion","session":{session}}}"#),
+        );
+        if q.get("resolved").unwrap().as_bool() == Some(true) {
+            break q.get("sql").unwrap().as_str().unwrap().to_string();
+        }
+        let v: Vec<&str> = q
+            .get("values")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        let sign = if v[1] == v[3] && v[2] == v[4] {
+            '+'
+        } else {
+            '-'
+        };
+        let a = send(
+            &h2,
+            &format!(r#"{{"op":"Answer","session":{session},"label":"{sign}"}}"#),
+        );
+        if a.get("resolved").unwrap().as_bool() == Some(true) {
+            break a.get("sql").unwrap().as_str().unwrap().to_string();
+        }
+    };
+    assert!(
+        sql.contains("r1.To = r2.City"),
+        "E9 did not infer Q2: {sql}"
+    );
+    assert!(
+        sql.contains("r1.Airline = r2.Discount"),
+        "E9 did not infer Q2: {sql}"
+    );
+    let predicate = send(&h2, &format!(r#"{{"op":"Sql","session":{session}}}"#));
+    row(
+        "finish",
+        &h2,
+        predicate
+            .get("predicate")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +747,24 @@ mod tests {
         // The biggest instances must overflow the budget (the paper's
         // "unusable in practice").
         assert!(t.rows.last().unwrap()[2].contains("budget"));
+    }
+
+    #[test]
+    fn e9_survives_evict_and_restart() {
+        let t = e9_evict_resume();
+        assert_eq!(t.rows.len(), 6);
+        let last = t.rows.last().unwrap();
+        assert_eq!(last[0], "finish");
+        assert_eq!(last[1], "1", "resumed session resident at the end");
+        assert!(last[4].contains("To ≍ hotels.City"), "{last:?}");
+        assert!(last[4].contains("Airline ≍ hotels.Discount"), "{last:?}");
+        // The evict and restart rows see the session on disk, not resident.
+        let evict = &t.rows[2];
+        assert_eq!(
+            (evict[1].as_str(), evict[2].as_str()),
+            ("0", "1"),
+            "{evict:?}"
+        );
     }
 
     #[test]

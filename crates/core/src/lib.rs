@@ -95,7 +95,7 @@ pub use oracle::{FnOracle, GoalOracle, MajorityOracle, NoisyOracle, Oracle};
 pub use predicate::JoinPredicate;
 pub use stats::{InteractionRecord, ProgressStats};
 pub use strategy::{Strategy, StrategyKind};
-pub use transcript::Transcript;
+pub use transcript::{OriginSource, SessionOrigin, Transcript};
 pub use version_space::{TupleClass, VersionSpace};
 
 /// The commonly used names, for glob import in examples and tests.

@@ -26,6 +26,151 @@ use jim_json::Json;
 use jim_relation::ProductId;
 use std::fmt;
 
+/// Where a session's relations came from, as data: either a named demo
+/// scenario or the inline CSV text itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OriginSource {
+    /// A named scenario (resolved by the service's scenario catalog).
+    Scenario {
+        /// The scenario name.
+        name: String,
+    },
+    /// Relations carried verbatim as `(name, csv_text)` pairs, plus the
+    /// optional join view (names, repeats allowed for self-joins).
+    Inline {
+        /// `(name, csv_text)` pairs.
+        relations: Vec<(String, String)>,
+        /// The join view, if it differs from "all relations once".
+        view: Option<Vec<String>>,
+    },
+}
+
+/// The provenance needed to rebuild a session's engine **from nothing**:
+/// the data source, the strategy string, and the effective sampling knobs.
+/// With an origin attached, a [`Transcript`] is a complete, durable
+/// representation of a session — origin rebuilds the instance, the label
+/// log replays the interaction, and the result is the exact version-space
+/// state the session had when it was persisted.
+///
+/// `max_product` and `sample_seed` are recorded as the *effective* values
+/// the engine was built with (after any server-side clamping), so a
+/// resumed sampled session re-draws the identical uniform sample even if
+/// the server's ceilings changed in between.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOrigin {
+    /// The data source.
+    pub source: OriginSource,
+    /// The strategy string exactly as the client supplied it (`None` =
+    /// the server default). Kept verbatim so it re-parses on resume.
+    pub strategy: Option<String>,
+    /// The effective product-size limit the engine was built with.
+    pub max_product: u64,
+    /// The effective sample RNG seed (meaningful when `sampled`).
+    pub sample_seed: u64,
+    /// Whether the instance is a uniform sample of a larger product.
+    pub sampled: bool,
+}
+
+impl SessionOrigin {
+    /// Serialize to the JSON shape embedded in transcripts and journal
+    /// headers.
+    pub fn to_json(&self) -> Json {
+        let source = match &self.source {
+            OriginSource::Scenario { name } => {
+                Json::object([("scenario", Json::from(name.as_str()))])
+            }
+            OriginSource::Inline { relations, view } => {
+                let rels: Vec<Json> = relations
+                    .iter()
+                    .map(|(name, csv)| {
+                        Json::object([
+                            ("name", Json::from(name.as_str())),
+                            ("csv", Json::from(csv.as_str())),
+                        ])
+                    })
+                    .collect();
+                let mut fields = vec![("relations", Json::Array(rels))];
+                if let Some(view) = view {
+                    fields.push((
+                        "view",
+                        Json::Array(view.iter().map(|n| Json::from(n.as_str())).collect()),
+                    ));
+                }
+                Json::object(fields)
+            }
+        };
+        let mut fields = vec![("source", source)];
+        if let Some(strategy) = &self.strategy {
+            fields.push(("strategy", Json::from(strategy.as_str())));
+        }
+        fields.push(("max_product", Transcript::int_to_json(self.max_product)));
+        fields.push(("sample_seed", Transcript::int_to_json(self.sample_seed)));
+        fields.push(("sampled", Json::Bool(self.sampled)));
+        Json::object(fields)
+    }
+
+    /// Decode the shape produced by [`SessionOrigin::to_json`].
+    pub fn from_json(json: &Json) -> Result<SessionOrigin> {
+        let bad = |message: String| InferenceError::Decode { message };
+        let source = json
+            .get("source")
+            .ok_or_else(|| bad("origin: missing `source`".into()))?;
+        let source = if let Some(name) = source.get("scenario").and_then(Json::as_str) {
+            OriginSource::Scenario {
+                name: name.to_string(),
+            }
+        } else if let Some(rels) = source.get("relations").and_then(Json::as_array) {
+            let mut relations = Vec::with_capacity(rels.len());
+            for (i, rel) in rels.iter().enumerate() {
+                let name = rel
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad(format!("origin relation {i}: missing `name`")))?;
+                let csv = rel
+                    .get("csv")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad(format!("origin relation {i}: missing `csv`")))?;
+                relations.push((name.to_string(), csv.to_string()));
+            }
+            let view = match source.get("view") {
+                None => None,
+                Some(v) => Some(
+                    v.as_array()
+                        .ok_or_else(|| bad("origin: `view` must be an array".into()))?
+                        .iter()
+                        .map(|n| {
+                            n.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| bad("origin: `view` entries must be strings".into()))
+                        })
+                        .collect::<Result<Vec<_>>>()?,
+                ),
+            };
+            OriginSource::Inline { relations, view }
+        } else {
+            return Err(bad(
+                "origin: `source` needs either `scenario` or `relations`".into(),
+            ));
+        };
+        Ok(SessionOrigin {
+            source,
+            strategy: json
+                .get("strategy")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            max_product: json
+                .get("max_product")
+                .and_then(Transcript::int_from_json)
+                .ok_or_else(|| bad("origin: missing `max_product`".into()))?,
+            sample_seed: json
+                .get("sample_seed")
+                .and_then(Transcript::int_from_json)
+                .unwrap_or(0),
+            sampled: json.get("sampled").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
 /// A recorded labeling session.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Transcript {
@@ -35,6 +180,10 @@ pub struct Transcript {
     pub tuples: u64,
     /// The labels, in the order they were given.
     pub labels: Vec<(ProductId, Label)>,
+    /// Provenance for rebuilding the engine from nothing, when known.
+    /// Transcripts captured from a bare engine carry `None`; the service
+    /// layer attaches the origin it recorded at session creation.
+    pub origin: Option<SessionOrigin>,
 }
 
 impl Transcript {
@@ -50,13 +199,20 @@ impl Transcript {
                 .iter()
                 .map(|r| (r.tuple, r.label))
                 .collect(),
+            origin: None,
         }
     }
 
-    /// Replay every label onto `engine` (which must be over the same
-    /// instance: schema text and tuple count are verified). Returns the
-    /// number of labels applied.
-    pub fn replay(&self, engine: &mut Engine) -> Result<usize> {
+    /// Attach the provenance needed to rebuild the engine from nothing
+    /// (builder style, used by the service layer when persisting).
+    pub fn with_origin(mut self, origin: SessionOrigin) -> Transcript {
+        self.origin = Some(origin);
+        self
+    }
+
+    /// Verify `engine` is over the instance this transcript was recorded
+    /// on (schema text and tuple count).
+    fn check_instance(&self, engine: &Engine) -> Result<()> {
         if engine.product().schema().to_string() != self.schema
             || engine.product().size() != self.tuples
         {
@@ -70,8 +226,34 @@ impl Transcript {
                 ),
             }));
         }
+        Ok(())
+    }
+
+    /// Replay every label onto `engine` (which must be over the same
+    /// instance: schema text and tuple count are verified). Returns the
+    /// number of labels applied.
+    pub fn replay(&self, engine: &mut Engine) -> Result<usize> {
+        self.check_instance(engine)?;
         for &(id, label) in &self.labels {
             engine.label(id, label)?;
+        }
+        Ok(self.labels.len())
+    }
+
+    /// Replay the whole transcript as **one** [`Engine::label_batch`]
+    /// call — one version-space update pass, one candidate-index
+    /// maintenance pass and one generation bump instead of n, which is
+    /// what makes rehydrating an evicted session cheap. The final version
+    /// space, candidate set and progress counters are identical to
+    /// sequential replay (batch-vs-sequential equivalence is
+    /// proptest-pinned); only the interaction log's per-record attribution
+    /// differs, exactly as for any other batch: informativeness is judged
+    /// against the batch start and the shared prune count lands on the
+    /// last record.
+    pub fn replay_batched(&self, engine: &mut Engine) -> Result<usize> {
+        self.check_instance(engine)?;
+        if !self.labels.is_empty() {
+            engine.label_batch(&self.labels)?;
         }
         Ok(self.labels.len())
     }
@@ -103,6 +285,13 @@ impl Transcript {
                         .trim()
                         .parse()
                         .map_err(|_| bad(i + 1, format!("bad tuple count `{n}`")))?;
+                } else if let Some(json) = rest.strip_prefix("origin ") {
+                    let json = Json::parse(json.trim())
+                        .map_err(|e| bad(i + 1, format!("bad origin JSON: {e}")))?;
+                    t.origin = Some(
+                        SessionOrigin::from_json(&json)
+                            .map_err(|e| bad(i + 1, format!("bad origin: {e}")))?,
+                    );
                 }
                 continue;
             }
@@ -143,6 +332,48 @@ impl Transcript {
             .or_else(|| value.as_str().and_then(|s| s.parse().ok()))
     }
 
+    /// Encode a label list as the wire's `labels` array shape —
+    /// `[{"tuple":2,"label":"+"},…]` — shared by [`Transcript::to_json`]
+    /// and the server's journal batch lines. Ranks beyond the `f64`-exact
+    /// range are encoded as decimal strings (see `MAX_EXACT_WIRE_INT`).
+    pub fn labels_to_json(labels: &[(ProductId, Label)]) -> Json {
+        Json::Array(
+            labels
+                .iter()
+                .map(|(id, label)| {
+                    Json::object([
+                        ("tuple", Self::int_to_json(id.0)),
+                        ("label", Json::from(label.to_string())),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decode the shape produced by [`Transcript::labels_to_json`].
+    pub fn labels_from_json(json: &Json) -> Result<Vec<(ProductId, Label)>> {
+        let bad = |message: String| InferenceError::Decode { message };
+        let mut labels = Vec::new();
+        for (i, entry) in json
+            .as_array()
+            .ok_or_else(|| bad("expected a `labels` array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let rank = entry
+                .get("tuple")
+                .and_then(Self::int_from_json)
+                .ok_or_else(|| bad(format!("label {i}: missing `tuple` rank")))?;
+            let label = match entry.get("label").and_then(Json::as_str) {
+                Some("+") => Label::Positive,
+                Some("-") => Label::Negative,
+                other => return Err(bad(format!("label {i}: bad `label` {other:?}"))),
+            };
+            labels.push((ProductId(rank), label));
+        }
+        Ok(labels)
+    }
+
     /// Serialize to the JSON wire shape the `jim-server` protocol speaks:
     ///
     /// ```json
@@ -150,25 +381,16 @@ impl Transcript {
     ///  "labels":[{"tuple":2,"label":"+"}, ...]}
     /// ```
     pub fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("version", Json::from(1u64)),
             ("schema", Json::from(self.schema.as_str())),
             ("tuples", Self::int_to_json(self.tuples)),
-            (
-                "labels",
-                Json::Array(
-                    self.labels
-                        .iter()
-                        .map(|(id, label)| {
-                            Json::object([
-                                ("tuple", Self::int_to_json(id.0)),
-                                ("label", Json::from(label.to_string())),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ])
+            ("labels", Self::labels_to_json(&self.labels)),
+        ];
+        if let Some(origin) = &self.origin {
+            fields.push(("origin", origin.to_json()));
+        }
+        Json::object(fields)
     }
 
     /// Decode the JSON wire shape produced by [`Transcript::to_json`].
@@ -187,29 +409,19 @@ impl Transcript {
             .get("tuples")
             .and_then(Self::int_from_json)
             .ok_or_else(|| bad("missing `tuples` count".into()))?;
-        let mut labels = Vec::new();
-        for (i, entry) in json
-            .get("labels")
-            .and_then(Json::as_array)
-            .ok_or_else(|| bad("missing `labels` array".into()))?
-            .iter()
-            .enumerate()
-        {
-            let rank = entry
-                .get("tuple")
-                .and_then(Self::int_from_json)
-                .ok_or_else(|| bad(format!("label {i}: missing `tuple` rank")))?;
-            let label = match entry.get("label").and_then(Json::as_str) {
-                Some("+") => Label::Positive,
-                Some("-") => Label::Negative,
-                other => return Err(bad(format!("label {i}: bad `label` {other:?}"))),
-            };
-            labels.push((ProductId(rank), label));
-        }
+        let labels = Self::labels_from_json(
+            json.get("labels")
+                .ok_or_else(|| bad("missing `labels` array".into()))?,
+        )?;
+        let origin = match json.get("origin") {
+            None => None,
+            Some(o) => Some(SessionOrigin::from_json(o)?),
+        };
         Ok(Transcript {
             schema,
             tuples,
             labels,
+            origin,
         })
     }
 
@@ -227,6 +439,11 @@ impl fmt::Display for Transcript {
         writeln!(f, "#jim-transcript v1")?;
         writeln!(f, "#schema {}", self.schema)?;
         writeln!(f, "#tuples {}", self.tuples)?;
+        if let Some(origin) = &self.origin {
+            // JSON renders on one line, so the origin fits a header line
+            // (older parsers skip unknown `#` headers).
+            writeln!(f, "#origin {}", origin.to_json().render())?;
+        }
         for (id, label) in &self.labels {
             writeln!(f, "{label} {}", id.0)?;
         }
@@ -388,6 +605,7 @@ mod tests {
                 (ProductId(u64::MAX - 1), Label::Negative),
                 (ProductId(3), Label::Positive),
             ],
+            origin: None,
         };
         let back = Transcript::parse_json(&t.to_json().render()).unwrap();
         assert_eq!(back, t);
@@ -411,6 +629,121 @@ mod tests {
             r#"{"version":1,"schema":"s","tuples":1,"labels":[{"label":"+"}]}"#
         )
         .is_err());
+    }
+
+    fn sample_origin() -> SessionOrigin {
+        SessionOrigin {
+            source: OriginSource::Inline {
+                relations: vec![
+                    ("flights".into(), "From,To\nParis,Lille\n".into()),
+                    ("hotels".into(), "City\nNYC\n".into()),
+                ],
+                view: Some(vec!["flights".into(), "hotels".into()]),
+            },
+            strategy: Some("lookahead-minprune".into()),
+            max_product: 5_000_000,
+            sample_seed: 7,
+            sampled: false,
+        }
+    }
+
+    #[test]
+    fn origin_round_trips_through_json_and_text() {
+        let (f, h) = paper_instance();
+        let mut e = engine(&f, &h);
+        e.label(ProductId(2), Label::Positive).unwrap();
+        let t = Transcript::capture(&e).with_origin(sample_origin());
+
+        // JSON wire shape.
+        let back = Transcript::parse_json(&t.to_json().render()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.origin, Some(sample_origin()));
+
+        // Text shape: the origin rides a `#origin` header line (with the
+        // inline CSV's newlines JSON-escaped, so it stays one line).
+        let text = t.to_string();
+        assert!(text.contains("#origin {"));
+        let parsed = Transcript::parse(&text).unwrap();
+        assert_eq!(parsed, t);
+
+        // A scenario origin round-trips too.
+        let scenario = SessionOrigin {
+            source: OriginSource::Scenario {
+                name: "flights".into(),
+            },
+            strategy: None,
+            max_product: 100,
+            sample_seed: 0,
+            sampled: true,
+        };
+        let t = Transcript::capture(&e).with_origin(scenario.clone());
+        let back = Transcript::parse_json(&t.to_json().render()).unwrap();
+        assert_eq!(back.origin, Some(scenario));
+    }
+
+    #[test]
+    fn origin_decode_rejects_malformed_documents() {
+        assert!(SessionOrigin::from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(SessionOrigin::from_json(
+            &Json::parse(r#"{"source":{},"max_product":1}"#).unwrap()
+        )
+        .is_err());
+        assert!(SessionOrigin::from_json(
+            &Json::parse(r#"{"source":{"scenario":"flights"}}"#).unwrap()
+        )
+        .is_err());
+        assert!(SessionOrigin::from_json(
+            &Json::parse(r#"{"source":{"relations":[{"name":"a"}]},"max_product":1}"#).unwrap()
+        )
+        .is_err());
+        // A transcript carrying a malformed origin fails whole.
+        assert!(Transcript::parse_json(
+            r#"{"version":1,"schema":"s","tuples":1,"labels":[],"origin":{}}"#
+        )
+        .is_err());
+        assert!(Transcript::parse("#jim-transcript v1\n#origin not-json\n").is_err());
+    }
+
+    #[test]
+    fn batched_replay_matches_sequential_replay() {
+        let (f, h) = paper_instance();
+        let mut e = engine(&f, &h);
+        e.label(ProductId(2), Label::Positive).unwrap();
+        e.label(ProductId(6), Label::Negative).unwrap();
+        e.label(ProductId(7), Label::Negative).unwrap();
+        let t = Transcript::capture(&e);
+
+        let mut sequential = engine(&f, &h);
+        t.replay(&mut sequential).unwrap();
+        let mut batched = engine(&f, &h);
+        assert_eq!(t.replay_batched(&mut batched).unwrap(), 3);
+
+        // One propagation pass, same resulting state.
+        assert_eq!(batched.generation(), 1);
+        assert!(batched.is_resolved());
+        assert_eq!(batched.result(), sequential.result());
+        assert_eq!(
+            batched.version_space().upper(),
+            sequential.version_space().upper()
+        );
+        assert_eq!(batched.stats().pruned, sequential.stats().pruned);
+        assert_eq!(
+            batched.stats().labeled_positive,
+            sequential.stats().labeled_positive
+        );
+        // Capture of the replayed engine reproduces the transcript.
+        assert_eq!(Transcript::capture(&batched), t);
+
+        // Instance checks still apply.
+        let p = Product::new(vec![&h, &h]).unwrap();
+        let mut wrong = Engine::new(p, &EngineOptions::default()).unwrap();
+        assert!(t.replay_batched(&mut wrong).is_err());
+
+        // An empty transcript replays onto an untouched engine.
+        let empty = Transcript::capture(&engine(&f, &h));
+        let mut fresh = engine(&f, &h);
+        assert_eq!(empty.replay_batched(&mut fresh).unwrap(), 0);
+        assert_eq!(fresh.generation(), 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! ```
 //!
 //! Commands: `open [scenario] [strategy]`, `load <left.csv> <right.csv>`,
+//! `resume <id>` (rehydrate a journaled session on a `--data-dir` server),
 //! `ask`, `y`/`n`, `answer <tuple> <+|->`, `answer <t>=<+|-> ...` (label a
 //! whole batch in one engine pass), `top <k>`, `stats`, `explain [tuple]`,
 //! `sql`, `transcript`, `sessions`, `close`, `quit`.
@@ -225,6 +226,38 @@ impl Repl {
         }
     }
 
+    /// `resume <id>` — rehydrate a journaled session (evicted, or left by
+    /// a previous server process over the same data dir) and adopt it.
+    fn resume(&mut self, words: &[&str]) {
+        let Some(id) = words.first().and_then(|w| w.parse::<u64>().ok()) else {
+            println!("! usage: resume <session-id>");
+            return;
+        };
+        if let Some(r) = self.request(&format!(r#"{{"op":"ResumeSession","session":{id}}}"#)) {
+            self.session = r.get("session").and_then(Json::as_u64);
+            self.columns = r
+                .get("columns")
+                .and_then(Json::as_array)
+                .map(|cols| {
+                    cols.iter()
+                        .filter_map(|c| c.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default();
+            println!(
+                "session {id} resumed: {} candidate tuples, {} label(s) replayed, strategy {}{}",
+                r.get("tuples").and_then(Json::as_u64).unwrap_or(0),
+                r.get("interactions").and_then(Json::as_u64).unwrap_or(0),
+                r.get("strategy").and_then(Json::as_str).unwrap_or("?"),
+                if r.get("resolved").and_then(Json::as_bool) == Some(true) {
+                    " — already resolved, `sql` shows the query"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
+
     fn ask(&mut self) {
         let Some(id) = self.session_id() else { return };
         if let Some(r) = self.request(&format!(r#"{{"op":"NextQuestion","session":{id}}}"#)) {
@@ -337,6 +370,7 @@ impl Repl {
                     println!("  open [scenario] [strategy]   flights | setgame | tpch | random");
                     println!("  load <l.csv> <r.csv> [strat] infer over your own data");
                     println!("  ... open/load accept max=N (sample cap) and seed=N (sample seed)");
+                    println!("  resume <id>                  rehydrate a journaled session");
                     println!("  ask                          next most-informative question");
                     println!("  y | n                        answer the pending question");
                     println!("  answer <tuple> <+|->         label an explicit tuple");
@@ -346,6 +380,7 @@ impl Repl {
                 }
                 Some((&"open", rest)) => self.open(rest),
                 Some((&"load", rest)) => self.load(rest),
+                Some((&"resume", rest)) => self.resume(rest),
                 Some((&"ask", _)) => self.ask(),
                 Some((&"y", _)) => self.answer(None, '+'),
                 Some((&"n", _)) => self.answer(None, '-'),

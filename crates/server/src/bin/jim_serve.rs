@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]
-//!           [--shards N] [--max-product N] [--max-batch N]
+//!           [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH]
 //! ```
+//!
+//! With `--data-dir`, every session is journaled to disk (write-ahead,
+//! one JSON line per answered batch): LRU/TTL eviction keeps sessions
+//! resumable by id, and a restarted server over the same directory picks
+//! them all up. Without it (the default), sessions are memory-only.
 //!
 //! Speaks the JSON-lines protocol of `jim_server::protocol`; try it with
 //! the `jim` REPL client or plain `nc`.
 
 use jim_server::handler::{Handler, ServerLimits};
+use jim_server::journal::JournalStore;
 use jim_server::serve::{serve, spawn_sweeper};
 use jim_server::store::{SessionStore, StoreConfig};
 use std::net::TcpListener;
@@ -18,7 +24,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N] \
-         [--shards N] [--max-product N] [--max-batch N]"
+         [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -28,6 +34,7 @@ fn main() -> std::io::Result<()> {
     let mut port = 7914u16; // "JIM" on a phone pad, more or less.
     let mut config = StoreConfig::default();
     let mut limits = ServerLimits::default();
+    let mut data_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -64,6 +71,7 @@ fn main() -> std::io::Result<()> {
                 Ok(n) if n > 0 => limits.max_batch = n,
                 _ => usage(),
             },
+            "--data-dir" => data_dir = Some(value("--data-dir")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("jim-serve: unknown flag {other}");
@@ -72,7 +80,16 @@ fn main() -> std::io::Result<()> {
         }
     }
 
-    let store = Arc::new(SessionStore::new(config));
+    let store = match &data_dir {
+        None => SessionStore::new(config),
+        Some(dir) => {
+            let journal = JournalStore::open(dir)?;
+            let on_disk = journal.ids().len();
+            eprintln!("jim-serve: journaling sessions under {dir} ({on_disk} resumable on disk)");
+            SessionStore::with_journal(config, journal)
+        }
+    };
+    let store = Arc::new(store);
     spawn_sweeper(&store, Duration::from_secs(5).min(config.ttl));
     let shards = store.num_shards();
     let handler = Arc::new(Handler::with_limits(store, limits));
@@ -80,13 +97,17 @@ fn main() -> std::io::Result<()> {
     let listener = TcpListener::bind((host.as_str(), port))?;
     eprintln!(
         "jim-serve: listening on {} (max {} sessions, {} shards, ttl {:?}, sample past {} \
-         tuples, answer batches up to {} labels)",
+         tuples, answer batches up to {} labels, sessions {})",
         listener.local_addr()?,
         config.max_sessions,
         shards,
         config.ttl,
         limits.max_product,
-        limits.max_batch
+        limits.max_batch,
+        match &data_dir {
+            Some(dir) => format!("durable in {dir}"),
+            None => "in memory only".to_string(),
+        }
     );
     serve(listener, handler)
 }

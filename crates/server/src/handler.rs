@@ -4,14 +4,12 @@
 //! TCP server, the REPL's offline mode and the integration tests all call
 //! it. The handler holds the shared [`SessionStore`] and nothing else.
 
+use crate::journal;
 use crate::protocol::{error, ok, parse_strategy, Request, Source};
-use crate::scenario;
 use crate::store::{QuestionCache, Session, SessionStore};
-use jim_core::{explain, Engine, EngineOptions, StrategyKind, Transcript};
+use jim_core::{explain, Engine, EngineOptions, SessionOrigin, StrategyKind, Transcript};
 use jim_json::Json;
-use jim_relation::{csv, Database, Product, ProductId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use jim_relation::ProductId;
 use std::sync::Arc;
 
 /// Server-side resource ceilings the client cannot raise.
@@ -84,7 +82,7 @@ impl Handler {
                 session,
                 tuple,
                 label,
-            } => self.with_session(session, |s| Self::answer(s, tuple, label)),
+            } => self.with_session(session, |s| self.answer(s, tuple, label)),
             Request::AnswerBatch { session, labels } => {
                 let max_batch = self.limits.max_batch;
                 if labels.len() > max_batch {
@@ -95,7 +93,7 @@ impl Handler {
                         labels.len()
                     ));
                 }
-                self.with_session(session, |s| Self::answer_batch(s, &labels))
+                self.with_session(session, |s| self.answer_batch(s, &labels))
             }
             Request::Stats { session } => self.with_session(session, Self::stats),
             Request::Explain { session, tuple } => {
@@ -103,6 +101,7 @@ impl Handler {
             }
             Request::Sql { session } => self.with_session(session, Self::sql),
             Request::Transcript { session } => self.with_session(session, Self::transcript),
+            Request::ResumeSession { session } => self.resume_session(session),
             Request::ListSessions => self.list_sessions(),
             Request::CloseSession { session } => {
                 if self.store.remove(session) {
@@ -131,7 +130,7 @@ impl Handler {
         max_product: Option<u64>,
         sample_seed: Option<u64>,
     ) -> Json {
-        let product = match build_product(&source) {
+        let product = match journal::build_product(&source) {
             Ok(p) => p,
             Err(message) => return error(message),
         };
@@ -149,43 +148,75 @@ impl Handler {
             Some(0) => return error("`max_product` must be positive"),
             Some(l) => l.min(self.limits.max_product),
         };
-        let options = EngineOptions {
+        // The origin records the *effective* knobs (post-clamp limit, the
+        // seed actually used), so a resume rebuilds the identical engine
+        // even if server ceilings changed in between. Too-large products
+        // open over a uniform sample instead of being rejected
+        // (`Product::sample` → `Engine::from_ids`, inside `build engine`).
+        let origin = SessionOrigin {
+            source,
+            strategy,
             max_product: limit,
-            ..Default::default()
+            sample_seed: sample_seed.unwrap_or(0),
+            sampled: product.size() > limit,
         };
-        let sampled = product.size() > limit;
-        let built = if sampled {
-            // Too large to enumerate: infer over a uniform sample instead
-            // of rejecting (Product::sample → Engine::from_ids).
-            let mut rng = StdRng::seed_from_u64(sample_seed.unwrap_or(0));
-            let ids = product.sample(&mut rng, limit as usize);
-            Engine::from_ids(product, &ids, &options)
-        } else {
-            Engine::new(product, &options)
-        };
-        let engine = match built {
+        let engine = match journal::engine_from_product(product, &origin) {
             Ok(e) => e,
-            Err(e) => return error(e.to_string()),
+            Err(message) => return error(message),
         };
         let columns = columns_of(&engine);
         let tuples = engine.stats().total_tuples;
         let atoms = engine.universe().len();
-        let (session, evicted) =
-            self.store
-                .create_session(engine, kind.build(), kind.to_string(), sampled);
-        let id = session.lock().expect("session lock").id;
+        let sampled = origin.sampled;
+        let (session, evicted) = self.store.create_session(
+            engine,
+            kind.build(),
+            kind.to_string(),
+            sampled,
+            Some(origin),
+        );
+        let session = session.lock().expect("session lock");
         let mut fields = vec![
-            ("session", Json::from(id)),
+            ("session", Json::from(session.id)),
             ("strategy", Json::from(kind.to_string())),
             ("tuples", Json::from(tuples)),
             ("atoms", Json::from(atoms)),
             ("sampled", Json::Bool(sampled)),
+            ("persisted", Json::Bool(session.persisted)),
             ("columns", Json::Array(columns)),
         ];
         if let Some(evicted) = evicted {
             fields.push(("evicted", Json::from(evicted)));
         }
         ok(fields)
+    }
+
+    /// Explicitly rehydrate an evicted session (resume also happens
+    /// transparently inside [`SessionStore::get`] on any op; this op
+    /// surfaces the shape of the resumed session and journal errors).
+    fn resume_session(&self, id: u64) -> Json {
+        let handle = match self.store.fetch(id) {
+            Err(message) => return error(message),
+            Ok(None) => {
+                return error(format!(
+                    "unknown session {id} (not resident and no journal on disk)"
+                ))
+            }
+            Ok(Some(handle)) => handle,
+        };
+        let session = handle.lock().expect("session lock");
+        let stats = session.engine.stats();
+        ok([
+            ("session", Json::from(session.id)),
+            ("strategy", Json::from(session.strategy_name.as_str())),
+            ("tuples", Json::from(stats.total_tuples)),
+            ("atoms", Json::from(session.engine.universe().len())),
+            ("interactions", Json::from(stats.interactions())),
+            ("resolved", Json::Bool(session.engine.is_resolved())),
+            ("sampled", Json::Bool(session.sampled)),
+            ("persisted", Json::Bool(session.persisted)),
+            ("columns", Json::Array(columns_of(&session.engine))),
+        ])
     }
 
     fn next_question(session: &mut Session) -> Json {
@@ -261,7 +292,7 @@ impl Handler {
         ])
     }
 
-    fn answer(session: &mut Session, tuple: Option<u64>, label: jim_core::Label) -> Json {
+    fn answer(&self, session: &mut Session, tuple: Option<u64>, label: jim_core::Label) -> Json {
         let id = match tuple.map(ProductId).or(session.pending) {
             Some(id) => id,
             None => {
@@ -271,6 +302,9 @@ impl Handler {
         match session.engine.label(id, label) {
             Err(e) => error(e.to_string()),
             Ok(outcome) => {
+                // Journal the accepted 1-label batch before acking (the
+                // engine rejected path above journals nothing).
+                self.store.record_batch(session, &[(id, label)]);
                 if session.pending == Some(id) {
                     session.pending = None;
                 }
@@ -295,7 +329,7 @@ impl Handler {
         }
     }
 
-    fn answer_batch(session: &mut Session, labels: &[(u64, jim_core::Label)]) -> Json {
+    fn answer_batch(&self, session: &mut Session, labels: &[(u64, jim_core::Label)]) -> Json {
         let batch: Vec<(ProductId, jim_core::Label)> = labels
             .iter()
             .map(|&(rank, label)| (ProductId(rank), label))
@@ -303,9 +337,12 @@ impl Handler {
         match session.engine.label_batch(&batch) {
             // Atomic: on any rejected entry the engine is untouched, so
             // the pending question and its generation-keyed cache stay
-            // exactly valid.
+            // exactly valid — and nothing is journaled.
             Err(e) => error(e.to_string()),
             Ok(outcome) => {
+                // One journal line per applied batch, before the ack —
+                // replay re-applies the same batches in the same order.
+                self.store.record_batch(session, &batch);
                 if let Some(p) = session.pending {
                     if batch.iter().any(|&(id, _)| id == p) {
                         session.pending = None;
@@ -385,7 +422,12 @@ impl Handler {
     }
 
     fn transcript(session: &mut Session) -> Json {
-        let transcript = Transcript::capture(&session.engine);
+        // With provenance attached, the wire transcript is self-contained:
+        // origin rebuilds the instance, the labels replay the interaction.
+        let mut transcript = Transcript::capture(&session.engine);
+        if let Some(origin) = &session.origin {
+            transcript = transcript.with_origin(origin.clone());
+        }
         ok([
             ("transcript", transcript.to_json()),
             ("text", Json::from(transcript.to_string())),
@@ -393,7 +435,7 @@ impl Handler {
     }
 
     fn list_sessions(&self) -> Json {
-        let sessions: Vec<Json> = self
+        let mut sessions: Vec<Json> = self
             .store
             .ids()
             .into_iter()
@@ -406,6 +448,8 @@ impl Handler {
                     handle.lock().expect("session lock");
                 Some(Json::object([
                     ("session", Json::from(id)),
+                    ("resident", Json::Bool(true)),
+                    ("persisted", Json::Bool(guard.persisted)),
                     ("strategy", Json::from(guard.strategy_name.as_str())),
                     ("tuples", Json::from(guard.engine.stats().total_tuples)),
                     (
@@ -416,7 +460,31 @@ impl Handler {
                 ]))
             })
             .collect();
-        ok([("sessions", Json::Array(sessions))])
+        // Evicted-but-durable sessions, readable straight off their
+        // journal headers (label lines are scanned, not decoded) — no
+        // engine rebuild, and (like peek) nothing is resurrected.
+        if let Some(journal) = self.store.journal() {
+            for id in self.store.disk_ids() {
+                let Ok(Some((origin, interactions))) = journal.peek_meta(id) else {
+                    continue;
+                };
+                let strategy = journal::strategy_kind(&origin)
+                    .map(|kind| kind.to_string())
+                    .unwrap_or_else(|_| "?".into());
+                sessions.push(Json::object([
+                    ("session", Json::from(id)),
+                    ("resident", Json::Bool(false)),
+                    ("persisted", Json::Bool(true)),
+                    ("strategy", Json::from(strategy)),
+                    ("interactions", Json::from(interactions)),
+                ]));
+            }
+        }
+        ok([
+            ("sessions", Json::Array(sessions)),
+            ("evicted_total", Json::from(self.store.evicted_total())),
+            ("persisted_total", Json::from(self.store.persisted_total())),
+        ])
     }
 }
 
@@ -456,36 +524,6 @@ fn columns_of(engine: &Engine) -> Vec<Json> {
             )
         })
         .collect()
-}
-
-fn build_product(source: &Source) -> Result<Product, String> {
-    match source {
-        Source::Scenario { name } => scenario::product(name),
-        Source::Inline { relations, view } => {
-            if relations.is_empty() {
-                return Err("`relations` must not be empty".into());
-            }
-            // The catalog does the bookkeeping (duplicate names, name
-            // lookup, shared Arc handles); this arm only parses CSV.
-            let mut db = Database::new();
-            for (name, text) in relations {
-                let relation = csv::read_relation(name.clone(), text)
-                    .map_err(|e| format!("relation `{name}`: {e}"))?;
-                db.add(relation).map_err(|e| e.to_string())?;
-            }
-            let names: Vec<&str> = match view {
-                None => relations.iter().map(|(name, _)| name.as_str()).collect(),
-                Some(names) => {
-                    if names.is_empty() {
-                        return Err("`view` must not be empty".into());
-                    }
-                    names.iter().map(String::as_str).collect()
-                }
-            };
-            let (occurrences, _) = db.join_view(&names).map_err(|e| e.to_string())?;
-            Product::new(occurrences).map_err(|e| e.to_string())
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,517 @@
+//! The write-ahead transcript journal: sessions that outlive the process.
+//!
+//! A session's whole state is determined by two things the wire already
+//! speaks — its **origin** (where the relations came from, which strategy,
+//! which sampling knobs; [`SessionOrigin`]) and its **label log**. This
+//! module persists exactly those, as one append-only JSON-lines file per
+//! session under the store's data directory:
+//!
+//! ```text
+//! {"jim-journal":1,"session":7,"origin":{"source":{"scenario":"flights"},…}}
+//! {"labels":[{"tuple":2,"label":"+"}]}
+//! {"labels":[{"tuple":6,"label":"-"},{"tuple":7,"label":"-"}]}
+//! ```
+//!
+//! The header is written when the session is created; **one line per
+//! applied label batch** is appended *after* the engine accepts the batch
+//! (an `Answer` is a 1-label batch), so the journal never records a
+//! rejected label. Because the journal is written ahead of every ack,
+//! eviction needs no write at all: dropping a session from memory loses
+//! nothing, and [`JournalStore::load`] + [`StoredSession::rebuild_engine`]
+//! reconstruct the identical engine by replaying the recorded batches —
+//! one [`jim_core::Engine::label_batch`] pass per batch, reproducing the
+//! live session's exact state trajectory (stats and interaction log
+//! included).
+//!
+//! **Durability caveat:** appends are flushed to the OS (`write` + close)
+//! but not fsynced — a kernel crash can lose the tail. A torn trailing
+//! line (partial write at process death) is tolerated on load: it is
+//! skipped with a logged warning and the session resumes at the previous
+//! batch boundary. A corrupt line *before* the tail is not a torn write
+//! and fails the load — replaying past a hole would silently diverge from
+//! the session the user actually had.
+
+use crate::protocol::parse_strategy;
+use crate::scenario;
+use jim_core::{
+    Engine, EngineOptions, Label, OriginSource, SessionOrigin, Strategy, StrategyKind, Transcript,
+};
+use jim_json::Json;
+use jim_relation::{csv, Database, Product, ProductId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Journal format version written in headers.
+const JOURNAL_VERSION: u64 = 1;
+
+/// A loaded journal: the origin plus the applied batches, ready to
+/// rebuild the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredSession {
+    /// The session id the journal belongs to.
+    pub id: u64,
+    /// Provenance for rebuilding the engine from nothing.
+    pub origin: SessionOrigin,
+    /// The label batches, in application order.
+    pub batches: Vec<Vec<(ProductId, Label)>>,
+}
+
+impl StoredSession {
+    /// Total labels across all batches (= the session's interactions).
+    pub fn interactions(&self) -> u64 {
+        self.batches.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Rebuild the engine: construct the instance from the origin and
+    /// replay every recorded batch with one `label_batch` pass each —
+    /// the exact state trajectory the live session took.
+    pub fn rebuild_engine(&self) -> Result<Engine, String> {
+        let mut engine = build_engine(&self.origin)?;
+        for (i, batch) in self.batches.iter().enumerate() {
+            engine
+                .label_batch(batch)
+                .map_err(|e| format!("journal batch {} does not replay: {e}", i + 1))?;
+        }
+        Ok(engine)
+    }
+
+    /// Build the strategy recorded in the origin (fresh state — RNG-based
+    /// strategies restart from their seed).
+    pub fn rebuild_strategy(&self) -> Result<(Box<dyn Strategy + Send>, String), String> {
+        let kind = strategy_kind(&self.origin)?;
+        Ok((kind.build(), kind.to_string()))
+    }
+
+    /// Every recorded label, flattened in application order.
+    pub fn labels(&self) -> Vec<(ProductId, Label)> {
+        self.batches.iter().flatten().copied().collect()
+    }
+}
+
+/// Resolve the origin's strategy string (`None` = server default).
+pub fn strategy_kind(origin: &SessionOrigin) -> Result<StrategyKind, String> {
+    match origin.strategy.as_deref() {
+        None => Ok(StrategyKind::LookaheadMinPrune),
+        Some(name) => parse_strategy(name),
+    }
+}
+
+/// Build the product for an origin's data source (also the `CreateSession`
+/// path — creation and resume share one builder, so an origin that built
+/// once always rebuilds).
+pub fn build_product(source: &OriginSource) -> Result<Product, String> {
+    match source {
+        OriginSource::Scenario { name } => scenario::product(name),
+        OriginSource::Inline { relations, view } => {
+            if relations.is_empty() {
+                return Err("`relations` must not be empty".into());
+            }
+            // The catalog does the bookkeeping (duplicate names, name
+            // lookup, shared Arc handles); this arm only parses CSV.
+            let mut db = Database::new();
+            for (name, text) in relations {
+                let relation = csv::read_relation(name.clone(), text)
+                    .map_err(|e| format!("relation `{name}`: {e}"))?;
+                db.add(relation).map_err(|e| e.to_string())?;
+            }
+            let names: Vec<&str> = match view {
+                None => relations.iter().map(|(name, _)| name.as_str()).collect(),
+                Some(names) => {
+                    if names.is_empty() {
+                        return Err("`view` must not be empty".into());
+                    }
+                    names.iter().map(String::as_str).collect()
+                }
+            };
+            let (occurrences, _) = db.join_view(&names).map_err(|e| e.to_string())?;
+            Product::new(occurrences).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Build a fresh (unlabeled) engine exactly as the origin records it:
+/// same product, same effective limit, same sample (the seed is recorded,
+/// so a sampled session re-draws identical ids).
+pub fn build_engine(origin: &SessionOrigin) -> Result<Engine, String> {
+    let product = build_product(&origin.source)?;
+    engine_from_product(product, origin)
+}
+
+/// [`build_engine`] over an already-built product (the create path has
+/// one in hand for the size check).
+pub fn engine_from_product(product: Product, origin: &SessionOrigin) -> Result<Engine, String> {
+    let options = EngineOptions {
+        max_product: origin.max_product,
+        ..Default::default()
+    };
+    let built = if origin.sampled {
+        let mut rng = StdRng::seed_from_u64(origin.sample_seed);
+        let ids = product.sample(&mut rng, origin.max_product as usize);
+        Engine::from_ids(product, &ids, &options)
+    } else {
+        Engine::new(product, &options)
+    };
+    built.map_err(|e| e.to_string())
+}
+
+/// The on-disk journal directory: one `session-<id>.jsonl` per session.
+#[derive(Debug)]
+pub struct JournalStore {
+    root: PathBuf,
+}
+
+impl JournalStore {
+    /// Open (creating if needed) a journal directory.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<JournalStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(JournalStore { root })
+    }
+
+    /// The directory journals live in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The journal file of one session.
+    pub fn path(&self, id: u64) -> PathBuf {
+        self.root.join(format!("session-{id}.jsonl"))
+    }
+
+    /// Write a fresh journal containing only the header (origin) line.
+    pub fn create(&self, id: u64, origin: &SessionOrigin) -> std::io::Result<()> {
+        let header = Json::object([
+            ("jim-journal", Json::from(JOURNAL_VERSION)),
+            ("session", Json::from(id)),
+            ("origin", origin.to_json()),
+        ]);
+        let mut file = File::create(self.path(id))?;
+        file.write_all(header.render().as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Append one applied label batch. Called *after* the engine accepted
+    /// the batch and *before* the response is acked, under the session
+    /// lock — so journal order equals application order.
+    pub fn append(&self, id: u64, labels: &[(ProductId, Label)]) -> std::io::Result<()> {
+        let line = Json::object([("labels", Transcript::labels_to_json(labels))]);
+        let mut file = OpenOptions::new().append(true).open(self.path(id))?;
+        // One write call per line: the OS appends atomically enough that
+        // a crash leaves at most one torn trailing line, which `load`
+        // tolerates.
+        file.write_all(format!("{}\n", line.render()).as_bytes())?;
+        Ok(())
+    }
+
+    /// Whether a journal exists for this session id.
+    pub fn contains(&self, id: u64) -> bool {
+        self.path(id).is_file()
+    }
+
+    /// Delete a session's journal; `true` if it existed.
+    pub fn delete(&self, id: u64) -> bool {
+        fs::remove_file(self.path(id)).is_ok()
+    }
+
+    /// Session ids with a journal on disk, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = match fs::read_dir(&self.root) {
+            Err(_) => Vec::new(),
+            Ok(entries) => entries
+                .filter_map(|e| {
+                    let name = e.ok()?.file_name();
+                    let name = name.to_str()?;
+                    name.strip_prefix("session-")?
+                        .strip_suffix(".jsonl")?
+                        .parse()
+                        .ok()
+                })
+                .collect(),
+        };
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The largest session id on disk (0 when empty) — a fresh store over
+    /// an existing directory allocates ids past it, so restarts never
+    /// collide with resumable sessions.
+    pub fn max_id(&self) -> u64 {
+        self.ids().last().copied().unwrap_or(0)
+    }
+
+    /// The origin and recorded-label count of a session, **without**
+    /// materializing its batches: only the header line is JSON-parsed;
+    /// labels are counted by scanning the batch lines for their `"tuple"`
+    /// keys (the writer is ours, so the count is exact for well-formed
+    /// journals). `ListSessions` calls this per on-disk session — a
+    /// listing must stay a scan, not a decode, of every journal.
+    pub fn peek_meta(&self, id: u64) -> Result<Option<(SessionOrigin, u64)>, String> {
+        let text = match fs::read_to_string(self.path(id)) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("journal for session {id}: {e}")),
+            Ok(text) => text,
+        };
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| format!("journal for session {id} is empty"))?;
+        let header =
+            Json::parse(header).map_err(|e| format!("journal header for session {id}: {e}"))?;
+        let origin = header
+            .get("origin")
+            .ok_or_else(|| format!("journal header for session {id} has no origin"))?;
+        let origin = SessionOrigin::from_json(origin)
+            .map_err(|e| format!("journal origin for session {id}: {e}"))?;
+        let labels = lines
+            .map(|line| line.matches("\"tuple\":").count() as u64)
+            .sum();
+        Ok(Some((origin, labels)))
+    }
+
+    /// Load a session's journal. `Ok(None)` when no journal exists;
+    /// `Err` when the header is unreadable or a non-trailing line is
+    /// corrupt. A truncated **trailing** line is a torn write — only
+    /// possible on the last line, and only when the file does not end in
+    /// a newline (every append writes its `\n` in the same call): it is
+    /// skipped with a logged warning and the load succeeds with the
+    /// batches up to it. An unparseable *newline-terminated* last line
+    /// cannot be a torn append (bit rot, outside editing) and fails the
+    /// load like any other hole — replaying past it would silently
+    /// diverge from the session the user actually had.
+    pub fn load(&self, id: u64) -> Result<Option<StoredSession>, String> {
+        let text = match fs::read_to_string(self.path(id)) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("journal for session {id}: {e}")),
+            Ok(text) => text,
+        };
+        let torn_tail_possible = !text.ends_with('\n');
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| format!("journal for session {id} is empty"))?;
+        let header =
+            Json::parse(header).map_err(|e| format!("journal header for session {id}: {e}"))?;
+        match header.get("jim-journal").and_then(Json::as_u64) {
+            Some(JOURNAL_VERSION) => {}
+            other => {
+                return Err(format!(
+                    "journal for session {id}: unsupported version {other:?}"
+                ))
+            }
+        }
+        let origin = header
+            .get("origin")
+            .ok_or_else(|| format!("journal header for session {id} has no origin"))?;
+        let origin = SessionOrigin::from_json(origin)
+            .map_err(|e| format!("journal origin for session {id}: {e}"))?;
+
+        let rest: Vec<&str> = lines.collect();
+        let last = rest.len();
+        let mut batches = Vec::with_capacity(rest.len());
+        for (i, line) in rest.into_iter().enumerate() {
+            let parsed = Json::parse(line)
+                .ok()
+                .and_then(|json| Transcript::labels_from_json(json.get("labels")?).ok());
+            match parsed {
+                Some(labels) => batches.push(labels),
+                None if i + 1 == last && torn_tail_possible => {
+                    // Torn write: the process died mid-append. The batch
+                    // was never fully journaled, so resuming one batch
+                    // short is the correct state.
+                    eprintln!(
+                        "jim-server: journal for session {id}: skipping torn trailing line \
+                         (batch {} of {last})",
+                        i + 1
+                    );
+                }
+                None => {
+                    return Err(format!(
+                        "journal for session {id}: corrupt batch line {} of {last} \
+                         (not a torn write; refusing to replay past a hole)",
+                        i + 1
+                    ));
+                }
+            }
+        }
+        Ok(Some(StoredSession {
+            id,
+            origin,
+            batches,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_core::OriginSource;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jim-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn flights_origin() -> SessionOrigin {
+        SessionOrigin {
+            source: OriginSource::Scenario {
+                name: "flights".into(),
+            },
+            strategy: Some("lookahead-minprune".into()),
+            max_product: 5_000_000,
+            sample_seed: 0,
+            sampled: false,
+        }
+    }
+
+    #[test]
+    fn journal_round_trip_rebuilds_the_engine() {
+        let store = JournalStore::open(tmpdir("roundtrip")).unwrap();
+        let origin = flights_origin();
+        store.create(7, &origin).unwrap();
+        store.append(7, &[(ProductId(2), Label::Positive)]).unwrap();
+        store
+            .append(
+                7,
+                &[
+                    (ProductId(6), Label::Negative),
+                    (ProductId(7), Label::Negative),
+                ],
+            )
+            .unwrap();
+
+        assert!(store.contains(7));
+        assert_eq!(store.ids(), vec![7]);
+        assert_eq!(store.max_id(), 7);
+
+        let stored = store.load(7).unwrap().unwrap();
+        assert_eq!(stored.origin, origin);
+        assert_eq!(stored.batches.len(), 2);
+        assert_eq!(stored.interactions(), 3);
+
+        // The rebuilt engine is the resolved paper walkthrough, with the
+        // exact per-batch trajectory (generation = number of batches).
+        let engine = stored.rebuild_engine().unwrap();
+        assert!(engine.is_resolved());
+        assert_eq!(engine.generation(), 2);
+        assert_eq!(engine.stats().interactions(), 3);
+        let (_, name) = stored.rebuild_strategy().unwrap();
+        assert_eq!(name, "lookahead-minprune");
+
+        assert!(store.delete(7));
+        assert!(!store.delete(7));
+        assert_eq!(store.load(7).unwrap(), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_with_a_warning() {
+        let store = JournalStore::open(tmpdir("torn")).unwrap();
+        store.create(3, &flights_origin()).unwrap();
+        store.append(3, &[(ProductId(2), Label::Positive)]).unwrap();
+        store.append(3, &[(ProductId(6), Label::Negative)]).unwrap();
+
+        // Truncate the file mid-way through the last line.
+        let path = store.path(3);
+        let text = fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().len() - 10;
+        fs::write(&path, &text[..cut]).unwrap();
+
+        let stored = store.load(3).unwrap().unwrap();
+        assert_eq!(stored.batches, vec![vec![(ProductId(2), Label::Positive)]]);
+        let engine = stored.rebuild_engine().unwrap();
+        assert_eq!(engine.stats().interactions(), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn newline_terminated_corrupt_tail_is_a_hole_not_a_torn_write() {
+        // A complete (newline-terminated) but unparseable last line cannot
+        // be a torn append — it must fail the load, not be skipped.
+        let store = JournalStore::open(tmpdir("bitrot")).unwrap();
+        store.create(6, &flights_origin()).unwrap();
+        store.append(6, &[(ProductId(2), Label::Positive)]).unwrap();
+        let path = store.path(6);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"labels\":[{\"tup\n");
+        fs::write(&path, text).unwrap();
+        let err = store.load(6).unwrap_err();
+        assert!(err.contains("corrupt batch line 2"), "{err}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn peek_meta_counts_labels_without_decoding_batches() {
+        let store = JournalStore::open(tmpdir("meta")).unwrap();
+        let origin = flights_origin();
+        store.create(8, &origin).unwrap();
+        assert_eq!(store.peek_meta(8).unwrap(), Some((origin.clone(), 0)));
+        store.append(8, &[(ProductId(2), Label::Positive)]).unwrap();
+        store
+            .append(
+                8,
+                &[
+                    (ProductId(6), Label::Negative),
+                    (ProductId(7), Label::Negative),
+                ],
+            )
+            .unwrap();
+        assert_eq!(store.peek_meta(8).unwrap(), Some((origin, 3)));
+        assert_eq!(store.peek_meta(99).unwrap(), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_middle_line_fails_the_load() {
+        let store = JournalStore::open(tmpdir("hole")).unwrap();
+        store.create(4, &flights_origin()).unwrap();
+        store.append(4, &[(ProductId(2), Label::Positive)]).unwrap();
+        store.append(4, &[(ProductId(6), Label::Negative)]).unwrap();
+
+        // Corrupt the *first* batch line: that is a hole, not a torn tail.
+        let path = store.path(4);
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = r#"{"labels":[{"tup"#;
+        fs::write(&path, lines.join("\n")).unwrap();
+
+        let err = store.load(4).unwrap_err();
+        assert!(err.contains("corrupt batch line 1"), "{err}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn missing_or_broken_headers_are_errors() {
+        let store = JournalStore::open(tmpdir("header")).unwrap();
+        assert_eq!(store.load(99).unwrap(), None);
+
+        fs::write(store.path(1), "").unwrap();
+        assert!(store.load(1).unwrap_err().contains("empty"));
+        fs::write(store.path(2), "not json\n").unwrap();
+        assert!(store.load(2).unwrap_err().contains("header"));
+        fs::write(store.path(5), "{\"jim-journal\":9}\n").unwrap();
+        assert!(store.load(5).unwrap_err().contains("version"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn sampled_origin_rebuilds_the_identical_sample() {
+        let origin = SessionOrigin {
+            source: OriginSource::Scenario {
+                name: "setgame".into(),
+            },
+            strategy: None,
+            max_product: 40,
+            sample_seed: 7,
+            sampled: true,
+        };
+        let a = build_engine(&origin).unwrap();
+        let b = build_engine(&origin).unwrap();
+        assert_eq!(a.stats().total_tuples, 40);
+        assert_eq!(a.visible_ids(false), b.visible_ids(false));
+    }
+}

@@ -11,11 +11,17 @@
 //!   sweeping. This is what the ownership refactor in
 //!   `jim-relation`/`jim-core` (products own `Arc<Relation>`, `Engine` is
 //!   `Send + 'static`) exists for.
+//! * [`journal`] — the write-ahead transcript journal that de-couples
+//!   session lifetime from memory residency: with a `--data-dir`, every
+//!   session's origin and answered batches are on disk *before* the ack,
+//!   eviction keeps sessions resumable by id (transparently, or via
+//!   `ResumeSession`), and a restarted server picks up where the last
+//!   process died.
 //! * [`protocol`] — a JSON-lines wire protocol: `CreateSession` (inline
 //!   CSV or a named `jim-synth` scenario, with strategy choice and
 //!   `max_product`/`sample_seed` sampling knobs), `NextQuestion`, `TopK`,
-//!   `Answer`, `Stats`, `Explain`, `Sql`, `Transcript`, `ListSessions`,
-//!   `CloseSession`.
+//!   `Answer`, `Stats`, `Explain`, `Sql`, `Transcript`, `ResumeSession`,
+//!   `ListSessions`, `CloseSession`.
 //! * [`handler`] — transport-independent dispatch: one request line in,
 //!   one response line out. Products larger than the (clamped) limit are
 //!   uniformly sampled instead of rejected, and responses say so with a
@@ -47,11 +53,13 @@
 #![forbid(unsafe_code)]
 
 pub mod handler;
+pub mod journal;
 pub mod protocol;
 pub mod scenario;
 pub mod serve;
 pub mod store;
 
 pub use handler::{Handler, ServerLimits};
+pub use journal::{JournalStore, StoredSession};
 pub use protocol::{Request, Source};
 pub use store::{QuestionCache, Session, SessionStore, StoreConfig};

@@ -21,6 +21,7 @@
 //! {"op":"Explain","session":1,"tuple":4}
 //! {"op":"Sql","session":1}
 //! {"op":"Transcript","session":1}
+//! {"op":"ResumeSession","session":1}
 //! {"op":"ListSessions"}
 //! {"op":"CloseSession","session":1}
 //! ```
@@ -28,24 +29,14 @@
 use jim_core::{Label, StrategyKind};
 use jim_json::Json;
 
-/// Where a session's relations come from.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Source {
-    /// Relations supplied inline as CSV text; `view` names the occurrences
-    /// to join in order (defaults to all relations once each, enabling
-    /// self-joins when a name repeats).
-    Inline {
-        /// `(name, csv_text)` pairs.
-        relations: Vec<(String, String)>,
-        /// Optional join view (relation names, repeats allowed).
-        view: Option<Vec<String>>,
-    },
-    /// A named `jim-synth` scenario (`flights`, `setgame`, `tpch`, `random`).
-    Scenario {
-        /// The scenario name.
-        name: String,
-    },
-}
+/// Where a session's relations come from: inline CSV text (with an
+/// optional join view; repeats allowed for self-joins) or a named
+/// `jim-synth` scenario (`flights`, `setgame`, `tpch`, `random`).
+///
+/// This is the same type the durable-session provenance
+/// ([`jim_core::SessionOrigin`]) carries, so what a client sent at
+/// `CreateSession` time is byte-for-byte what a resume rebuilds from.
+pub use jim_core::OriginSource as Source;
 
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,7 +108,15 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
-    /// Ids and progress of every live session.
+    /// Explicitly rehydrate an evicted session from its journal (resume
+    /// also happens transparently on any op naming an evicted id; this op
+    /// additionally surfaces the session's shape — columns, progress —
+    /// like `CreateSession` does, and reports journal errors directly).
+    ResumeSession {
+        /// Target session.
+        session: u64,
+    },
+    /// Ids and progress of every session, resident and on-disk.
     ListSessions,
     /// Drop a session.
     CloseSession {
@@ -249,6 +248,9 @@ impl Request {
                 session: session()?,
             }),
             "Transcript" => Ok(Request::Transcript {
+                session: session()?,
+            }),
+            "ResumeSession" => Ok(Request::ResumeSession {
                 session: session()?,
             }),
             "ListSessions" => Ok(Request::ListSessions),
@@ -437,6 +439,11 @@ mod tests {
             Request::parse(r#"{"op":"CloseSession","session":9}"#).unwrap(),
             Request::CloseSession { session: 9 }
         );
+        assert_eq!(
+            Request::parse(r#"{"op":"ResumeSession","session":5}"#).unwrap(),
+            Request::ResumeSession { session: 5 }
+        );
+        assert!(Request::parse(r#"{"op":"ResumeSession"}"#).is_err());
         assert_eq!(
             Request::parse(r#"{"op":"ListSessions"}"#).unwrap(),
             Request::ListSessions

@@ -70,15 +70,27 @@ pub fn serve_connection(stream: TcpStream, handler: &Handler) -> std::io::Result
 
 /// Start the TTL sweeper: a detached thread evicting expired sessions every
 /// `interval` (floored at 100ms so a tiny TTL cannot become a busy loop).
-/// Holds only a weak reference, so dropping the store stops it.
+/// Holds only a weak reference, so dropping the store stops it. Evictions
+/// are accounted, not discarded: each sweep reports how many sessions left
+/// memory and how many of those stayed resumable on disk (the store's
+/// running totals are surfaced in the `ListSessions` response).
 pub fn spawn_sweeper(store: &Arc<SessionStore>, interval: Duration) {
     let interval = interval.max(Duration::from_millis(100));
     let weak = Arc::downgrade(store);
     std::thread::spawn(move || {
         while let Some(store) = weak.upgrade() {
+            let persisted_before = store.persisted_total();
             let evicted = store.sweep_at(std::time::Instant::now());
             if !evicted.is_empty() {
-                eprintln!("jim-serve: swept {} expired session(s)", evicted.len());
+                let persisted = store.persisted_total() - persisted_before;
+                eprintln!(
+                    "jim-serve: swept {} expired session(s), {} resumable on disk \
+                     ({} evicted / {} persisted since start)",
+                    evicted.len(),
+                    persisted,
+                    store.evicted_total(),
+                    store.persisted_total(),
+                );
             }
             drop(store);
             std::thread::sleep(interval);

@@ -22,8 +22,31 @@
 //! * **TTL** — [`SessionStore::sweep_at`] walks all shards and drops
 //!   sessions idle longer than the configured time-to-live (the server
 //!   runs it periodically).
+//!
+//! ## Durability: eviction is not destruction
+//!
+//! With a [`JournalStore`] attached ([`SessionStore::with_journal`]),
+//! session lifetime is decoupled from memory residency. Every persisted
+//! session's origin and label batches are already on disk *before* any
+//! answer is acked (write-ahead, see [`crate::journal`]), so LRU/TTL
+//! eviction simply drops the in-memory copy — nothing is written at
+//! eviction time — and [`SessionStore::get`] **falls through to disk on a
+//! miss**, rebuilding the engine from its origin and replaying the
+//! journal batch by batch. Requests against an evicted id therefore keep
+//! working transparently; only [`SessionStore::remove`] (the wire's
+//! `CloseSession`) deletes the journal for good. Eviction and
+//! persisted-eviction totals are counted for the `ListSessions` response.
+//!
+//! Only *labels* are durable. Per-question ephemera — the pending
+//! proposal and the generation-keyed question cache — are deliberately
+//! not journaled (they would cost a write per question), so a session
+//! resumes with no pending question: a tuple-less `Answer` right after a
+//! resume is rejected with "no pending question" and the client re-asks
+//! `NextQuestion`, which re-proposes deterministically for the stateless
+//! strategies.
 
-use jim_core::{Engine, Strategy};
+use crate::journal::JournalStore;
+use jim_core::{Engine, Label, SessionOrigin, Strategy};
 use jim_relation::ProductId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +83,11 @@ pub struct Session {
     pub cache: Option<QuestionCache>,
     /// Whether the session's instance is a sample of a larger product.
     pub sampled: bool,
+    /// Provenance for rebuilding the engine from nothing, when recorded.
+    pub origin: Option<SessionOrigin>,
+    /// Whether this session has a write-ahead journal on disk (its labels
+    /// survive eviction and process death).
+    pub persisted: bool,
 }
 
 /// Store limits.
@@ -87,6 +115,10 @@ impl Default for StoreConfig {
 struct Entry {
     session: Arc<Mutex<Session>>,
     last_touched: Instant,
+    /// Mirror of `Session::persisted` (fixed at insert), readable without
+    /// taking the session lock — the sweeper must classify evictions
+    /// without blocking on a slow strategy choice.
+    persisted: bool,
 }
 
 type Shard = Mutex<HashMap<u64, Entry>>;
@@ -97,17 +129,62 @@ pub struct SessionStore {
     shards: Box<[Shard]>,
     mask: u64,
     next_id: AtomicU64,
+    /// The write-ahead journal directory, when durability is on.
+    journal: Option<JournalStore>,
+    /// Sessions dropped from memory by LRU/TTL since the store started.
+    evicted_total: AtomicU64,
+    /// Of those, how many had a journal and stayed resumable on disk.
+    persisted_total: AtomicU64,
 }
 
 impl SessionStore {
     /// A store with the given limits.
     pub fn new(config: StoreConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// A store whose sessions are journaled to `journal` — evictions
+    /// persist instead of destroy, and lookups fall through to disk.
+    /// Ids are allocated past the largest journal on disk, so a store
+    /// rebuilt over an existing directory never collides with (and can
+    /// transparently resume) the sessions a previous process left behind.
+    pub fn with_journal(config: StoreConfig, journal: JournalStore) -> Self {
+        Self::build(config, Some(journal))
+    }
+
+    fn build(config: StoreConfig, journal: Option<JournalStore>) -> Self {
         let n = config.shards.max(1).next_power_of_two();
+        let first_id = journal.as_ref().map_or(0, JournalStore::max_id) + 1;
         SessionStore {
             config,
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             mask: n as u64 - 1,
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(first_id),
+            journal,
+            evicted_total: AtomicU64::new(0),
+            persisted_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The journal directory, when durability is on.
+    pub fn journal(&self) -> Option<&JournalStore> {
+        self.journal.as_ref()
+    }
+
+    /// Sessions dropped from memory by LRU/TTL eviction so far.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total.load(Ordering::Relaxed)
+    }
+
+    /// Evicted sessions that stayed resumable on disk.
+    pub fn persisted_total(&self) -> u64 {
+        self.persisted_total.load(Ordering::Relaxed)
+    }
+
+    fn count_eviction(&self, persisted: bool) {
+        self.evicted_total.fetch_add(1, Ordering::Relaxed);
+        if persisted {
+            self.persisted_total.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -151,19 +228,34 @@ impl SessionStore {
         strategy: Box<dyn Strategy + Send>,
         strategy_name: String,
     ) -> (Arc<Mutex<Session>>, Option<u64>) {
-        self.create_session(engine, strategy, strategy_name, false)
+        self.create_session(engine, strategy, strategy_name, false, None)
     }
 
-    /// [`SessionStore::create`] with the sampled flag set on the session.
+    /// [`SessionStore::create`] with the sampled flag and the provenance
+    /// to persist. With a journal attached and an origin given, the
+    /// journal header is written before this returns — the session is
+    /// durable from birth (`Session::persisted`); without either, the
+    /// session is memory-only and dies with its eviction.
     pub fn create_session(
         &self,
         engine: Engine,
         strategy: Box<dyn Strategy + Send>,
         strategy_name: String,
         sampled: bool,
+        origin: Option<SessionOrigin>,
     ) -> (Arc<Mutex<Session>>, Option<u64>) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let session = Arc::new(Mutex::new(Session {
+        let persisted = match (&self.journal, &origin) {
+            (Some(journal), Some(origin)) => match journal.create(id, origin) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("jim-server: cannot journal session {id}: {e}");
+                    false
+                }
+            },
+            _ => false,
+        };
+        let session = Session {
             id,
             engine,
             strategy,
@@ -171,7 +263,21 @@ impl SessionStore {
             pending: None,
             cache: None,
             sampled,
-        }));
+            origin,
+            persisted,
+        };
+        let (handle, evicted) = self.insert(session);
+        (handle, evicted)
+    }
+
+    /// Insert an owned session (newly created or rehydrated), evicting
+    /// expired sessions first and then the global LRU victim if the store
+    /// is still at capacity. If the id is already resident (a concurrent
+    /// resume won the race), the resident handle wins and `session` is
+    /// dropped.
+    fn insert(&self, session: Session) -> (Arc<Mutex<Session>>, Option<u64>) {
+        let id = session.id;
+        let persisted = session.persisted;
         let now = Instant::now();
         // The global cap needs a consistent view: take every shard lock in
         // index order (deadlock-free; creates are rare next to lookups).
@@ -180,40 +286,142 @@ impl SessionStore {
             .iter()
             .map(|s| s.lock().expect("store lock"))
             .collect();
+        let shard = (id & self.mask) as usize;
+        if let Some(e) = guards[shard].get_mut(&id) {
+            e.last_touched = now;
+            return (Arc::clone(&e.session), None);
+        }
         for guard in guards.iter_mut() {
-            Self::sweep_locked(guard, now, self.config.ttl);
+            for (_, was_persisted) in Self::sweep_locked(guard, now, self.config.ttl) {
+                self.count_eviction(was_persisted);
+            }
         }
         let mut evicted = None;
         let total: usize = guards.iter().map(|g| g.len()).sum();
         if total >= self.config.max_sessions {
-            // Global LRU victim; ties broken by smallest id for determinism.
+            // Global LRU victim; ties broken by smallest id for
+            // determinism. Sessions with an in-flight request (a handle
+            // besides the entry's own) are never victims — evicting one
+            // mid-request would let a concurrent resume replay the
+            // journal *before* that request's append lands, resurrecting
+            // a copy missing an acked batch.
             let victim = guards
                 .iter()
                 .enumerate()
-                .flat_map(|(si, g)| g.iter().map(move |(&id, e)| (e.last_touched, id, si)))
+                .flat_map(|(si, g)| {
+                    g.iter()
+                        .filter(|(_, e)| Arc::strong_count(&e.session) == 1)
+                        .map(move |(&id, e)| (e.last_touched, id, si))
+                })
                 .min();
             if let Some((_, lru, si)) = victim {
-                guards[si].remove(&lru);
+                let entry = guards[si].remove(&lru).expect("victim exists");
+                self.count_eviction(entry.persisted);
                 evicted = Some(lru);
             }
         }
-        guards[(id & self.mask) as usize].insert(
+        let session = Arc::new(Mutex::new(session));
+        guards[shard].insert(
             id,
             Entry {
                 session: Arc::clone(&session),
                 last_touched: now,
+                persisted,
             },
         );
         (session, evicted)
     }
 
-    /// Fetch a session handle, refreshing its LRU/TTL stamp.
+    /// Fetch a session handle, refreshing its LRU/TTL stamp. With a
+    /// journal attached this **falls through to disk** on a memory miss
+    /// and rehydrates the session by replay; journal errors are logged
+    /// and reported as a miss (use [`SessionStore::fetch`] to see them).
     pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        match self.fetch(id) {
+            Ok(handle) => handle,
+            Err(e) => {
+                eprintln!("jim-server: resume of session {id} failed: {e}");
+                None
+            }
+        }
+    }
+
+    /// [`SessionStore::get`] with journal errors surfaced: `Ok(None)`
+    /// means the session exists neither in memory nor on disk.
+    pub fn fetch(&self, id: u64) -> Result<Option<Arc<Mutex<Session>>>, String> {
+        if let Some(handle) = self.get_resident(id) {
+            return Ok(Some(handle));
+        }
+        let Some(journal) = &self.journal else {
+            return Ok(None);
+        };
+        let Some(stored) = journal.load(id)? else {
+            return Ok(None);
+        };
+        let engine = stored.rebuild_engine()?;
+        let (strategy, strategy_name) = stored.rebuild_strategy()?;
+        let session = Session {
+            id,
+            engine,
+            strategy,
+            strategy_name,
+            pending: None,
+            cache: None,
+            sampled: stored.origin.sampled,
+            origin: Some(stored.origin),
+            persisted: true,
+        };
+        // Insert under the cap like any other session; if a concurrent
+        // request resumed the same id first, its handle wins.
+        let (handle, _) = self.insert(session);
+        Ok(Some(handle))
+    }
+
+    fn get_resident(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
         let mut entries = self.shard(id).lock().expect("store lock");
         entries.get_mut(&id).map(|e| {
             e.last_touched = Instant::now();
             Arc::clone(&e.session)
         })
+    }
+
+    /// Append one applied label batch to the session's journal (no-op for
+    /// unpersisted sessions). Call while holding the session lock, after
+    /// the engine accepted the batch and before acking it — journal order
+    /// then equals application order, and a rejected batch never lands.
+    ///
+    /// A failed append (disk full, permissions) **demotes the session to
+    /// memory-only and deletes its journal**: the engine already applied
+    /// the batch and the client will be acked, so a journal missing an
+    /// acked batch must never be replayed — resuming from it would hand
+    /// the user a session silently diverged from what they saw.
+    pub fn record_batch(&self, session: &mut Session, labels: &[(ProductId, Label)]) {
+        if !session.persisted {
+            return;
+        }
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(session.id, labels) {
+                eprintln!(
+                    "jim-server: journal append for session {} failed ({e}); \
+                     demoting the session to memory-only",
+                    session.id
+                );
+                session.persisted = false;
+                journal.delete(session.id);
+                // Shard-after-session lock acquisition is safe here: no
+                // path in this module acquires a session lock while
+                // holding a shard lock (guards are dropped before
+                // handles are locked).
+                if let Some(entry) = self
+                    .shard(session.id)
+                    .lock()
+                    .expect("store lock")
+                    .get_mut(&session.id)
+                {
+                    entry.persisted = false;
+                }
+            }
+        }
     }
 
     /// Fetch a session handle **without** refreshing its LRU/TTL stamp —
@@ -224,13 +432,31 @@ impl SessionStore {
         entries.get(&id).map(|e| Arc::clone(&e.session))
     }
 
-    /// Drop a session; `true` if it existed.
+    /// Close a session for good: drop it from memory **and delete its
+    /// journal** — unlike eviction, this is destruction. `true` if it
+    /// existed in memory or on disk.
     pub fn remove(&self, id: u64) -> bool {
-        self.shard(id)
+        let resident = self
+            .shard(id)
             .lock()
             .expect("store lock")
             .remove(&id)
-            .is_some()
+            .is_some();
+        let on_disk = self.journal.as_ref().is_some_and(|j| j.delete(id));
+        resident || on_disk
+    }
+
+    /// Session ids resumable from disk but not currently resident,
+    /// ascending. Empty without a journal.
+    pub fn disk_ids(&self) -> Vec<u64> {
+        let Some(journal) = &self.journal else {
+            return Vec::new();
+        };
+        journal
+            .ids()
+            .into_iter()
+            .filter(|&id| !self.shard(id).lock().expect("store lock").contains_key(&id))
+            .collect()
     }
 
     /// Live session ids across all shards, ascending.
@@ -250,10 +476,12 @@ impl SessionStore {
         ids
     }
 
-    /// Evict every session idle at `now` for longer than the TTL, in every
-    /// shard; returns the evicted ids ascending. The server's sweeper
-    /// thread calls this with `Instant::now()`; tests can pass a synthetic
-    /// "future" instant.
+    /// Evict every session idle at `now` for longer than the TTL, in
+    /// every shard; returns the evicted ids ascending (eviction counters
+    /// are updated — persisted sessions remain resumable on disk, the
+    /// write-ahead journal means nothing needs writing here). The
+    /// server's sweeper thread calls this with `Instant::now()`; tests
+    /// can pass a synthetic "future" instant.
     pub fn sweep_at(&self, now: Instant) -> Vec<u64> {
         let mut expired: Vec<u64> = self
             .shards
@@ -262,18 +490,34 @@ impl SessionStore {
                 let mut entries = s.lock().expect("store lock");
                 Self::sweep_locked(&mut entries, now, self.config.ttl)
             })
+            .map(|(id, persisted)| {
+                self.count_eviction(persisted);
+                id
+            })
             .collect();
         expired.sort_unstable();
         expired
     }
 
-    fn sweep_locked(entries: &mut HashMap<u64, Entry>, now: Instant, ttl: Duration) -> Vec<u64> {
-        let expired: Vec<u64> = entries
+    /// Remove expired entries from one locked shard, returning
+    /// `(id, persisted)` pairs so callers can account for them. Entries
+    /// with an in-flight handle (`Arc` strong count above the entry's
+    /// own) are spared for the same reason the LRU path spares them:
+    /// eviction must never race a request that is about to journal.
+    fn sweep_locked(
+        entries: &mut HashMap<u64, Entry>,
+        now: Instant,
+        ttl: Duration,
+    ) -> Vec<(u64, bool)> {
+        let expired: Vec<(u64, bool)> = entries
             .iter()
-            .filter(|(_, e)| now.saturating_duration_since(e.last_touched) > ttl)
-            .map(|(&id, _)| id)
+            .filter(|(_, e)| {
+                now.saturating_duration_since(e.last_touched) > ttl
+                    && Arc::strong_count(&e.session) == 1
+            })
+            .map(|(&id, e)| (id, e.persisted))
             .collect();
-        for id in &expired {
+        for (id, _) in &expired {
             entries.remove(id);
         }
         expired
@@ -429,6 +673,193 @@ mod tests {
         }
         let h = s.get(id).unwrap();
         assert!(h.lock().unwrap().pending.is_some());
+    }
+
+    fn flights_origin() -> SessionOrigin {
+        SessionOrigin {
+            source: jim_core::OriginSource::Scenario {
+                name: "flights".into(),
+            },
+            strategy: None,
+            max_product: 5_000_000,
+            sample_seed: 0,
+            sampled: false,
+        }
+    }
+
+    fn journaled_store(tag: &str, max: usize, ttl: Duration) -> SessionStore {
+        let dir = std::env::temp_dir().join(format!("jim-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SessionStore::with_journal(
+            StoreConfig {
+                max_sessions: max,
+                ttl,
+                ..Default::default()
+            },
+            JournalStore::open(dir).unwrap(),
+        )
+    }
+
+    fn create_persisted(s: &SessionStore) -> u64 {
+        let kind = StrategyKind::LookaheadMinPrune;
+        let (session, _) = s.create_session(
+            engine(),
+            kind.build(),
+            kind.to_string(),
+            false,
+            Some(flights_origin()),
+        );
+        let session = session.lock().unwrap();
+        assert!(session.persisted);
+        session.id
+    }
+
+    fn cleanup(s: &SessionStore) {
+        if let Some(j) = s.journal() {
+            let _ = std::fs::remove_dir_all(j.root());
+        }
+    }
+
+    /// Label the session through the store the way the handler does:
+    /// engine first, then the journal append, under the session lock.
+    fn label_recorded(s: &SessionStore, id: u64, batch: &[(ProductId, jim_core::Label)]) {
+        let handle = s.get(id).unwrap();
+        let mut guard = handle.lock().unwrap();
+        let session = &mut *guard;
+        session.engine.label_batch(batch).unwrap();
+        s.record_batch(session, batch);
+    }
+
+    #[test]
+    fn evicted_session_resumes_transparently_from_disk() {
+        use jim_core::Label;
+        let ttl = Duration::from_secs(60);
+        let s = journaled_store("evict", 8, ttl);
+        let id = create_persisted(&s);
+        label_recorded(&s, id, &[(ProductId(2), Label::Positive)]);
+        label_recorded(
+            &s,
+            id,
+            &[
+                (ProductId(6), Label::Negative),
+                (ProductId(7), Label::Negative),
+            ],
+        );
+
+        // TTL eviction drops it from memory but not from disk.
+        let future = Instant::now() + ttl + Duration::from_secs(1);
+        assert_eq!(s.sweep_at(future), vec![id]);
+        assert!(s.ids().is_empty());
+        assert_eq!(s.disk_ids(), vec![id]);
+        assert_eq!((s.evicted_total(), s.persisted_total()), (1, 1));
+
+        // A plain get falls through to disk and replays: the rehydrated
+        // engine carries the exact labeled state, batch trajectory
+        // included (generation = number of recorded batches).
+        let handle = s.get(id).unwrap();
+        let session = handle.lock().unwrap();
+        assert_eq!(session.id, id);
+        assert!(session.persisted);
+        assert!(session.engine.is_resolved());
+        assert_eq!(session.engine.generation(), 2);
+        assert_eq!(session.engine.stats().interactions(), 3);
+        drop(session);
+        assert_eq!(s.ids(), vec![id], "resident again");
+        assert!(s.disk_ids().is_empty());
+        cleanup(&s);
+    }
+
+    #[test]
+    fn memory_only_sessions_die_on_eviction_even_with_a_journal() {
+        let ttl = Duration::from_secs(60);
+        let s = journaled_store("memonly", 8, ttl);
+        // No origin recorded: nothing to rebuild from.
+        let (id, _) = create(&s);
+        let future = Instant::now() + ttl + Duration::from_secs(1);
+        assert_eq!(s.sweep_at(future), vec![id]);
+        assert_eq!((s.evicted_total(), s.persisted_total()), (1, 0));
+        assert!(s.get(id).is_none());
+        cleanup(&s);
+    }
+
+    #[test]
+    fn remove_deletes_the_journal_for_good() {
+        let s = journaled_store("close", 8, Duration::from_secs(60));
+        let id = create_persisted(&s);
+        assert!(s.journal().unwrap().contains(id));
+        assert!(s.remove(id));
+        assert!(!s.journal().unwrap().contains(id));
+        assert!(s.get(id).is_none(), "closed ≠ evicted: no resume");
+        assert!(!s.remove(id));
+
+        // Removing an evicted-but-durable session also deletes its journal.
+        let ttl = s.config().ttl;
+        let id = create_persisted(&s);
+        s.sweep_at(Instant::now() + ttl + Duration::from_secs(1));
+        assert!(s.remove(id), "on-disk-only session still closable");
+        assert!(s.get(id).is_none());
+        cleanup(&s);
+    }
+
+    #[test]
+    fn restarted_store_resumes_sessions_and_allocates_past_them() {
+        use jim_core::Label;
+        let dir = {
+            let s = journaled_store("restart", 8, Duration::from_secs(60));
+            let id = create_persisted(&s);
+            label_recorded(&s, id, &[(ProductId(2), Label::Positive)]);
+            assert_eq!(id, 1);
+            s.journal().unwrap().root().to_path_buf()
+        }; // the first store (the "process") is gone
+
+        let s =
+            SessionStore::with_journal(StoreConfig::default(), JournalStore::open(&dir).unwrap());
+        assert!(s.is_empty(), "nothing resident after restart");
+        assert_eq!(s.disk_ids(), vec![1]);
+        // The old session resumes with its label; new ids never collide.
+        let handle = s.get(1).unwrap();
+        assert_eq!(handle.lock().unwrap().engine.stats().interactions(), 1);
+        let (new_id, _) = create(&s);
+        assert_eq!(new_id, 2);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn sessions_with_an_in_flight_handle_are_never_evicted() {
+        // Evicting a session another thread is mid-request on would let a
+        // concurrent resume replay the journal before that request's
+        // append lands; busy sessions are spared by both eviction paths.
+        let ttl = Duration::from_secs(60);
+        let s = store(2, ttl);
+        let (a, _) = create(&s);
+        let held = s.get(a).unwrap();
+        let future = Instant::now() + ttl + Duration::from_secs(1);
+        assert!(s.sweep_at(future).is_empty(), "busy session survives TTL");
+        // The LRU path spares it too: at capacity, the *other* (idle)
+        // session is the victim even though `a` is least-recently-used.
+        let (b, _) = create(&s);
+        assert!(s.get(b).is_some());
+        let (c, evicted) = create(&s);
+        assert_eq!(evicted, Some(b), "idle session evicted over the busy LRU");
+        drop(held);
+        assert_eq!(s.sweep_at(future), vec![a, c], "released handle, evictable");
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity_persists_durable_sessions() {
+        let s = journaled_store("lru", 2, Duration::from_secs(600));
+        let a = create_persisted(&s);
+        let b = create_persisted(&s);
+        assert!(s.get(a).is_some()); // make b the LRU victim
+        let c = create_persisted(&s);
+        assert_eq!(s.ids(), vec![a, c]);
+        assert_eq!((s.evicted_total(), s.persisted_total()), (1, 1));
+        // The LRU victim is still reachable — getting it back evicts the
+        // new LRU (a, untouched since) to stay under the cap.
+        assert!(s.get(b).is_some());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.evicted_total(), 2);
+        cleanup(&s);
     }
 
     #[test]

@@ -475,3 +475,166 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------ durable-session resume fidelity
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Resume-vs-live equivalence: a random session over a journaled
+    /// (`--data-dir`) server, evicted at a random batch boundary and
+    /// transparently rehydrated by replay, ends bit-identical to the same
+    /// session on a never-evicted in-memory server — same inferred
+    /// predicate, same candidate set, same `ProgressStats` **including
+    /// the interaction log** (the journal records applied batches, and
+    /// resume replays them with one `label_batch` pass each, reproducing
+    /// the exact state trajectory).
+    #[test]
+    fn evicted_and_resumed_session_equals_never_evicted(
+        r1 in arb_relation("p", 2..=3, 2..=6, 3),
+        r2 in arb_relation("q", 2..=3, 2..=6, 3),
+        picks in proptest::collection::vec(any::<u64>(), 1..=12),
+        chunk_sizes in proptest::collection::vec(1usize..=4, 1..=12),
+        cut in any::<u64>(),
+    ) {
+        use jim::core::{Candidate, Label};
+        use jim::relation::csv;
+        use jim_json::Json;
+        use jim_server::handler::Handler;
+        use jim_server::journal::JournalStore;
+        use jim_server::store::{SessionStore, StoreConfig};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+
+        fn sorted(mut v: Vec<Candidate>) -> Vec<Candidate> {
+            v.sort_by(|a, b| {
+                a.restricted_sig
+                    .cmp(&b.restricted_sig)
+                    .then(a.count.cmp(&b.count))
+                    .then(a.representative.cmp(&b.representative))
+            });
+            v
+        }
+
+        let p = Product::new(vec![&r1, &r2]).unwrap();
+        prop_assume!(!p.is_empty());
+
+        // Generate a sequentially-consistent label sequence on a scratch
+        // engine (an informative tuple accepts either label), then chunk
+        // it into the batches both servers will receive.
+        let mut scratch = Engine::new(p, &EngineOptions::default()).unwrap();
+        let mut sequence: Vec<(jim::relation::ProductId, Label)> = Vec::new();
+        for pick in &picks {
+            let cands = scratch.candidates().candidates().to_vec();
+            if cands.is_empty() {
+                break;
+            }
+            let c = &cands[(*pick as usize) % cands.len()];
+            let label = if pick & 1 == 0 { Label::Positive } else { Label::Negative };
+            scratch.label(c.representative, label).unwrap();
+            sequence.push((c.representative, label));
+        }
+        let mut batches: Vec<&[(jim::relation::ProductId, Label)]> = Vec::new();
+        let mut rest = sequence.as_slice();
+        let mut chunk_iter = chunk_sizes.iter().cycle();
+        while !rest.is_empty() {
+            let size = (*chunk_iter.next().unwrap()).min(rest.len());
+            let (chunk, tail) = rest.split_at(size);
+            batches.push(chunk);
+            rest = tail;
+        }
+
+        // Two servers: one journaled (evicted mid-way), one plain.
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "jim-proptest-resume-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ttl = Duration::from_secs(60);
+        let durable = Handler::new(Arc::new(SessionStore::with_journal(
+            StoreConfig { max_sessions: 8, ttl, ..Default::default() },
+            JournalStore::open(&dir).unwrap(),
+        )));
+        let live = Handler::new(Arc::new(SessionStore::new(StoreConfig::default())));
+
+        let create = format!(
+            r#"{{"op":"CreateSession","source":{{"relations":[{{"name":"p","csv":{}}},{{"name":"q","csv":{}}}]}},"strategy":"local-general"}}"#,
+            Json::from(csv::write_relation(&r1)).render(),
+            Json::from(csv::write_relation(&r2)).render(),
+        );
+        let open = |h: &Handler| -> u64 {
+            let r = Json::parse(&h.handle_line(&create)).unwrap();
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+            r.get("session").unwrap().as_u64().unwrap()
+        };
+        let durable_id = open(&durable);
+        let live_id = open(&live);
+        prop_assert_eq!(
+            Json::parse(&durable.handle_line(&format!(
+                r#"{{"op":"Stats","session":{durable_id}}}"#
+            )))
+            .unwrap()
+            .get("total_tuples")
+            .unwrap()
+            .as_u64(),
+            Some(scratch.stats().total_tuples),
+            "CSV round trip must reproduce the instance"
+        );
+
+        // Apply the same batches to both; evict the durable session at a
+        // random batch boundary (possibly before any batch, or after all).
+        let evict_after = (cut as usize) % (batches.len() + 1);
+        for (i, batch) in batches.iter().enumerate() {
+            if i == evict_after {
+                let future = Instant::now() + ttl + Duration::from_secs(1);
+                prop_assert_eq!(durable.store().sweep_at(future), vec![durable_id]);
+            }
+            let labels: Vec<String> = batch
+                .iter()
+                .map(|(id, label)| format!(r#"{{"tuple":{},"label":"{label}"}}"#, id.0))
+                .collect();
+            for (h, id) in [(&durable, durable_id), (&live, live_id)] {
+                let r = Json::parse(&h.handle_line(&format!(
+                    r#"{{"op":"AnswerBatch","session":{id},"labels":[{}]}}"#,
+                    labels.join(","),
+                )))
+                .unwrap();
+                prop_assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{}", r);
+                prop_assert_eq!(
+                    r.get("applied").and_then(Json::as_u64),
+                    Some(batch.len() as u64)
+                );
+            }
+        }
+        if evict_after == batches.len() {
+            let future = Instant::now() + ttl + Duration::from_secs(1);
+            prop_assert_eq!(durable.store().sweep_at(future), vec![durable_id]);
+        }
+
+        // The rehydrated engine must be indistinguishable from the
+        // never-evicted one (peek resumes transparently via get).
+        let durable_handle = durable.store().get(durable_id).expect("resumable");
+        let live_handle = live.store().get(live_id).expect("resident");
+        let durable_session = durable_handle.lock().unwrap();
+        let live_session = live_handle.lock().unwrap();
+        let (d, l) = (&durable_session.engine, &live_session.engine);
+        prop_assert_eq!(d.result(), l.result());
+        prop_assert_eq!(d.is_resolved(), l.is_resolved());
+        prop_assert_eq!(
+            sorted(d.candidates().candidates().to_vec()),
+            sorted(l.candidates().candidates().to_vec())
+        );
+        prop_assert_eq!(
+            sorted(d.candidates().candidates().to_vec()),
+            sorted(d.recompute_candidates())
+        );
+        prop_assert_eq!(d.entailed_positive_ids(), l.entailed_positive_ids());
+        prop_assert_eq!(d.stats(), l.stats(), "stats incl. interaction log");
+        prop_assert_eq!(d.generation(), l.generation(), "one pass per batch");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
