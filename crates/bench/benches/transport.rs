@@ -1,0 +1,174 @@
+//! Criterion bench for the TCP front ends: requests/sec over one live
+//! connection and the cost of *idle* connections, threads vs epoll.
+//!
+//! Two arms per transport:
+//!
+//! * `round_trip` — one client, one persistent connection, one cheap
+//!   request (`ListSessions`) per iteration, and the same with a
+//!   session-touching request (`Stats`). This is the protocol's serving
+//!   latency floor: framing + dispatch + store lookup + response write.
+//!   On the epoll transport each round trip additionally crosses the
+//!   reactor→worker→reactor handoff; the bench shows what that costs.
+//! * `round_trip_with_idle_conns` — the same round trip while
+//!   `IDLE_CONNS` other connections sit parked. This is the workload the
+//!   event loop exists for (many mostly-idle interactive sessions): the
+//!   threads transport pays a stack per parked socket, the reactor pays
+//!   a buffer. The bench also prints the measured per-idle-connection
+//!   RSS/VSZ delta from `/proc/self/status` (linux) next to the timing.
+//!
+//! Both transports serve the identical handler and store, so any
+//! difference is pure transport overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jim_server::handler::Handler;
+use jim_server::serve::{serve, Shutdown, Transport};
+use jim_server::store::{SessionStore, StoreConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDLE_CONNS: usize = 256;
+
+struct BenchServer {
+    addr: SocketAddr,
+    shutdown: Shutdown,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl BenchServer {
+    fn start(transport: Transport) -> BenchServer {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind bench port");
+        let addr = listener.local_addr().expect("local addr");
+        let store = Arc::new(SessionStore::new(StoreConfig {
+            max_sessions: 16,
+            ttl: Duration::from_secs(600),
+            ..Default::default()
+        }));
+        let handler = Arc::new(Handler::new(store));
+        let shutdown = Shutdown::new();
+        let serve_shutdown = shutdown.clone();
+        let thread =
+            std::thread::spawn(move || serve(listener, handler, transport, serve_shutdown));
+        BenchServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for BenchServer {
+    fn drop(&mut self) {
+        self.shutdown.trigger();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        Conn {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn round_trip(&mut self, line: &str) -> usize {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read");
+        assert!(response.contains("\"ok\":true"), "{response}");
+        response.len()
+    }
+}
+
+fn transports() -> Vec<Transport> {
+    let mut all = vec![Transport::Threads];
+    if jim_aio::SUPPORTED {
+        all.push(Transport::Epoll);
+    }
+    all
+}
+
+/// `(VmRSS, VmSize)` in KiB, when the platform exposes them.
+fn memory_kib() -> Option<(u64, u64)> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let field = |name: &str| {
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse::<u64>().ok())
+    };
+    Some((field("VmRSS:")?, field("VmSize:")?))
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport");
+    group.sample_size(300);
+    for transport in transports() {
+        let server = BenchServer::start(transport);
+        let mut conn = Conn::open(server.addr);
+        let r = conn.round_trip(
+            r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}"#,
+        );
+        assert!(r > 0);
+        group.bench_function(format!("round_trip/{transport}"), |b| {
+            b.iter(|| conn.round_trip(r#"{"op":"ListSessions"}"#))
+        });
+        group.bench_function(format!("stats_round_trip/{transport}"), |b| {
+            b.iter(|| conn.round_trip(r#"{"op":"Stats","session":1}"#))
+        });
+    }
+    group.finish();
+}
+
+fn bench_idle_connections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_idle");
+    group.sample_size(300);
+    for transport in transports() {
+        let server = BenchServer::start(transport);
+        let mut conn = Conn::open(server.addr);
+        conn.round_trip(
+            r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}"#,
+        );
+
+        let before = memory_kib();
+        let idle: Vec<Conn> = (0..IDLE_CONNS).map(|_| Conn::open(server.addr)).collect();
+        // One round trip *after* the idle fleet proves they are all
+        // accepted (accepts are FIFO) before memory is sampled.
+        conn.round_trip(r#"{"op":"ListSessions"}"#);
+        if let (Some((rss0, vsz0)), Some((rss1, vsz1))) = (before, memory_kib()) {
+            println!(
+                "bench transport_idle/{transport}: {IDLE_CONNS} idle conns cost \
+                 ~{} KiB RSS, ~{} KiB VSZ per connection (process: {rss0}->{rss1} RSS, \
+                 {vsz0}->{vsz1} VSZ)",
+                rss1.saturating_sub(rss0) / IDLE_CONNS as u64,
+                vsz1.saturating_sub(vsz0) / IDLE_CONNS as u64,
+            );
+        }
+        group.bench_function(
+            format!("round_trip_with_{IDLE_CONNS}_idle/{transport}"),
+            |b| b.iter(|| conn.round_trip(r#"{"op":"ListSessions"}"#)),
+        );
+        drop(idle);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_trip, bench_idle_connections);
+criterion_main!(benches);

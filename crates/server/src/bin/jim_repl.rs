@@ -40,7 +40,11 @@ impl Conn {
         let raw = match self {
             Conn::Local(handler) => handler.handle_line(line),
             Conn::Tcp { reader, writer } => {
-                writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+                // One write per request; a split-off newline segment would
+                // stall on Nagle + delayed ACK.
+                writer
+                    .write_all(format!("{line}\n").as_bytes())
+                    .map_err(|e| e.to_string())?;
                 writer.flush().map_err(|e| e.to_string())?;
                 let mut response = String::new();
                 let n = reader.read_line(&mut response).map_err(|e| e.to_string())?;
@@ -459,6 +463,7 @@ fn main() {
         }
         [flag, addr] if flag == "--connect" => match TcpStream::connect(addr) {
             Ok(stream) => {
+                let _ = stream.set_nodelay(true);
                 let reader =
                     BufReader::new(stream.try_clone().expect("clone TCP stream for reading"));
                 println!("connected to {addr}");

@@ -3,6 +3,7 @@
 //! ```text
 //! jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]
 //!           [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH]
+//!           [--transport threads|epoll]
 //! ```
 //!
 //! With `--data-dir`, every session is journaled to disk (write-ahead,
@@ -10,12 +11,19 @@
 //! resumable by id, and a restarted server over the same directory picks
 //! them all up. Without it (the default), sessions are memory-only.
 //!
+//! `--transport` picks the front end: `epoll` (the default on linux) is
+//! a non-blocking event loop — one reactor thread plus a small worker
+//! pool, so ten thousand idle sessions don't cost ten thousand stacks;
+//! `threads` (the default elsewhere, where `jim-aio` has no backend) is
+//! the portable thread-per-connection fallback. The wire behavior is
+//! identical on both.
+//!
 //! Speaks the JSON-lines protocol of `jim_server::protocol`; try it with
 //! the `jim` REPL client or plain `nc`.
 
 use jim_server::handler::{Handler, ServerLimits};
 use jim_server::journal::JournalStore;
-use jim_server::serve::{serve, spawn_sweeper};
+use jim_server::serve::{serve, spawn_sweeper, Shutdown, Transport};
 use jim_server::store::{SessionStore, StoreConfig};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -24,7 +32,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N] \
-         [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH]"
+         [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH] \
+         [--transport threads|epoll]"
     );
     std::process::exit(2);
 }
@@ -35,6 +44,7 @@ fn main() -> std::io::Result<()> {
     let mut config = StoreConfig::default();
     let mut limits = ServerLimits::default();
     let mut data_dir: Option<String> = None;
+    let mut transport = Transport::default_for_platform();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -72,6 +82,13 @@ fn main() -> std::io::Result<()> {
                 _ => usage(),
             },
             "--data-dir" => data_dir = Some(value("--data-dir")),
+            "--transport" => match value("--transport").parse() {
+                Ok(t) => transport = t,
+                Err(message) => {
+                    eprintln!("jim-serve: {message}");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("jim-serve: unknown flag {other}");
@@ -90,15 +107,34 @@ fn main() -> std::io::Result<()> {
         }
     };
     let store = Arc::new(store);
-    spawn_sweeper(&store, Duration::from_secs(5).min(config.ttl));
+    let shutdown = Shutdown::new();
+    // SIGINT/SIGTERM drain gracefully: stop accepting, flush in-flight
+    // responses, then exit (a second signal kills immediately).
+    match jim_aio::watch_termination() {
+        Ok(term) => {
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                term.wait();
+                eprintln!("jim-serve: termination signal; draining");
+                shutdown.trigger();
+            });
+        }
+        Err(_) => eprintln!("jim-serve: no signal hook on this platform; stop with a plain kill"),
+    }
+    spawn_sweeper(
+        &store,
+        Duration::from_secs(5).min(config.ttl),
+        shutdown.clone(),
+    );
     let shards = store.num_shards();
     let handler = Arc::new(Handler::with_limits(store, limits));
 
     let listener = TcpListener::bind((host.as_str(), port))?;
     eprintln!(
-        "jim-serve: listening on {} (max {} sessions, {} shards, ttl {:?}, sample past {} \
-         tuples, answer batches up to {} labels, sessions {})",
+        "jim-serve: listening on {} via the {} transport (max {} sessions, {} shards, ttl \
+         {:?}, sample past {} tuples, answer batches up to {} labels, sessions {})",
         listener.local_addr()?,
+        transport,
         config.max_sessions,
         shards,
         config.ttl,
@@ -109,5 +145,5 @@ fn main() -> std::io::Result<()> {
             None => "in memory only".to_string(),
         }
     );
-    serve(listener, handler)
+    serve(listener, handler, transport, shutdown)
 }

@@ -26,8 +26,11 @@
 //!   one response line out. Products larger than the (clamped) limit are
 //!   uniformly sampled instead of rejected, and responses say so with a
 //!   `sampled` flag.
-//! * [`serve`] — a thread-per-connection TCP listener plus the TTL
-//!   sweeper thread.
+//! * [`serve`] — the TCP front ends: a portable thread-per-connection
+//!   transport and an epoll-driven event-loop transport (linux, via the
+//!   in-repo `jim-aio` readiness shim — see [`reactor`]'s module docs),
+//!   selected by `jim-serve --transport`, plus the TTL sweeper thread.
+//!   Both observe a graceful [`serve::Shutdown`] signal.
 //! * [`scenario`] — named demo datasets a client can open without
 //!   shipping data.
 //!
@@ -55,6 +58,8 @@
 pub mod handler;
 pub mod journal;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod scenario;
 pub mod serve;
 pub mod store;
@@ -62,4 +67,5 @@ pub mod store;
 pub use handler::{Handler, ServerLimits};
 pub use journal::{JournalStore, StoredSession};
 pub use protocol::{Request, Source};
-pub use store::{QuestionCache, Session, SessionStore, StoreConfig};
+pub use serve::{serve, spawn_sweeper, Shutdown, Transport};
+pub use store::{QuestionCache, Session, SessionStore, StoreConfig, SweepReport};

@@ -1,0 +1,501 @@
+//! The epoll event-loop transport (linux only).
+//!
+//! One **reactor thread** owns every connection: it multiplexes
+//! readiness through a `jim-aio` [`Poller`] (level-triggered
+//! epoll), accumulates request bytes per connection until `\n`, and
+//! writes buffered responses back with backpressure. It never runs a
+//! request itself — complete lines are handed to a small **worker pool**
+//! (bounded, independent of connection count) so a slow `CreateSession`
+//! or journal replay cannot stall the loop; finished responses come back
+//! over a completion queue and an eventfd [`Waker`]. The result is the
+//! serving posture the interactive workload wants: thousands of
+//! mostly-idle sessions held for the price of their buffers, with
+//! `reactor + workers` threads total instead of one stack per socket.
+//!
+//! Per-connection state machine (see [`Conn`]):
+//!
+//! ```text
+//!   read-accumulate ──complete line──▶ in-flight at worker pool
+//!        ▲   │ cap hit: queue error, close-after-flush       │
+//!        │   ▼                                               ▼
+//!        └── idle ◀──────flush response (EPOLLOUT on short write)
+//! ```
+//!
+//! Invariants:
+//!
+//! * at most **one** line per connection is in flight — responses come
+//!   back in request order with no per-connection queueing;
+//! * read interest is dropped while a request is in flight or a
+//!   response is unflushed, so a pipelining peer is backpressured at
+//!   the socket instead of growing server buffers;
+//! * a partial line never exceeds [`MAX_LINE_BYTES`]: past the cap the
+//!   peer gets the same answered-then-dropped treatment as on the
+//!   threads transport;
+//! * [`Shutdown`]: stop accepting, drop idle connections, let in-flight
+//!   responses finish and flush, then return (with a hard deadline so a
+//!   peer that never drains its socket cannot pin the process).
+
+use crate::handler::Handler;
+use crate::serve::{oversize_response, respond_to, Shutdown, DRAIN_DEADLINE, MAX_LINE_BYTES};
+use jim_aio::{Events, Interest, Poller, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+/// Connection tokens count up from here and are **never reused**, so a
+/// completion for a connection that died mid-request cannot be delivered
+/// to a newcomer that recycled its slot.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Socket read granularity.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Worker-pool bounds: enough to hide one slow request behind others,
+/// few enough that the "bounded thread count" promise stays meaningful.
+const MIN_WORKERS: usize = 2;
+const MAX_WORKERS: usize = 8;
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(MIN_WORKERS)
+        .clamp(MIN_WORKERS, MAX_WORKERS)
+}
+
+/// One complete request line travelling to the worker pool.
+struct Job {
+    token: u64,
+    line: Vec<u8>,
+}
+
+/// The reactor→workers channel: a plain mutex+condvar queue (std has no
+/// mpmc channel, and this needs no more than push/pop/close).
+#[derive(Default)]
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct JobQueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("job queue");
+        state.jobs.push_back(job);
+        self.cv.notify_one();
+    }
+
+    /// Block for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("job queue");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).expect("job queue");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("job queue").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The workers→reactor channel: finished responses, plus the waker that
+/// pops the reactor out of `epoll_wait` to collect them.
+struct Completions {
+    ready: Mutex<Vec<(u64, Option<String>)>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn push(&self, token: u64, response: Option<String>) {
+        self.ready
+            .lock()
+            .expect("completions")
+            .push((token, response));
+        let _ = self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<(u64, Option<String>)> {
+        std::mem::take(&mut *self.ready.lock().expect("completions"))
+    }
+}
+
+/// What [`Conn::extract_line`] found in the accumulation buffer.
+enum Extract {
+    /// A complete, non-blank line (trailing `\n` included).
+    Line(Vec<u8>),
+    /// The cap was exceeded with no line to show for it.
+    Oversize,
+    /// Nothing complete yet.
+    Partial,
+}
+
+/// Per-connection state owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    /// Request bytes accumulated, newline not yet seen past `scanned`.
+    inbuf: Vec<u8>,
+    /// How far `inbuf` has been scanned for `\n` (so repeated fills of a
+    /// large line stay linear, not quadratic).
+    scanned: usize,
+    /// Response bytes not yet written, from `outpos`.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// A line of this connection is at the worker pool.
+    inflight: bool,
+    /// No more reads: peer EOF, read error, or cap exceeded.
+    read_closed: bool,
+    /// Close once `outbuf` drains (and nothing is in flight).
+    close_after_flush: bool,
+    /// The connection is beyond saving (write error / reset): close now,
+    /// flushed or not.
+    dead: bool,
+    /// Interest currently registered with the poller.
+    armed: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            scanned: 0,
+            outbuf: Vec::new(),
+            outpos: 0,
+            inflight: false,
+            read_closed: false,
+            close_after_flush: false,
+            dead: false,
+            armed: Interest::READ,
+        }
+    }
+
+    /// Pull whatever the socket has, bounded by the line cap (plus one
+    /// chunk of slack): a peer pumping an endless newline-less stream
+    /// stops growing this buffer the moment it passes the cap.
+    fn fill(&mut self, scratch: &mut [u8]) {
+        if self.read_closed {
+            return;
+        }
+        while (self.inbuf.len() as u64) <= MAX_LINE_BYTES {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return;
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Reset underneath us; responses can't be delivered.
+                    self.read_closed = true;
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Take the next complete line off the buffer (blank lines skipped,
+    /// matching the threads transport).
+    fn extract_line(&mut self) -> Extract {
+        loop {
+            match self.inbuf[self.scanned..].iter().position(|&b| b == b'\n') {
+                Some(found) => {
+                    let end = self.scanned + found;
+                    let line: Vec<u8> = self.inbuf.drain(..=end).collect();
+                    self.scanned = 0;
+                    // One 16 MiB CreateSession must not pin 16 MiB of
+                    // buffer for the rest of a mostly-idle connection.
+                    if self.inbuf.capacity() > READ_CHUNK && self.inbuf.len() < READ_CHUNK {
+                        self.inbuf.shrink_to(READ_CHUNK);
+                    }
+                    if line.len() as u64 > MAX_LINE_BYTES {
+                        return Extract::Oversize;
+                    }
+                    if line.iter().all(u8::is_ascii_whitespace) {
+                        continue;
+                    }
+                    return Extract::Line(line);
+                }
+                None => {
+                    self.scanned = self.inbuf.len();
+                    if self.inbuf.len() as u64 > MAX_LINE_BYTES {
+                        return Extract::Oversize;
+                    }
+                    return Extract::Partial;
+                }
+            }
+        }
+    }
+
+    /// Write as much of `outbuf` as the socket accepts right now.
+    fn flush(&mut self) {
+        while !self.dead && self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => self.dead = true,
+                Ok(n) => self.outpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => self.dead = true,
+            }
+        }
+        if self.outpos >= self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+            // Same as `inbuf`: a one-off multi-MiB response (Transcript
+            // of a long session) must not stay allocated while idle.
+            if self.outbuf.capacity() > READ_CHUNK {
+                self.outbuf.shrink_to(READ_CHUNK);
+            }
+        }
+    }
+
+    fn queue_response(&mut self, line: &str) {
+        self.outbuf.reserve(line.len() + 1);
+        self.outbuf.extend_from_slice(line.as_bytes());
+        self.outbuf.push(b'\n');
+    }
+
+    fn flushed(&self) -> bool {
+        self.outbuf.is_empty()
+    }
+}
+
+/// Run the event loop until `shutdown` triggers and the drain finishes.
+pub(crate) fn serve_epoll(
+    listener: TcpListener,
+    handler: Arc<Handler>,
+    shutdown: Shutdown,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let waker = Waker::new()?;
+    poller.add(waker.as_raw_fd(), WAKER_TOKEN, Interest::READ)?;
+    poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+    {
+        let waker = waker.clone();
+        shutdown.on_trigger(move || {
+            let _ = waker.wake();
+        });
+    }
+
+    let jobs = Arc::new(JobQueue::default());
+    let completions = Arc::new(Completions {
+        ready: Mutex::new(Vec::new()),
+        waker: waker.clone(),
+    });
+    let workers: Vec<_> = (0..worker_count())
+        .map(|i| {
+            let jobs = Arc::clone(&jobs);
+            let completions = Arc::clone(&completions);
+            let handler = Arc::clone(&handler);
+            std::thread::Builder::new()
+                .name(format!("jim-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = jobs.pop() {
+                        completions.push(job.token, respond_to(&handler, &job.line));
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let result = event_loop(&listener, &poller, &waker, &jobs, &completions, &shutdown);
+
+    jobs.close();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    result
+}
+
+fn event_loop(
+    listener: &TcpListener,
+    poller: &Poller,
+    waker: &Waker,
+    jobs: &JobQueue,
+    completions: &Completions,
+    shutdown: &Shutdown,
+) -> io::Result<()> {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events = Events::with_capacity(1024);
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut touched: Vec<u64> = Vec::new();
+    let mut draining: Option<Instant> = None;
+
+    loop {
+        if let Some(since) = draining {
+            if conns.is_empty() || since.elapsed() > DRAIN_DEADLINE {
+                return Ok(());
+            }
+        }
+        let timeout = draining.map(|_| Duration::from_millis(100));
+        poller.wait(&mut events, timeout)?;
+
+        touched.clear();
+        let mut accept_ready = false;
+        for event in events.iter() {
+            match event.token {
+                WAKER_TOKEN => waker.drain(),
+                LISTENER_TOKEN => accept_ready = true,
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    if event.readable || event.hangup {
+                        conn.fill(&mut scratch);
+                    }
+                    touched.push(token);
+                }
+            }
+        }
+
+        for (token, response) in completions.take() {
+            // A completion for a token that already closed is dropped
+            // here — tokens are never reused, so it can't be misdelivered.
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.inflight = false;
+                if let Some(line) = response {
+                    conn.queue_response(&line);
+                }
+                touched.push(token);
+            }
+        }
+
+        if draining.is_none() && shutdown.is_triggered() {
+            draining = Some(Instant::now());
+            let _ = poller.delete(listener.as_raw_fd());
+            for (&token, conn) in conns.iter_mut() {
+                // Stop reading everywhere; whatever is in flight still
+                // finishes, flushes and then closes.
+                conn.read_closed = true;
+                conn.close_after_flush = true;
+                touched.push(token);
+            }
+        }
+
+        if accept_ready && draining.is_none() {
+            accept_all(listener, poller, &mut conns, &mut next_token);
+        }
+
+        touched.sort_unstable();
+        touched.dedup();
+        for &token in &touched {
+            advance(token, &mut conns, poller, jobs);
+        }
+    }
+}
+
+/// Accept everything pending on the listener and register it.
+fn accept_all(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue; // drop the stream; the peer sees a close
+                }
+                // Responses leave in one write; Nagle would stall the
+                // interactive ping-pong a delayed-ACK per turn.
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                match poller.add(stream.as_raw_fd(), token, Interest::READ) {
+                    Ok(()) => {
+                        conns.insert(token, Conn::new(stream));
+                    }
+                    Err(e) => eprintln!("jim-serve: cannot register connection: {e}"),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                // EMFILE and friends: the listener event is level-
+                // triggered and stays readable, so without a pause the
+                // reactor would spin on the failing accept. A short
+                // sleep bounds the retry rate; existing connections
+                // resume within it.
+                eprintln!("jim-serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(25));
+                return;
+            }
+        }
+    }
+}
+
+/// Drive one connection's state machine as far as it can go right now:
+/// flush, then either dispatch the next buffered line or close, then
+/// re-arm poller interest to match the new state.
+fn advance(token: u64, conns: &mut HashMap<u64, Conn>, poller: &Poller, jobs: &JobQueue) {
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    let mut close = loop {
+        conn.flush();
+        if conn.dead || (conn.flushed() && conn.close_after_flush && !conn.inflight) {
+            break true;
+        }
+        if !conn.flushed() || conn.inflight || conn.close_after_flush {
+            break false;
+        }
+        match conn.extract_line() {
+            Extract::Line(line) => {
+                conn.inflight = true;
+                jobs.push(Job { token, line });
+                break false;
+            }
+            Extract::Oversize => {
+                // Same contract as the threads transport: answer the
+                // error, then drop the connection once it flushes.
+                let response = oversize_response();
+                conn.queue_response(&response);
+                conn.read_closed = true;
+                conn.close_after_flush = true;
+                // Loop: flush what we can immediately.
+            }
+            Extract::Partial => {
+                // EOF with no complete line pending: drop the partial.
+                break conn.read_closed;
+            }
+        }
+    };
+    if !close {
+        // Backpressure: read only when idle and fully flushed.
+        let want = Interest {
+            read: !conn.inflight && conn.flushed() && !conn.read_closed && !conn.close_after_flush,
+            write: !conn.flushed(),
+        };
+        if want != conn.armed {
+            match poller.modify(conn.stream.as_raw_fd(), token, want) {
+                Ok(()) => conn.armed = want,
+                Err(_) => close = true,
+            }
+        }
+    }
+    if close {
+        if let Some(conn) = conns.remove(&token) {
+            let _ = poller.delete(conn.stream.as_raw_fd());
+        }
+    }
+}

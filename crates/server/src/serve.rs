@@ -1,99 +1,508 @@
-//! The TCP front end: JSON lines over a thread-per-connection listener.
+//! The TCP front ends: JSON lines over two interchangeable transports.
 //!
-//! Scale story (ROADMAP): thread-per-connection is the simplest correct
-//! backend for the session-store architecture — the store is the shared
-//! state, connections are stateless request pumps, so swapping this module
-//! for an async reactor or a sharded fleet touches nothing else.
+//! The `Handler`/`protocol` split is transport-agnostic by design — a
+//! transport's whole job is *framing* (accumulate bytes to `\n`, enforce
+//! the line cap, decode strictly) and *scheduling* (who blocks where).
+//! Two implementations share that framing code:
+//!
+//! * [`Transport::Threads`] — one thread per connection, blocking I/O.
+//!   Simple and portable; costs a stack per mostly-idle session, which is
+//!   exactly what the interactive workload produces (one question/answer
+//!   line per human turn).
+//! * [`Transport::Epoll`] — a non-blocking event loop (linux only): one
+//!   reactor thread multiplexes every connection through a `jim-aio`
+//!   epoll [`jim_aio::Poller`], and a small worker pool runs
+//!   [`Handler::handle_line`] so a slow `CreateSession` or journal replay
+//!   never stalls the reactor. Thousands of idle connections cost a few
+//!   hundred bytes of buffer each instead of a thread stack — see
+//!   [`crate::reactor`].
+//!
+//! Both observe a shared [`Shutdown`] signal: trigger it and the accept
+//! loop stops, in-flight responses drain, and [`serve`] returns (the TTL
+//! sweeper spawned by [`spawn_sweeper`] observes the same signal). Both
+//! decode request lines **strictly**: a line that is not valid UTF-8 is
+//! refused with a typed protocol error instead of being lossily mangled
+//! into replacement characters and stored as corrupted relation data.
 
 use crate::handler::Handler;
+use crate::protocol;
 use crate::store::SessionStore;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
-use std::time::Duration;
-
-/// Accept connections forever, one thread per connection.
-pub fn serve(listener: TcpListener, handler: Arc<Handler>) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        match stream {
-            Err(e) => eprintln!("jim-serve: accept failed: {e}"),
-            Ok(stream) => {
-                let handler = Arc::clone(&handler);
-                std::thread::spawn(move || {
-                    if let Err(e) = serve_connection(stream, &handler) {
-                        // Disconnects are routine; log and move on.
-                        eprintln!("jim-serve: connection ended: {e}");
-                    }
-                });
-            }
-        }
-    }
-    Ok(())
-}
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Longest request line the server buffers (16 MiB — roomy enough for a
 /// large inline-CSV `CreateSession`). A peer streaming bytes with no
 /// newline must not grow server memory without bound.
 pub const MAX_LINE_BYTES: u64 = 16 << 20;
 
-/// Pump one connection: read request lines, write response lines. Returns
-/// when the peer closes the stream; drops the connection after answering
-/// if a line exceeds [`MAX_LINE_BYTES`].
-pub fn serve_connection(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+/// How often blocked accept/read loops in the threads transport wake to
+/// observe the shutdown signal.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+/// How long a shutting-down transport waits for in-flight responses to
+/// finish and flush before giving up on them (a peer that never reads
+/// its socket must not pin the process).
+pub(crate) const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Which TCP front end [`serve`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// One blocking thread per connection (portable fallback).
+    Threads,
+    /// One epoll reactor plus a worker pool (linux only).
+    Epoll,
+}
+
+impl Transport {
+    /// The best transport this build supports: epoll where `jim-aio` has
+    /// a backend (linux), threads elsewhere.
+    pub fn default_for_platform() -> Transport {
+        if jim_aio::SUPPORTED {
+            Transport::Epoll
+        } else {
+            Transport::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Transport, String> {
+        match s {
+            "threads" => Ok(Transport::Threads),
+            "epoll" => Ok(Transport::Epoll),
+            other => Err(format!(
+                "unknown transport {other:?} (expected \"threads\" or \"epoll\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transport::Threads => "threads",
+            Transport::Epoll => "epoll",
+        })
+    }
+}
+
+/// A cloneable graceful-shutdown signal shared by the accept loop, every
+/// connection, the epoll reactor and the TTL sweeper.
+///
+/// [`Shutdown::trigger`] is idempotent and returns immediately; the
+/// server then stops accepting, finishes and flushes any response already
+/// being computed, closes its connections and returns from [`serve`]
+/// (the sweeper thread exits the same way). Requests that are merely
+/// half-received are dropped — only *in-flight responses* are drained.
+#[derive(Clone, Default)]
+pub struct Shutdown {
+    inner: Arc<ShutdownInner>,
+}
+
+#[derive(Default)]
+struct ShutdownInner {
+    triggered: AtomicBool,
+    lock: Mutex<bool>,
+    cv: Condvar,
+    /// Side effects a trigger must perform beyond flag+condvar — e.g.
+    /// waking an epoll reactor out of its wait. Each hook runs exactly
+    /// once: at trigger time, or immediately on registration if the
+    /// trigger already fired (`HookState::fired` is flipped under the
+    /// same lock that hands the hook list to the trigger, so the two
+    /// cannot both run one).
+    hooks: Mutex<HookState>,
+}
+
+#[derive(Default)]
+struct HookState {
+    pending: Vec<Box<dyn Fn() + Send + Sync>>,
+    fired: bool,
+}
+
+impl Shutdown {
+    /// A fresh, untriggered signal.
+    pub fn new() -> Shutdown {
+        Shutdown::default()
+    }
+
+    /// Request shutdown. Idempotent; never blocks on server progress.
+    pub fn trigger(&self) {
+        {
+            let mut triggered = self.inner.lock.lock().expect("shutdown lock");
+            if *triggered {
+                return;
+            }
+            *triggered = true;
+            self.inner.triggered.store(true, Ordering::SeqCst);
+            self.inner.cv.notify_all();
+        }
+        let hooks = {
+            let mut state = self.inner.hooks.lock().expect("shutdown hooks");
+            state.fired = true;
+            std::mem::take(&mut state.pending)
+        };
+        // Outside the lock: a hook may itself register further hooks.
+        for hook in hooks {
+            hook();
+        }
+    }
+
+    /// Has [`Shutdown::trigger`] been called?
+    pub fn is_triggered(&self) -> bool {
+        self.inner.triggered.load(Ordering::SeqCst)
+    }
+
+    /// Block until triggered or `timeout` elapses; `true` iff triggered.
+    /// The sweeper's interval sleep and the threads transport's accept
+    /// poll both live here, so a trigger interrupts them immediately.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut triggered = self.inner.lock.lock().expect("shutdown lock");
+        while !*triggered {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            triggered = self
+                .inner
+                .cv
+                .wait_timeout(triggered, remaining)
+                .expect("shutdown lock")
+                .0;
+        }
+        true
+    }
+
+    /// Register a side effect to run **exactly once** at trigger time —
+    /// or immediately, if the signal already fired (registration must
+    /// not race a concurrent trigger into a lost wakeup, nor into a
+    /// double run).
+    pub(crate) fn on_trigger(&self, hook: impl Fn() + Send + Sync + 'static) {
+        {
+            let mut state = self.inner.hooks.lock().expect("shutdown hooks");
+            if !state.fired {
+                state.pending.push(Box::new(hook));
+                return;
+            }
+        }
+        hook(); // late registration: the trigger already ran its hooks
+    }
+}
+
+/// Serve the listener with the chosen transport until `shutdown` is
+/// triggered (or a fatal listener/reactor error). [`Transport::Epoll`]
+/// off linux returns [`io::ErrorKind::Unsupported`].
+pub fn serve(
+    listener: TcpListener,
+    handler: Arc<Handler>,
+    transport: Transport,
+    shutdown: Shutdown,
+) -> io::Result<()> {
+    match transport {
+        Transport::Threads => serve_threads(listener, handler, shutdown),
+        Transport::Epoll => {
+            #[cfg(target_os = "linux")]
+            {
+                crate::reactor::serve_epoll(listener, handler, shutdown)
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                let _ = (listener, handler, shutdown);
+                Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "the epoll transport is linux-only; use --transport threads",
+                ))
+            }
+        }
+    }
+}
+
+/// Decrements the live-connection count however the connection thread
+/// exits (clean EOF, I/O error or panic in the handler).
+struct ConnGuard(Arc<std::sync::atomic::AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The thread-per-connection transport: accept until shutdown, one
+/// blocking thread per connection, then drain — connection threads
+/// observe the signal within one [`SHUTDOWN_POLL`] (finishing any
+/// response they are mid-way through first), and `serve` waits for them
+/// up to [`DRAIN_DEADLINE`] so returning really means drained.
+fn serve_threads(
+    listener: TcpListener,
+    handler: Arc<Handler>,
+    shutdown: Shutdown,
+) -> io::Result<()> {
+    // Non-blocking accept so the loop can observe the shutdown signal;
+    // connections themselves stay blocking.
+    listener.set_nonblocking(true)?;
+    let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    while !shutdown.is_triggered() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // BSD-derived platforms make accepted sockets inherit the
+                // listener's O_NONBLOCK; connection threads rely on
+                // blocking reads with a timeout, so force blocking mode
+                // (a no-op on linux).
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                // One write per response line; Nagle would stall the
+                // question/answer ping-pong a delayed-ACK (~40ms) per turn.
+                let _ = stream.set_nodelay(true);
+                let handler = Arc::clone(&handler);
+                let shutdown = shutdown.clone();
+                active.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard(Arc::clone(&active));
+                std::thread::spawn(move || {
+                    let _guard = guard;
+                    if let Err(e) = serve_connection(stream, &handler, &shutdown) {
+                        // Disconnects are routine; log and move on.
+                        eprintln!("jim-serve: connection ended: {e}");
+                    }
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shutdown.wait_timeout(SHUTDOWN_POLL) {
+                    break;
+                }
+            }
+            Err(e) => {
+                // EMFILE and friends: without a pause this arm is a
+                // busy loop until an fd frees up.
+                eprintln!("jim-serve: accept failed: {e}");
+                if shutdown.wait_timeout(SHUTDOWN_POLL) {
+                    break;
+                }
+            }
+        }
+    }
+    drop(listener); // stop the port answering before the drain wait
+    let deadline = Instant::now() + DRAIN_DEADLINE;
+    while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Ok(())
+}
+
+/// Decode one complete request line (newline included or not) and
+/// produce the response line, or `None` for a blank line. This is the
+/// single decoding path both transports share: non-UTF-8 bytes are
+/// **refused** with a typed protocol error — never lossily replaced, so
+/// a `CreateSession` carrying mangled inline CSV can never be stored as
+/// corrupted relation data.
+pub(crate) fn respond_to(handler: &Handler, raw: &[u8]) -> Option<String> {
+    let Ok(line) = std::str::from_utf8(raw) else {
+        return Some(invalid_utf8_response());
+    };
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    Some(handler.handle_line(line))
+}
+
+/// The typed rejection for a request line with invalid UTF-8.
+pub(crate) fn invalid_utf8_response() -> String {
+    protocol::error(
+        "request line is not valid UTF-8; the line was refused, no session state was touched",
+    )
+    .render()
+}
+
+/// The typed rejection for a request line over [`MAX_LINE_BYTES`].
+pub(crate) fn oversize_response() -> String {
+    protocol::error("request line exceeds the 16 MiB limit").render()
+}
+
+/// Pump one connection: read request lines, write response lines.
+/// Returns when the peer closes the stream or `shutdown` triggers
+/// between requests; drops the connection after answering if a line
+/// exceeds [`MAX_LINE_BYTES`].
+pub fn serve_connection(
+    stream: TcpStream,
+    handler: &Handler,
+    shutdown: &Shutdown,
+) -> io::Result<()> {
+    // A read timeout lets an idle (or mid-line) connection observe the
+    // shutdown signal without a byte arriving.
+    stream.set_read_timeout(Some(SHUTDOWN_POLL))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut buf: Vec<u8> = Vec::new();
     loop {
-        buf.clear();
-        let n = (&mut reader)
-            .take(MAX_LINE_BYTES)
-            .read_until(b'\n', &mut buf)?;
-        if n == 0 {
-            return Ok(()); // peer closed
+        // The cap is cumulative across partial (timed-out) reads of one
+        // line; `take` bounds this call to whatever headroom is left.
+        let remaining = MAX_LINE_BYTES - buf.len() as u64;
+        let n = match (&mut reader).take(remaining).read_until(b'\n', &mut buf) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.is_triggered() {
+                    return Ok(()); // a half-received request is not in flight
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.last() == Some(&b'\n') {
+            if let Some(mut response) = respond_to(handler, &buf) {
+                // One write per response: two segments would trip the
+                // peer's delayed ACK even with nodelay set here.
+                response.push('\n');
+                writer.write_all(response.as_bytes())?;
+                writer.flush()?;
+            }
+            buf.clear();
+            // A one-off huge line must not pin its buffer for the rest
+            // of a mostly-idle connection.
+            if buf.capacity() > (64 << 10) {
+                buf.shrink_to(64 << 10);
+            }
+            continue;
         }
-        if buf.last() != Some(&b'\n') && n as u64 == MAX_LINE_BYTES {
-            writer.write_all(br#"{"ok":false,"error":"request line exceeds the 16 MiB limit"}"#)?;
-            writer.write_all(b"\n")?;
+        // No newline: either the cap is exhausted or the peer closed
+        // mid-line (`read_until` only returns without a delimiter at
+        // EOF or at the `take` limit).
+        if buf.len() as u64 >= MAX_LINE_BYTES {
+            let mut response = oversize_response();
+            response.push('\n');
+            writer.write_all(response.as_bytes())?;
             writer.flush()?;
             return Ok(()); // drop the connection rather than resync mid-line
         }
-        let line = String::from_utf8_lossy(&buf);
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = handler.handle_line(line.trim());
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        debug_assert!(n == 0 || !buf.is_empty());
+        return Ok(()); // peer closed (cleanly, or mid-line — drop the partial)
     }
 }
 
-/// Start the TTL sweeper: a detached thread evicting expired sessions every
-/// `interval` (floored at 100ms so a tiny TTL cannot become a busy loop).
-/// Holds only a weak reference, so dropping the store stops it. Evictions
-/// are accounted, not discarded: each sweep reports how many sessions left
-/// memory and how many of those stayed resumable on disk (the store's
-/// running totals are surfaced in the `ListSessions` response).
-pub fn spawn_sweeper(store: &Arc<SessionStore>, interval: Duration) {
+/// Start the TTL sweeper thread, evicting expired sessions every
+/// `interval` (floored at 100ms so a tiny TTL cannot become a busy
+/// loop). It exits when `shutdown` triggers **or** every other owner of
+/// the store is gone (it holds only a weak reference); the returned
+/// handle joins promptly after a trigger. Evictions are accounted from
+/// the sweep result itself: each log line reports how many sessions
+/// *this sweep* moved out of memory and how many of those stayed
+/// resumable on disk — concurrent LRU evictions on `create` are counted
+/// in the running totals but never attributed to the sweep.
+pub fn spawn_sweeper(
+    store: &Arc<SessionStore>,
+    interval: Duration,
+    shutdown: Shutdown,
+) -> std::thread::JoinHandle<()> {
     let interval = interval.max(Duration::from_millis(100));
     let weak = Arc::downgrade(store);
-    std::thread::spawn(move || {
-        while let Some(store) = weak.upgrade() {
-            let persisted_before = store.persisted_total();
-            let evicted = store.sweep_at(std::time::Instant::now());
-            if !evicted.is_empty() {
-                let persisted = store.persisted_total() - persisted_before;
-                eprintln!(
-                    "jim-serve: swept {} expired session(s), {} resumable on disk \
-                     ({} evicted / {} persisted since start)",
-                    evicted.len(),
-                    persisted,
-                    store.evicted_total(),
-                    store.persisted_total(),
-                );
-            }
-            drop(store);
-            std::thread::sleep(interval);
+    std::thread::spawn(move || loop {
+        if shutdown.wait_timeout(interval) {
+            return;
         }
-    });
+        let Some(store) = weak.upgrade() else { return };
+        let report = store.sweep_report(Instant::now());
+        if !report.evicted.is_empty() {
+            eprintln!(
+                "jim-serve: swept {} expired session(s), {} resumable on disk \
+                 ({} evicted / {} persisted since start)",
+                report.evicted.len(),
+                report.persisted,
+                store.evicted_total(),
+                store.persisted_total(),
+            );
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    #[test]
+    fn shutdown_trigger_is_idempotent_and_observable() {
+        let s = Shutdown::new();
+        assert!(!s.is_triggered());
+        assert!(!s.wait_timeout(Duration::from_millis(1)), "not yet");
+        s.trigger();
+        s.trigger(); // idempotent
+        assert!(s.is_triggered());
+        assert!(s.wait_timeout(Duration::from_secs(3600)), "returns at once");
+    }
+
+    #[test]
+    fn shutdown_wakes_a_parked_waiter() {
+        let s = Shutdown::new();
+        let waiter = s.clone();
+        let started = Instant::now();
+        let t = std::thread::spawn(move || waiter.wait_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        s.trigger();
+        assert!(t.join().unwrap(), "woken by the trigger, not the timeout");
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn on_trigger_hooks_run_exactly_once_even_when_registered_late() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fired = Arc::new(AtomicUsize::new(0));
+        let s = Shutdown::new();
+        let early = Arc::clone(&fired);
+        s.on_trigger(move || {
+            early.fetch_add(1, Ordering::SeqCst);
+        });
+        s.trigger();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Registered after the fact (the reactor starting during a
+        // shutdown race): runs immediately — and does NOT replay the
+        // early hook, nor does a redundant trigger re-run anything.
+        let late = Arc::clone(&fired);
+        s.on_trigger(move || {
+            late.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        s.trigger();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn strict_utf8_decode_refuses_and_preserves() {
+        let handler = Handler::new(Arc::new(crate::store::SessionStore::new(
+            StoreConfig::default(),
+        )));
+        // Invalid bytes: a typed refusal, not a lossy U+FFFD mangle.
+        let r = respond_to(&handler, &[b'{', 0xFF, 0xC3, b'}']).expect("error response");
+        assert!(r.contains("\"ok\":false") && r.contains("UTF-8"), "{r}");
+        // Blank lines are skipped, valid lines dispatched.
+        assert!(respond_to(&handler, b"   \r\n").is_none());
+        let r = respond_to(&handler, b"{\"op\":\"ListSessions\"}\n").expect("dispatched");
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+
+    #[test]
+    fn sweeper_joins_on_shutdown_and_on_store_drop() {
+        let store = Arc::new(crate::store::SessionStore::new(StoreConfig::default()));
+        let shutdown = Shutdown::new();
+        let sweeper = spawn_sweeper(&store, Duration::from_secs(3600), shutdown.clone());
+        shutdown.trigger();
+        sweeper.join().expect("sweeper exits on shutdown");
+
+        // Without a trigger, dropping every strong store reference also
+        // ends it (it holds only a weak ref), within one interval.
+        let shutdown = Shutdown::new();
+        let sweeper = spawn_sweeper(&store, Duration::from_millis(100), shutdown);
+        drop(store);
+        sweeper
+            .join()
+            .expect("sweeper exits once the store is gone");
+    }
 }

@@ -90,6 +90,16 @@ pub struct Session {
     pub persisted: bool,
 }
 
+/// The outcome of one TTL sweep ([`SessionStore::sweep_report`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Ids this sweep evicted from memory, ascending.
+    pub evicted: Vec<u64>,
+    /// How many of [`SweepReport::evicted`] had a journal and stayed
+    /// resumable on disk.
+    pub persisted: usize,
+}
+
 /// Store limits.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
@@ -483,20 +493,32 @@ impl SessionStore {
     /// server's sweeper thread calls this with `Instant::now()`; tests
     /// can pass a synthetic "future" instant.
     pub fn sweep_at(&self, now: Instant) -> Vec<u64> {
-        let mut expired: Vec<u64> = self
+        self.sweep_report(now).evicted
+    }
+
+    /// [`SessionStore::sweep_at`] with per-sweep accounting: how many of
+    /// *this sweep's* victims stayed resumable on disk. The count is
+    /// derived from the sweep result itself, never from before/after
+    /// deltas of the store-wide totals — those also move when a
+    /// concurrent `create` LRU-evicts, which would mis-attribute its
+    /// evictions to the sweep.
+    pub fn sweep_report(&self, now: Instant) -> SweepReport {
+        let mut expired: Vec<(u64, bool)> = self
             .shards
             .iter()
             .flat_map(|s| {
                 let mut entries = s.lock().expect("store lock");
                 Self::sweep_locked(&mut entries, now, self.config.ttl)
             })
-            .map(|(id, persisted)| {
-                self.count_eviction(persisted);
-                id
-            })
             .collect();
+        for &(_, persisted) in &expired {
+            self.count_eviction(persisted);
+        }
         expired.sort_unstable();
-        expired
+        SweepReport {
+            persisted: expired.iter().filter(|&&(_, p)| p).count(),
+            evicted: expired.into_iter().map(|(id, _)| id).collect(),
+        }
     }
 
     /// Remove expired entries from one locked shard, returning
@@ -859,6 +881,32 @@ mod tests {
         assert!(s.get(b).is_some());
         assert_eq!(s.len(), 2);
         assert_eq!(s.evicted_total(), 2);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn sweep_report_counts_only_its_own_victims() {
+        // An LRU eviction on `create` moves the store-wide persisted
+        // total; the next sweep's report must not absorb it (the old
+        // sweeper log diffed the totals and mis-attributed exactly this).
+        let ttl = Duration::from_secs(60);
+        let s = journaled_store("sweepreport", 2, ttl);
+        let a = create_persisted(&s);
+        let b = create_persisted(&s);
+        assert!(s.get(a).is_some()); // b becomes the LRU victim
+        let c = create_persisted(&s); // LRU-evicts b, persisted
+        assert_eq!((s.evicted_total(), s.persisted_total()), (1, 1));
+
+        let report = s.sweep_report(Instant::now() + ttl + Duration::from_secs(1));
+        assert_eq!(report.evicted, vec![a, c]);
+        assert_eq!(
+            report.persisted, 2,
+            "the LRU eviction of {b} is not the sweep's"
+        );
+        assert_eq!((s.evicted_total(), s.persisted_total()), (3, 3));
+
+        // A sweep with nothing to do reports nothing.
+        assert_eq!(s.sweep_report(Instant::now()), SweepReport::default());
         cleanup(&s);
     }
 

@@ -4,16 +4,17 @@
 //! over the same directory** picks up the sessions a dead process left
 //! behind and drives them to the paper's query.
 
+mod support;
+
 use jim_json::Json;
 use jim_server::handler::Handler;
 use jim_server::journal::JournalStore;
-use jim_server::serve::serve;
+use jim_server::serve::Transport;
 use jim_server::store::{SessionStore, StoreConfig};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use support::{transports, Client, TestServer};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("jim-persist-{tag}-{}", std::process::id()));
@@ -299,42 +300,9 @@ fn wire_transcript_with_origin_is_self_contained() {
 
 // ---------------------------------------------------------------- real TCP
 
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: std::net::SocketAddr) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect to test server");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(30)))
-            .expect("set timeout");
-        Client {
-            reader: BufReader::new(stream.try_clone().expect("clone stream")),
-            writer: stream,
-        }
-    }
-
-    fn send(&mut self, line: &str) -> Json {
-        writeln!(self.writer, "{line}").expect("write request");
-        self.writer.flush().expect("flush request");
-        let mut response = String::new();
-        self.reader.read_line(&mut response).expect("read response");
-        let json = Json::parse(response.trim()).expect("valid JSON response");
-        assert_eq!(
-            json.get("ok").and_then(Json::as_bool),
-            Some(true),
-            "{line} -> {json}"
-        );
-        json
-    }
-}
-
-/// A `jim-serve --data-dir <dir>` equivalent on an OS-assigned port.
-fn start_server_over(dir: &PathBuf) -> std::net::SocketAddr {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind test port");
-    let addr = listener.local_addr().expect("local addr");
+/// A `jim-serve --data-dir <dir> --transport <t>` equivalent on an
+/// OS-assigned port.
+fn start_server_over(dir: &PathBuf, transport: Transport) -> TestServer {
     let store = SessionStore::with_journal(
         StoreConfig {
             max_sessions: 8,
@@ -343,21 +311,26 @@ fn start_server_over(dir: &PathBuf) -> std::net::SocketAddr {
         },
         JournalStore::open(dir).expect("journal dir"),
     );
-    let handler = Arc::new(Handler::new(Arc::new(store)));
-    std::thread::spawn(move || serve(listener, handler));
-    addr
+    TestServer::start(transport, Arc::new(Handler::new(Arc::new(store))))
 }
 
 #[test]
 fn kill_and_restart_resumes_to_resolution_over_tcp() {
-    let dir = tmpdir("restart");
+    for transport in transports() {
+        kill_and_restart(transport);
+    }
+}
+
+fn kill_and_restart(transport: Transport) {
+    let dir = tmpdir(&format!("restart-{transport}"));
 
     // Process 1: create a durable session, give the paper's first label,
-    // then "die" (the client hangs up; this server and its store are
-    // never used again).
+    // then "die" — a **graceful shutdown** here, so the first server's
+    // accept loop and sweeper are gone before the second server starts
+    // (this used to leak both for the process lifetime).
     let session = {
-        let addr = start_server_over(&dir);
-        let mut client = Client::connect(addr);
+        let server = start_server_over(&dir, transport);
+        let mut client = Client::connect(server.addr);
         let r = client.send(
             r#"{"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}"#,
         );
@@ -373,8 +346,8 @@ fn kill_and_restart_resumes_to_resolution_over_tcp() {
     // Process 2: a fresh store over the same directory. The session is
     // listed as on-disk, resumes with its label replayed, and the
     // remaining questions drive it to the paper's Q2.
-    let addr = start_server_over(&dir);
-    let mut client = Client::connect(addr);
+    let server = start_server_over(&dir, transport);
+    let mut client = Client::connect(server.addr);
     let list = client.send(r#"{"op":"ListSessions"}"#);
     let sessions = list.get("sessions").unwrap().as_array().unwrap();
     assert_eq!(sessions.len(), 1, "{list}");

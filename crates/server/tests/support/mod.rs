@@ -1,0 +1,143 @@
+//! Shared harness for the real-TCP integration suites: a [`TestServer`]
+//! that runs `serve()` on an OS-assigned port with an explicit graceful
+//! [`Shutdown`] (triggered and joined on drop, so test servers no longer
+//! leak accept/sweeper threads for the process lifetime), plus the
+//! transport matrix every wire test runs against.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use jim_json::Json;
+use jim_server::handler::Handler;
+use jim_server::serve::{serve, spawn_sweeper, Shutdown, Transport};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The transports this run exercises. Defaults to **both** so every
+/// wire test pins threads/epoll behavioral parity in one `cargo test`;
+/// CI narrows with `JIM_TEST_TRANSPORT=threads|epoll` to prove each
+/// passes the whole suite on its own. Epoll is skipped where `jim-aio`
+/// has no backend.
+pub fn transports() -> Vec<Transport> {
+    let requested = std::env::var("JIM_TEST_TRANSPORT").unwrap_or_default();
+    let all = match requested.as_str() {
+        "threads" => vec![Transport::Threads],
+        "epoll" => vec![Transport::Epoll],
+        "" | "both" => vec![Transport::Threads, Transport::Epoll],
+        other => panic!("JIM_TEST_TRANSPORT={other:?}: expected threads|epoll|both"),
+    };
+    all.into_iter()
+        .filter(|t| *t != Transport::Epoll || jim_aio::SUPPORTED)
+        .collect()
+}
+
+/// A `jim-serve`-equivalent server over one transport, shut down (and
+/// its serve + sweeper threads joined) when dropped.
+pub struct TestServer {
+    pub addr: SocketAddr,
+    pub transport: Transport,
+    shutdown: Shutdown,
+    serve_thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+    sweeper: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    /// Serve `handler` on an OS-assigned port, with a TTL sweeper.
+    pub fn start(transport: Transport, handler: Arc<Handler>) -> TestServer {
+        TestServer::start_with_sweep(transport, handler, Duration::from_millis(200))
+    }
+
+    /// [`TestServer::start`] with an explicit sweep interval.
+    pub fn start_with_sweep(
+        transport: Transport,
+        handler: Arc<Handler>,
+        sweep: Duration,
+    ) -> TestServer {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind test port");
+        let addr = listener.local_addr().expect("local addr");
+        let shutdown = Shutdown::new();
+        let sweeper = spawn_sweeper(handler.store(), sweep, shutdown.clone());
+        let serve_shutdown = shutdown.clone();
+        let serve_thread =
+            std::thread::spawn(move || serve(listener, handler, transport, serve_shutdown));
+        TestServer {
+            addr,
+            transport,
+            shutdown,
+            serve_thread: Some(serve_thread),
+            sweeper: Some(sweeper),
+        }
+    }
+
+    /// Trigger the graceful shutdown and join both threads, returning
+    /// what `serve` returned. Idempotent with [`Drop`].
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.shutdown_inner().expect("serve thread exited")
+    }
+
+    fn shutdown_inner(&mut self) -> Option<std::io::Result<()>> {
+        self.shutdown.trigger();
+        if let Some(sweeper) = self.sweeper.take() {
+            sweeper.join().expect("sweeper thread panicked");
+        }
+        self.serve_thread
+            .take()
+            .map(|t| t.join().expect("serve thread panicked"))
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A JSON-lines TCP client against a [`TestServer`].
+pub struct Client {
+    pub reader: BufReader<TcpStream>,
+    pub writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set timeout");
+        stream.set_nodelay(true).expect("set nodelay");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    /// Send one request line, read one response line, assert `ok:true`.
+    pub fn send(&mut self, line: &str) -> Json {
+        let json = self.send_raw(line);
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{line} -> {json}"
+        );
+        json
+    }
+
+    /// `send` without the ok-assertion, for exercising error responses.
+    pub fn send_raw(&mut self, line: &str) -> Json {
+        // One write per request line (writeln! would split off the
+        // newline and hand Nagle a reason to stall).
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write request");
+        self.writer.flush().expect("flush request");
+        self.read_response()
+    }
+
+    /// Read one response line off the wire (after a raw byte-level write).
+    pub fn read_response(&mut self) -> Json {
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        Json::parse(response.trim()).expect("valid JSON response")
+    }
+}
