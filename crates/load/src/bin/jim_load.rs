@@ -1,0 +1,3 @@
+fn main() {
+    jim_load::cli_main();
+}

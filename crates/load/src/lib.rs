@@ -1,0 +1,915 @@
+//! `jim-load` — a concurrent-session load driver for `jim-serve`.
+//!
+//! The driver opens `--concurrency` client connections (one worker thread
+//! each) against a running server — an external one via `--addr`, or an
+//! in-process one it spawns itself with `--spawn` — and drives
+//! `--sessions` synthetic inference sessions through them: a seeded mixed
+//! workload of `CreateSession` (scenario and strategy mix, the `social`
+//! self-join included), `NextQuestion`+`Answer` turns, `TopK`+`AnswerBatch`
+//! turns, side ops (`Stats`, `Sql`, `Transcript`, `Explain`,
+//! `ResumeSession`) and a probabilistic `CloseSession`.
+//!
+//! Every request's round-trip latency lands in a per-worker, per-op
+//! `jim-metrics` [`Histogram`]; workers never share a lock. At the end the
+//! per-worker snapshots are **merged** — the exact snapshot-merge
+//! invariant `jim-metrics` proptests — into one client-side percentile
+//! table per op, and the driver asks the server for its own `Metrics`
+//! snapshot. When the driver is the only client (`--spawn`, or `--addr`
+//! with `--exclusive`), the two views must agree *exactly*: for every op,
+//! the client's sent count equals the server's request counter (the
+//! `Metrics` fetch itself included — the server counts requests before
+//! dispatch). Any disagreement, any `ok:false` response and any transport
+//! error fails the run.
+//!
+//! The result is written as `BENCH_load.json`: git revision, full config,
+//! per-op count + p50/p90/p99/max/mean microseconds, throughput, error
+//! counts and the server's store counters. The file is re-parsed after
+//! writing; an unwritable or invalid report also fails the run.
+//!
+//! The workload is error-free *by construction*: answers label only
+//! tuples the server just proposed (always informative, hence unlabeled
+//! and unpruned), batches apply one label polarity (same-label batches
+//! can never conflict), and `Explain` passes an explicitly known tuple.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use jim_json::Json;
+use jim_metrics::{Histogram, HistogramSnapshot};
+use jim_server::{
+    serve, spawn_sweeper, Handler, JournalStore, Op, SessionStore, Shutdown, StoreConfig, Transport,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scenario mix the sessions draw from (weights out of 100).
+const SCENARIOS: [(&str, u32); 3] = [("flights", 40), ("social", 40), ("setgame", 20)];
+
+/// Run configuration (CLI flags parsed by [`cli_main`]).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Server address; `None` spawns an in-process server.
+    pub addr: Option<String>,
+    /// Transport for the spawned server (`None` = platform default).
+    pub transport: Option<Transport>,
+    /// Worker threads = concurrent client connections.
+    pub concurrency: usize,
+    /// Total sessions driven across all workers.
+    pub sessions: usize,
+    /// Upper bound on interaction turns per session.
+    pub max_turns: usize,
+    /// Base RNG seed; worker `i` derives its own stream from it.
+    pub seed: u64,
+    /// Where the report lands.
+    pub out: PathBuf,
+    /// The driver is the only client: cross-check client vs. server
+    /// counts exactly (implied by spawning).
+    pub exclusive: bool,
+    /// Smoke preset (small, CI-sized run).
+    pub smoke: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: None,
+            transport: None,
+            concurrency: 100,
+            sessions: 200,
+            max_turns: 20,
+            seed: 42,
+            out: PathBuf::from("BENCH_load.json"),
+            exclusive: true,
+            smoke: false,
+        }
+    }
+}
+
+impl Config {
+    /// The CI-sized preset: small enough for a smoke gate, mixed enough
+    /// to touch every op.
+    pub fn smoke() -> Config {
+        Config {
+            concurrency: 8,
+            sessions: 24,
+            max_turns: 10,
+            smoke: true,
+            ..Config::default()
+        }
+    }
+}
+
+/// One line-oriented client connection.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(Conn {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn round_trip(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        match self.reader.read_line(&mut response) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => Ok(response),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+}
+
+/// Per-worker accounting: op counts, per-op latency histograms, errors.
+struct WorkerStats {
+    sent: Vec<u64>,
+    latency: Vec<Histogram>,
+    protocol_errors: u64,
+    io_errors: u64,
+    rejected_batches: u64,
+    error_samples: Vec<String>,
+}
+
+/// Cap on retained error messages, per worker and in the merged report.
+const ERROR_SAMPLES: usize = 5;
+
+impl WorkerStats {
+    fn new() -> WorkerStats {
+        WorkerStats {
+            sent: vec![0; Op::ALL.len()],
+            latency: (0..Op::ALL.len()).map(|_| Histogram::new()).collect(),
+            protocol_errors: 0,
+            io_errors: 0,
+            rejected_batches: 0,
+            error_samples: Vec::new(),
+        }
+    }
+
+    /// Send one request, time the round trip, account the outcome.
+    fn request(&mut self, conn: &mut Conn, op: Op, line: &str) -> Result<Json, String> {
+        self.sent[op as usize] += 1;
+        let start = Instant::now();
+        let response = match conn.round_trip(line) {
+            Ok(response) => response,
+            Err(e) => {
+                self.io_errors += 1;
+                return Err(e);
+            }
+        };
+        self.latency[op as usize].record_duration(start.elapsed());
+        let json = match Json::parse(response.trim()) {
+            Ok(json) => json,
+            Err(e) => {
+                self.io_errors += 1;
+                return Err(format!("unparseable response: {e}"));
+            }
+        };
+        if json.get("ok").and_then(Json::as_bool) != Some(true) {
+            self.protocol_errors += 1;
+            if self.error_samples.len() < ERROR_SAMPLES {
+                let message = json
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("(no error field)");
+                self.error_samples.push(format!("{}: {message}", op.name()));
+            }
+        }
+        Ok(json)
+    }
+}
+
+/// Pick from a weighted table (weights sum to 100).
+fn pick_weighted<'a>(rng: &mut StdRng, table: &[(&'a str, u32)]) -> &'a str {
+    let roll = rng.gen_range(0u32..100);
+    let mut acc = 0;
+    for &(name, weight) in table {
+        acc += weight;
+        if roll < acc {
+            return name;
+        }
+    }
+    table.last().expect("non-empty table").0
+}
+
+/// Drive one full session lifecycle over `conn`.
+fn drive_session(conn: &mut Conn, rng: &mut StdRng, stats: &mut WorkerStats, max_turns: usize) {
+    let scenario = pick_weighted(rng, &SCENARIOS);
+    let strategy = match rng.gen_range(0u32..4) {
+        0 => String::new(), // server default
+        1 => r#","strategy":"lookahead-minprune""#.into(),
+        2 => r#","strategy":"local-general""#.into(),
+        _ => format!(r#","strategy":"random:{}""#, rng.gen_range(1u64..1000)),
+    };
+    // Sample setgame down so its 144-tuple product varies across sessions.
+    let sampling = if scenario == "setgame" {
+        format!(
+            r#","max_product":64,"sample_seed":{}"#,
+            rng.gen_range(0u64..1000)
+        )
+    } else {
+        String::new()
+    };
+    let create = format!(
+        r#"{{"op":"CreateSession","source":{{"scenario":"{scenario}"}}{strategy}{sampling}}}"#
+    );
+    let Ok(r) = stats.request(conn, Op::CreateSession, &create) else {
+        return;
+    };
+    let Some(sid) = r.get("session").and_then(Json::as_u64) else {
+        return;
+    };
+    let mut last_tuple: Option<u64> = None;
+    for _ in 0..max_turns {
+        let roll = rng.gen_range(0u32..100);
+        let resolved = if roll < 55 {
+            one_question_turn(conn, rng, stats, sid, &mut last_tuple)
+        } else if roll < 75 {
+            batch_turn(conn, rng, stats, sid, &mut last_tuple)
+        } else {
+            side_op_turn(conn, rng, stats, sid, last_tuple)
+        };
+        match resolved {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(_) => return, // transport gone; the worker moves on
+        }
+    }
+    if rng.gen_bool(0.85) {
+        let _ = stats.request(
+            conn,
+            Op::CloseSession,
+            &format!(r#"{{"op":"CloseSession","session":{sid}}}"#),
+        );
+    }
+}
+
+/// `NextQuestion` then `Answer` on the proposed tuple. `Ok(true)` once
+/// the session resolves.
+fn one_question_turn(
+    conn: &mut Conn,
+    rng: &mut StdRng,
+    stats: &mut WorkerStats,
+    sid: u64,
+    last_tuple: &mut Option<u64>,
+) -> Result<bool, String> {
+    let q = stats.request(
+        conn,
+        Op::NextQuestion,
+        &format!(r#"{{"op":"NextQuestion","session":{sid}}}"#),
+    )?;
+    if q.get("resolved").and_then(Json::as_bool) == Some(true) {
+        return Ok(true);
+    }
+    let Some(tuple) = q.get("tuple").and_then(Json::as_u64) else {
+        return Ok(false);
+    };
+    *last_tuple = Some(tuple);
+    // Mostly negative answers keep sessions converging the way the
+    // paper's walkthrough does; the explicit tuple rank makes the answer
+    // valid even if the session was evicted and resumed in between.
+    let label = if rng.gen_bool(0.7) { "-" } else { "+" };
+    let a = stats.request(
+        conn,
+        Op::Answer,
+        &format!(r#"{{"op":"Answer","session":{sid},"tuple":{tuple},"label":"{label}"}}"#),
+    )?;
+    Ok(a.get("resolved").and_then(Json::as_bool) == Some(true))
+}
+
+/// `TopK` then a same-label `AnswerBatch` over the returned tuples
+/// (one polarity per batch: such a batch can never self-conflict).
+fn batch_turn(
+    conn: &mut Conn,
+    rng: &mut StdRng,
+    stats: &mut WorkerStats,
+    sid: u64,
+    last_tuple: &mut Option<u64>,
+) -> Result<bool, String> {
+    let k = rng.gen_range(2u64..5);
+    let b = stats.request(
+        conn,
+        Op::TopK,
+        &format!(r#"{{"op":"TopK","session":{sid},"k":{k}}}"#),
+    )?;
+    if b.get("resolved").and_then(Json::as_bool) == Some(true) {
+        return Ok(true);
+    }
+    let tuples: Vec<u64> = b
+        .get("tuples")
+        .and_then(Json::as_array)
+        .map(|ts| {
+            ts.iter()
+                .filter_map(|t| t.get("tuple").and_then(Json::as_u64))
+                .collect()
+        })
+        .unwrap_or_default();
+    if tuples.is_empty() {
+        return Ok(false);
+    }
+    *last_tuple = Some(tuples[0]);
+    let label = if rng.gen_bool(0.8) { "-" } else { "+" };
+    let labels: Vec<String> = tuples
+        .iter()
+        .map(|t| format!(r#"{{"tuple":{t},"label":"{label}"}}"#))
+        .collect();
+    let a = stats.request(
+        conn,
+        Op::AnswerBatch,
+        &format!(
+            r#"{{"op":"AnswerBatch","session":{sid},"labels":[{}]}}"#,
+            labels.join(",")
+        ),
+    )?;
+    if a.get("ok").and_then(Json::as_bool) == Some(false) {
+        let message = a.get("error").and_then(Json::as_str).unwrap_or("");
+        if message.contains("contradicts") {
+            // A simulated user labels without ground truth, so a batch of
+            // `+` labels can contradict the session's earlier answers.
+            // The server's atomic rejection (session untouched) is the
+            // documented contract, not a failure — reclassify it out of
+            // the error gate into its own ledger.
+            stats.protocol_errors -= 1;
+            stats.rejected_batches += 1;
+            if stats
+                .error_samples
+                .last()
+                .is_some_and(|s| s.contains("contradicts"))
+            {
+                stats.error_samples.pop();
+            }
+        }
+        return Ok(false);
+    }
+    Ok(a.get("resolved").and_then(Json::as_bool) == Some(true))
+}
+
+/// One observer op: `Stats`, `Sql`, `Transcript`, `Explain` (when a
+/// tuple is known) or `ResumeSession` on the session's own id.
+fn side_op_turn(
+    conn: &mut Conn,
+    rng: &mut StdRng,
+    stats: &mut WorkerStats,
+    sid: u64,
+    last_tuple: Option<u64>,
+) -> Result<bool, String> {
+    let (op, line) = match rng.gen_range(0u32..5) {
+        0 => (Op::Stats, format!(r#"{{"op":"Stats","session":{sid}}}"#)),
+        1 => (Op::Sql, format!(r#"{{"op":"Sql","session":{sid}}}"#)),
+        2 => (
+            Op::Transcript,
+            format!(r#"{{"op":"Transcript","session":{sid}}}"#),
+        ),
+        3 => match last_tuple {
+            Some(t) => (
+                Op::Explain,
+                format!(r#"{{"op":"Explain","session":{sid},"tuple":{t}}}"#),
+            ),
+            None => (Op::Stats, format!(r#"{{"op":"Stats","session":{sid}}}"#)),
+        },
+        _ => (
+            Op::ResumeSession,
+            format!(r#"{{"op":"ResumeSession","session":{sid}}}"#),
+        ),
+    };
+    stats.request(conn, op, &line)?;
+    Ok(false)
+}
+
+/// The merged outcome of a run, ready to render and judge.
+pub struct Report {
+    /// The configuration that produced it.
+    pub config: Config,
+    /// Address actually driven.
+    pub addr: String,
+    /// Transport label for the report (spawned server or "external").
+    pub transport: String,
+    /// Wall-clock for the traffic phase.
+    pub elapsed: Duration,
+    /// Per-op (sent, merged latency) in [`Op::ALL`] order.
+    pub ops: Vec<(u64, HistogramSnapshot)>,
+    /// `ok:false` responses observed.
+    pub protocol_errors: u64,
+    /// Transport-level failures (connect/read/write/parse).
+    pub io_errors: u64,
+    /// `AnswerBatch` contradiction rejections — expected workload
+    /// outcomes (atomic rejection is the contract), outside the gate.
+    pub rejected_batches: u64,
+    /// The first few `ok:false` messages, `"Op: message"`, for triage.
+    pub error_samples: Vec<String>,
+    /// `"exact"`, `"skipped"`, or a mismatch description.
+    pub cross_check: String,
+    /// The server's `store` metrics section, verbatim.
+    pub server_store: Json,
+}
+
+impl Report {
+    /// Total requests across every op.
+    pub fn requests_total(&self) -> u64 {
+        self.ops.iter().map(|(sent, _)| sent).sum()
+    }
+
+    /// Requests per second over the traffic phase.
+    pub fn throughput_rps(&self) -> f64 {
+        self.requests_total() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Did the run meet the gate: no errors, no cross-check mismatch?
+    pub fn clean(&self) -> bool {
+        self.protocol_errors == 0
+            && self.io_errors == 0
+            && (self.cross_check == "exact" || self.cross_check == "skipped")
+    }
+
+    /// Render the `BENCH_load.json` document.
+    pub fn to_json(&self) -> Json {
+        let ops: Vec<(String, Json)> = Op::ALL
+            .iter()
+            .zip(&self.ops)
+            .map(|(&op, (sent, lat))| {
+                (
+                    op.name().to_string(),
+                    Json::object([
+                        ("count", Json::from(*sent)),
+                        ("p50_us", Json::from(lat.p50())),
+                        ("p90_us", Json::from(lat.p90())),
+                        ("p99_us", Json::from(lat.p99())),
+                        ("max_us", Json::from(lat.max())),
+                        ("mean_us", Json::from(lat.mean())),
+                    ]),
+                )
+            })
+            .collect();
+        Json::object([
+            ("bench", Json::from("load")),
+            ("git_rev", Json::from(git_rev())),
+            ("timestamp_unix", Json::from(unix_now())),
+            (
+                "config",
+                Json::object([
+                    ("addr", Json::from(self.addr.as_str())),
+                    ("transport", Json::from(self.transport.as_str())),
+                    ("concurrency", Json::from(self.config.concurrency)),
+                    ("sessions", Json::from(self.config.sessions)),
+                    ("max_turns", Json::from(self.config.max_turns)),
+                    ("seed", Json::from(self.config.seed)),
+                    ("smoke", Json::Bool(self.config.smoke)),
+                    ("exclusive", Json::Bool(self.config.exclusive)),
+                ]),
+            ),
+            ("elapsed_secs", Json::from(self.elapsed.as_secs_f64())),
+            ("ops", Json::Object(ops)),
+            ("requests_total", Json::from(self.requests_total())),
+            ("throughput_rps", Json::from(self.throughput_rps())),
+            (
+                "errors",
+                Json::object([
+                    ("protocol", Json::from(self.protocol_errors)),
+                    ("io", Json::from(self.io_errors)),
+                    (
+                        "samples",
+                        Json::Array(
+                            self.error_samples
+                                .iter()
+                                .map(|s| Json::from(s.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("rejected_batches", Json::from(self.rejected_batches)),
+            ("cross_check", Json::from(self.cross_check.as_str())),
+            ("server_store", self.server_store.clone()),
+        ])
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// A spawned in-process server, torn down on drop.
+struct SpawnedServer {
+    addr: String,
+    shutdown: Shutdown,
+    serve_thread: Option<std::thread::JoinHandle<()>>,
+    sweeper: Option<std::thread::JoinHandle<()>>,
+    journal_dir: PathBuf,
+}
+
+impl SpawnedServer {
+    fn start(config: &Config) -> Result<SpawnedServer, String> {
+        let journal_dir = std::env::temp_dir().join(format!(
+            "jim-load-journal-{}-{}",
+            std::process::id(),
+            config.seed
+        ));
+        let _ = std::fs::remove_dir_all(&journal_dir);
+        let journal = JournalStore::open(&journal_dir).map_err(|e| format!("journal dir: {e}"))?;
+        // Capacity above the live working set (one open session per
+        // worker plus the ~15% left unclosed), yet low enough that a
+        // long run exercises LRU eviction + journal resume.
+        let store = Arc::new(SessionStore::with_journal(
+            StoreConfig {
+                max_sessions: config.concurrency * 2 + 64,
+                ttl: Duration::from_secs(600),
+                ..Default::default()
+            },
+            journal,
+        ));
+        let handler = Arc::new(Handler::new(Arc::clone(&store)));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| format!("bind 127.0.0.1:0: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?
+            .to_string();
+        let shutdown = Shutdown::new();
+        let transport = config
+            .transport
+            .unwrap_or_else(Transport::default_for_platform);
+        let sweeper = spawn_sweeper(&store, Duration::from_secs(5), shutdown.clone());
+        let serve_shutdown = shutdown.clone();
+        let serve_thread = std::thread::spawn(move || {
+            if let Err(e) = serve(listener, handler, transport, serve_shutdown) {
+                eprintln!("jim-load: spawned server failed: {e}");
+            }
+        });
+        Ok(SpawnedServer {
+            addr,
+            shutdown,
+            serve_thread: Some(serve_thread),
+            sweeper: Some(sweeper),
+            journal_dir,
+        })
+    }
+}
+
+impl Drop for SpawnedServer {
+    fn drop(&mut self) {
+        self.shutdown.trigger();
+        if let Some(t) = self.serve_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sweeper.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.journal_dir);
+    }
+}
+
+/// Run the workload and produce the merged report (the report is not yet
+/// written to disk — [`cli_main`] does that, so tests can inspect runs
+/// without touching the filesystem).
+pub fn run(config: Config) -> Result<Report, String> {
+    let spawned = match &config.addr {
+        Some(_) => None,
+        None => Some(SpawnedServer::start(&config)?),
+    };
+    let addr = config
+        .addr
+        .clone()
+        .unwrap_or_else(|| spawned.as_ref().expect("spawned").addr.clone());
+    let transport = match (&config.addr, &config.transport) {
+        (Some(_), _) => "external".to_string(),
+        (None, Some(t)) => t.to_string(),
+        (None, None) => Transport::default_for_platform().to_string(),
+    };
+
+    // Deal sessions round-robin so every worker gets within one of the
+    // same share.
+    let workers = config.concurrency.max(1);
+    let base = config.sessions / workers;
+    let extra = config.sessions % workers;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let addr = addr.clone();
+            let sessions = base + usize::from(i < extra);
+            let seed = config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64);
+            let max_turns = config.max_turns;
+            std::thread::spawn(move || {
+                let mut stats = WorkerStats::new();
+                let mut rng = StdRng::seed_from_u64(seed);
+                match Conn::connect(&addr) {
+                    Ok(mut conn) => {
+                        for _ in 0..sessions {
+                            drive_session(&mut conn, &mut rng, &mut stats, max_turns);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("jim-load: worker {i}: {e}");
+                        stats.io_errors += 1;
+                    }
+                }
+                stats
+            })
+        })
+        .collect();
+
+    let mut sent = vec![0u64; Op::ALL.len()];
+    let mut latency: Vec<HistogramSnapshot> = (0..Op::ALL.len())
+        .map(|_| HistogramSnapshot::empty())
+        .collect();
+    let (mut protocol_errors, mut io_errors) = (0u64, 0u64);
+    let mut rejected_batches = 0u64;
+    let mut error_samples = Vec::new();
+    for handle in handles {
+        let stats = handle.join().map_err(|_| "worker panicked".to_string())?;
+        for (i, &n) in stats.sent.iter().enumerate() {
+            sent[i] += n;
+        }
+        for (i, h) in stats.latency.iter().enumerate() {
+            latency[i].merge(&h.snapshot());
+        }
+        protocol_errors += stats.protocol_errors;
+        io_errors += stats.io_errors;
+        rejected_batches += stats.rejected_batches;
+        for sample in stats.error_samples {
+            if error_samples.len() < ERROR_SAMPLES {
+                error_samples.push(sample);
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // The observer pass: one fresh connection asks for the listing and
+    // the server-side snapshot. These requests count like any others —
+    // the server increments before dispatch, so the snapshot includes
+    // the very request that fetched it and the totals can match exactly.
+    let mut observer = WorkerStats::new();
+    let mut conn = Conn::connect(&addr)?;
+    let _ = observer.request(&mut conn, Op::ListSessions, r#"{"op":"ListSessions"}"#)?;
+    observer.sent[Op::Metrics as usize] += 1;
+    let snapshot = conn.round_trip(r#"{"op":"Metrics"}"#)?;
+    let snapshot = Json::parse(snapshot.trim()).map_err(|e| format!("metrics response: {e}"))?;
+    for (i, &n) in observer.sent.iter().enumerate() {
+        sent[i] += n;
+    }
+    protocol_errors += observer.protocol_errors;
+    io_errors += observer.io_errors;
+
+    let cross_check = if config.exclusive || spawned.is_some() {
+        cross_check(&sent, &snapshot)
+    } else {
+        "skipped".to_string()
+    };
+    let server_store = snapshot.get("store").cloned().unwrap_or(Json::Null);
+
+    Ok(Report {
+        config,
+        addr,
+        transport,
+        elapsed,
+        ops: sent.into_iter().zip(latency).collect(),
+        protocol_errors,
+        io_errors,
+        rejected_batches,
+        error_samples,
+        cross_check,
+        server_store,
+    })
+}
+
+/// Compare client sent counts with the server's per-op request counters.
+fn cross_check(sent: &[u64], snapshot: &Json) -> String {
+    let Some(ops) = snapshot.get("ops") else {
+        return "mismatch: Metrics response has no ops section".into();
+    };
+    let mut mismatches = Vec::new();
+    for (i, &op) in Op::ALL.iter().enumerate() {
+        let server = ops
+            .get(op.name())
+            .and_then(|o| o.get("requests"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if server != sent[i] {
+            mismatches.push(format!(
+                "{}: client {} vs server {}",
+                op.name(),
+                sent[i],
+                server
+            ));
+        }
+    }
+    if mismatches.is_empty() {
+        "exact".into()
+    } else {
+        format!("mismatch: {}", mismatches.join(", "))
+    }
+}
+
+/// Parse CLI flags, run the workload, write and validate the report.
+/// Exits non-zero on any error, mismatch or invalid report.
+pub fn cli_main() {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("jim-load: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let out = config.out.clone();
+    let report = match run(config) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("jim-load: {message}");
+            std::process::exit(1);
+        }
+    };
+    let rendered = report.to_json().render();
+    if let Err(e) = std::fs::write(&out, format!("{rendered}\n")) {
+        eprintln!("jim-load: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    // Validate what actually landed on disk, not what we meant to write.
+    let valid = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| Json::parse(text.trim()).ok())
+        .is_some_and(|json| {
+            [
+                "bench",
+                "git_rev",
+                "config",
+                "ops",
+                "throughput_rps",
+                "errors",
+            ]
+            .iter()
+            .all(|key| json.get(key).is_some())
+        });
+    if !valid {
+        eprintln!("jim-load: {} failed schema validation", out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "jim-load: {} requests in {:.2}s ({:.0} req/s), errors: {} protocol / {} io, \
+         {} batch(es) rejected as contradictory, cross-check: {} -> {}",
+        report.requests_total(),
+        report.elapsed.as_secs_f64(),
+        report.throughput_rps(),
+        report.protocol_errors,
+        report.io_errors,
+        report.rejected_batches,
+        report.cross_check,
+        out.display(),
+    );
+    if !report.clean() {
+        eprintln!("jim-load: run failed the gate (errors or cross-check mismatch)");
+        for sample in &report.error_samples {
+            eprintln!("jim-load:   error sample: {sample}");
+        }
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage: jim-load [--addr HOST:PORT] [--transport threads|epoll] \
+    [--concurrency N] [--sessions N] [--max-turns N] [--seed N] [--out PATH] \
+    [--exclusive] [--smoke]";
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut args = args.peekable();
+    let mut smoke = false;
+    let mut explicit_exclusive = false;
+    let mut parsed: Vec<(String, String)> = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--exclusive" => explicit_exclusive = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" | "--transport" | "--concurrency" | "--sessions" | "--max-turns"
+            | "--seed" | "--out" => {
+                let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                parsed.push((flag, value));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if smoke {
+        config = Config::smoke();
+    }
+    for (flag, value) in parsed {
+        match flag.as_str() {
+            "--addr" => config.addr = Some(value),
+            "--transport" => config.transport = Some(value.parse()?),
+            "--concurrency" => {
+                config.concurrency = value
+                    .parse()
+                    .map_err(|_| format!("bad --concurrency {value:?}"))?
+            }
+            "--sessions" => {
+                config.sessions = value
+                    .parse()
+                    .map_err(|_| format!("bad --sessions {value:?}"))?
+            }
+            "--max-turns" => {
+                config.max_turns = value
+                    .parse()
+                    .map_err(|_| format!("bad --max-turns {value:?}"))?
+            }
+            "--seed" => config.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
+            "--out" => config.out = PathBuf::from(value),
+            _ => unreachable!("filtered above"),
+        }
+    }
+    // Driving an external server is only exclusive if the caller says so.
+    config.exclusive = config.addr.is_none() || explicit_exclusive;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_presets_and_overrides() {
+        let config = parse_args(
+            ["--smoke", "--concurrency", "3", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(config.smoke);
+        assert_eq!(config.concurrency, 3, "flags override the preset");
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.sessions, Config::smoke().sessions);
+        assert!(config.exclusive, "spawn mode is always exclusive");
+
+        let config = parse_args(["--addr", "127.0.0.1:1"].iter().map(|s| s.to_string())).unwrap();
+        assert!(!config.exclusive, "external servers may have other clients");
+        assert!(parse_args(["--nope"].iter().map(|s| s.to_string())).is_err());
+        assert!(parse_args(["--seed"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn weighted_pick_stays_in_table() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(pick_weighted(&mut rng, &SCENARIOS));
+        }
+        assert!(seen.contains("flights") && seen.contains("social"));
+    }
+
+    /// The full loop against a real spawned server: mixed traffic, merge,
+    /// exact cross-check, zero errors by construction.
+    #[test]
+    fn tiny_run_is_clean_and_cross_checks_exactly() {
+        let report = run(Config {
+            concurrency: 3,
+            sessions: 6,
+            max_turns: 8,
+            seed: 7,
+            ..Config::default()
+        })
+        .unwrap();
+        assert_eq!(report.protocol_errors, 0, "{}", report.cross_check);
+        assert_eq!(report.io_errors, 0);
+        assert_eq!(report.cross_check, "exact");
+        assert!(report.clean());
+        assert!(report.requests_total() > 0);
+        let json = report.to_json();
+        assert_eq!(json.get("bench").unwrap().as_str(), Some("load"));
+        let creates = json.get("ops").unwrap().get("CreateSession").unwrap();
+        assert_eq!(creates.get("count").unwrap().as_u64(), Some(6));
+        assert!(json.get("server_store").unwrap().get("hits").is_some());
+    }
+}

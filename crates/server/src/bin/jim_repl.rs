@@ -13,7 +13,8 @@
 //! `resume <id>` (rehydrate a journaled session on a `--data-dir` server),
 //! `ask`, `y`/`n`, `answer <tuple> <+|->`, `answer <t>=<+|-> ...` (label a
 //! whole batch in one engine pass), `top <k>`, `stats`, `explain [tuple]`,
-//! `sql`, `transcript`, `sessions`, `close`, `quit`.
+//! `sql`, `transcript`, `sessions`, `metrics` (the server's observability
+//! snapshot), `close`, `quit`.
 //!
 //! `open` and `load` accept sampling knobs as trailing `max=N` (enumerate
 //! or sample at most N product tuples) and `seed=N` (sample RNG seed)
@@ -371,7 +372,9 @@ impl Repl {
                 None => {}
                 Some((&"help", _)) => {
                     println!("commands:");
-                    println!("  open [scenario] [strategy]   flights | setgame | tpch | random");
+                    println!(
+                        "  open [scenario] [strategy]   flights | setgame | tpch | random | social"
+                    );
                     println!("  load <l.csv> <r.csv> [strat] infer over your own data");
                     println!("  ... open/load accept max=N (sample cap) and seed=N (sample seed)");
                     println!("  resume <id>                  rehydrate a journaled session");
@@ -381,6 +384,7 @@ impl Repl {
                     println!("  answer <t>=<+|-> ...         label a batch in one pass");
                     println!("  top <k>                      k most informative tuples");
                     println!("  stats | explain [t] | sql | transcript | sessions | close | quit");
+                    println!("  metrics                      server counters & latency quantiles");
                 }
                 Some((&"open", rest)) => self.open(rest),
                 Some((&"load", rest)) => self.load(rest),
@@ -436,6 +440,11 @@ impl Repl {
                 Some((&"transcript", _)) => self.simple("Transcript", "", &["text"]),
                 Some((&"sessions", _)) => {
                     if let Some(r) = self.request(r#"{"op":"ListSessions"}"#) {
+                        println!("{r}");
+                    }
+                }
+                Some((&"metrics", _)) => {
+                    if let Some(r) = self.request(r#"{"op":"Metrics"}"#) {
                         println!("{r}");
                     }
                 }

@@ -3,7 +3,7 @@
 //! ```text
 //! jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]
 //!           [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH]
-//!           [--transport threads|epoll]
+//!           [--transport threads|epoll] [--metrics-interval SECS]
 //! ```
 //!
 //! With `--data-dir`, every session is journaled to disk (write-ahead,
@@ -17,6 +17,11 @@
 //! `threads` (the default elsewhere, where `jim-aio` has no backend) is
 //! the portable thread-per-connection fallback. The wire behavior is
 //! identical on both.
+//!
+//! `--metrics-interval SECS` logs a one-line metrics summary (requests,
+//! errors, latency quantiles, live connections, resident sessions) every
+//! SECS seconds; the same numbers are always available on demand through
+//! the `Metrics` wire op.
 //!
 //! Speaks the JSON-lines protocol of `jim_server::protocol`; try it with
 //! the `jim` REPL client or plain `nc`.
@@ -33,7 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N] \
          [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH] \
-         [--transport threads|epoll]"
+         [--transport threads|epoll] [--metrics-interval SECS]"
     );
     std::process::exit(2);
 }
@@ -45,6 +50,7 @@ fn main() -> std::io::Result<()> {
     let mut limits = ServerLimits::default();
     let mut data_dir: Option<String> = None;
     let mut transport = Transport::default_for_platform();
+    let mut metrics_interval: Option<Duration> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -82,6 +88,10 @@ fn main() -> std::io::Result<()> {
                 _ => usage(),
             },
             "--data-dir" => data_dir = Some(value("--data-dir")),
+            "--metrics-interval" => match value("--metrics-interval").parse() {
+                Ok(secs) if secs > 0 => metrics_interval = Some(Duration::from_secs(secs)),
+                _ => usage(),
+            },
             "--transport" => match value("--transport").parse() {
                 Ok(t) => transport = t,
                 Err(message) => {
@@ -126,6 +136,17 @@ fn main() -> std::io::Result<()> {
         Duration::from_secs(5).min(config.ttl),
         shutdown.clone(),
     );
+    if let Some(interval) = metrics_interval {
+        let metrics = store.metrics().clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            // wait_timeout returns true iff shutdown triggered — the
+            // reporter exits on drain instead of logging into the void.
+            while !shutdown.wait_timeout(interval) {
+                eprintln!("jim-serve: {}", metrics.summary());
+            }
+        });
+    }
     let shards = store.num_shards();
     let handler = Arc::new(Handler::with_limits(store, limits));
 

@@ -5,12 +5,14 @@
 //! it. The handler holds the shared [`SessionStore`] and nothing else.
 
 use crate::journal;
+use crate::metrics::Op;
 use crate::protocol::{error, ok, parse_strategy, Request, Source};
 use crate::store::{QuestionCache, Session, SessionStore};
 use jim_core::{explain, Engine, EngineOptions, SessionOrigin, StrategyKind, Transcript};
 use jim_json::Json;
 use jim_relation::ProductId;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Server-side resource ceilings the client cannot raise.
 #[derive(Debug, Clone, Copy)]
@@ -59,10 +61,29 @@ impl Handler {
 
     /// One wire line in, one wire line out. Never panics on client input:
     /// malformed requests become `{"ok":false,...}` responses.
+    ///
+    /// This is also where per-op metrics are recorded (callers of the
+    /// lower-level [`Handler::handle`] bypass them): the request counter
+    /// is bumped *before* dispatch — a `Metrics` op's snapshot includes
+    /// itself — latency and the error counter after.
     pub fn handle_line(&self, line: &str) -> String {
+        let metrics = self.store.metrics();
         let response = match Request::parse(line) {
-            Ok(request) => self.handle(request),
-            Err(message) => error(message),
+            Ok(request) => {
+                let op = metrics.op(Op::of(&request));
+                op.requests.inc();
+                let start = Instant::now();
+                let response = self.handle(request);
+                op.latency.record_duration(start.elapsed());
+                if response.get("ok").and_then(Json::as_bool) == Some(false) {
+                    op.errors.inc();
+                }
+                response
+            }
+            Err(message) => {
+                metrics.decode_refused.inc();
+                error(message)
+            }
         };
         response.render()
     }
@@ -110,7 +131,20 @@ impl Handler {
                     error(format!("unknown session {session}"))
                 }
             }
+            Request::Metrics => self.metrics_snapshot(),
         }
+    }
+
+    /// The `Metrics` op: refresh the session-population gauges (cheap, and
+    /// a snapshot should not be stale by up to one sweep interval), then
+    /// render the aggregate.
+    fn metrics_snapshot(&self) -> Json {
+        let metrics = self.store.metrics();
+        metrics.resident_sessions.set(self.store.len() as i64);
+        metrics
+            .disk_sessions
+            .set(self.store.disk_ids().len() as i64);
+        ok(metrics.snapshot_fields())
     }
 
     fn with_session(&self, id: u64, f: impl FnOnce(&mut Session) -> Json) -> Json {
@@ -435,6 +469,7 @@ impl Handler {
     }
 
     fn list_sessions(&self) -> Json {
+        let mut resident_count = 0u64;
         let mut sessions: Vec<Json> = self
             .store
             .ids()
@@ -446,6 +481,7 @@ impl Handler {
                 let handle = self.store.peek(id)?;
                 let guard: std::sync::MutexGuard<'_, Session> =
                     handle.lock().expect("session lock");
+                resident_count += 1;
                 Some(Json::object([
                     ("session", Json::from(id)),
                     ("resident", Json::Bool(true)),
@@ -463,6 +499,7 @@ impl Handler {
         // Evicted-but-durable sessions, readable straight off their
         // journal headers (label lines are scanned, not decoded) — no
         // engine rebuild, and (like peek) nothing is resurrected.
+        let mut disk_count = 0u64;
         if let Some(journal) = self.store.journal() {
             for id in self.store.disk_ids() {
                 let Ok(Some((origin, interactions))) = journal.peek_meta(id) else {
@@ -471,6 +508,7 @@ impl Handler {
                 let strategy = journal::strategy_kind(&origin)
                     .map(|kind| kind.to_string())
                     .unwrap_or_else(|_| "?".into());
+                disk_count += 1;
                 sessions.push(Json::object([
                     ("session", Json::from(id)),
                     ("resident", Json::Bool(false)),
@@ -480,10 +518,21 @@ impl Handler {
                 ]));
             }
         }
+        // The store counters ride along (same names as the metrics
+        // snapshot's `store` section), so a monitoring poller gets the
+        // population and its churn in one response.
+        let metrics = self.store.metrics();
         ok([
             ("sessions", Json::Array(sessions)),
+            ("resident_count", Json::from(resident_count)),
+            ("disk_count", Json::from(disk_count)),
             ("evicted_total", Json::from(self.store.evicted_total())),
             ("persisted_total", Json::from(self.store.persisted_total())),
+            ("resumed_total", Json::from(metrics.store_resumes.get())),
+            (
+                "replayed_batches",
+                Json::from(metrics.replayed_batches.get()),
+            ),
         ])
     }
 }

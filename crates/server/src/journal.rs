@@ -182,29 +182,33 @@ impl JournalStore {
     }
 
     /// Write a fresh journal containing only the header (origin) line.
-    pub fn create(&self, id: u64, origin: &SessionOrigin) -> std::io::Result<()> {
+    /// Returns the bytes written (newline included) so callers can
+    /// account journal growth.
+    pub fn create(&self, id: u64, origin: &SessionOrigin) -> std::io::Result<usize> {
         let header = Json::object([
             ("jim-journal", Json::from(JOURNAL_VERSION)),
             ("session", Json::from(id)),
             ("origin", origin.to_json()),
         ]);
+        let line = format!("{}\n", header.render());
         let mut file = File::create(self.path(id))?;
-        file.write_all(header.render().as_bytes())?;
-        file.write_all(b"\n")?;
-        Ok(())
+        file.write_all(line.as_bytes())?;
+        Ok(line.len())
     }
 
     /// Append one applied label batch. Called *after* the engine accepted
     /// the batch and *before* the response is acked, under the session
-    /// lock — so journal order equals application order.
-    pub fn append(&self, id: u64, labels: &[(ProductId, Label)]) -> std::io::Result<()> {
+    /// lock — so journal order equals application order. Returns the
+    /// bytes appended (newline included).
+    pub fn append(&self, id: u64, labels: &[(ProductId, Label)]) -> std::io::Result<usize> {
         let line = Json::object([("labels", Transcript::labels_to_json(labels))]);
+        let line = format!("{}\n", line.render());
         let mut file = OpenOptions::new().append(true).open(self.path(id))?;
         // One write call per line: the OS appends atomically enough that
         // a crash leaves at most one torn trailing line, which `load`
         // tolerates.
-        file.write_all(format!("{}\n", line.render()).as_bytes())?;
-        Ok(())
+        file.write_all(line.as_bytes())?;
+        Ok(line.len())
     }
 
     /// Whether a journal exists for this session id.

@@ -31,6 +31,11 @@
 //!   in-repo `jim-aio` readiness shim — see [`reactor`]'s module docs),
 //!   selected by `jim-serve --transport`, plus the TTL sweeper thread.
 //!   Both observe a graceful [`serve::Shutdown`] signal.
+//! * [`metrics`] — the server-wide observability aggregate over
+//!   `jim-metrics`: per-op request/error counters and latency
+//!   histograms, transport gauges and store/journal counters, exposed
+//!   on the wire as the `Metrics` op and as `jim-serve
+//!   --metrics-interval` log lines.
 //! * [`scenario`] — named demo datasets a client can open without
 //!   shipping data.
 //!
@@ -57,6 +62,7 @@
 
 pub mod handler;
 pub mod journal;
+pub mod metrics;
 pub mod protocol;
 #[cfg(target_os = "linux")]
 pub mod reactor;
@@ -66,6 +72,7 @@ pub mod store;
 
 pub use handler::{Handler, ServerLimits};
 pub use journal::{JournalStore, StoredSession};
+pub use metrics::{Op, OpMetrics, ServerMetrics};
 pub use protocol::{Request, Source};
 pub use serve::{serve, spawn_sweeper, Shutdown, Transport};
 pub use store::{QuestionCache, Session, SessionStore, StoreConfig, SweepReport};

@@ -24,6 +24,7 @@
 //! {"op":"ResumeSession","session":1}
 //! {"op":"ListSessions"}
 //! {"op":"CloseSession","session":1}
+//! {"op":"Metrics"}
 //! ```
 
 use jim_core::{Label, StrategyKind};
@@ -31,7 +32,8 @@ use jim_json::Json;
 
 /// Where a session's relations come from: inline CSV text (with an
 /// optional join view; repeats allowed for self-joins) or a named
-/// `jim-synth` scenario (`flights`, `setgame`, `tpch`, `random`).
+/// `jim-synth` scenario (`flights`, `setgame`, `tpch`, `random`,
+/// `social`).
 ///
 /// This is the same type the durable-session provenance
 /// ([`jim_core::SessionOrigin`]) carries, so what a client sent at
@@ -123,6 +125,9 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
+    /// The server's metrics snapshot: per-op request counts and latency
+    /// percentiles, transport gauges, store/journal counters.
+    Metrics,
 }
 
 impl Request {
@@ -257,6 +262,7 @@ impl Request {
             "CloseSession" => Ok(Request::CloseSession {
                 session: session()?,
             }),
+            "Metrics" => Ok(Request::Metrics),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -447,6 +453,10 @@ mod tests {
         assert_eq!(
             Request::parse(r#"{"op":"ListSessions"}"#).unwrap(),
             Request::ListSessions
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"Metrics"}"#).unwrap(),
+            Request::Metrics
         );
     }
 

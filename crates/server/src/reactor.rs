@@ -36,6 +36,7 @@
 //!   peer that never drains its socket cannot pin the process).
 
 use crate::handler::Handler;
+use crate::metrics::ServerMetrics;
 use crate::serve::{oversize_response, respond_to, Shutdown, DRAIN_DEADLINE, MAX_LINE_BYTES};
 use jim_aio::{Events, Interest, Poller, Waker};
 use std::collections::{HashMap, VecDeque};
@@ -300,6 +301,7 @@ pub(crate) fn serve_epoll(
         ready: Mutex::new(Vec::new()),
         waker: waker.clone(),
     });
+    let metrics = Arc::clone(handler.store().metrics());
     let workers: Vec<_> = (0..worker_count())
         .map(|i| {
             let jobs = Arc::clone(&jobs);
@@ -309,6 +311,8 @@ pub(crate) fn serve_epoll(
                 .name(format!("jim-worker-{i}"))
                 .spawn(move || {
                     while let Some(job) = jobs.pop() {
+                        let metrics = handler.store().metrics();
+                        metrics.worker_queue_depth.add(-1);
                         completions.push(job.token, respond_to(&handler, &job.line));
                     }
                 })
@@ -316,12 +320,25 @@ pub(crate) fn serve_epoll(
         })
         .collect();
 
-    let result = event_loop(&listener, &poller, &waker, &jobs, &completions, &shutdown);
+    let result = event_loop(
+        &listener,
+        &poller,
+        &waker,
+        &jobs,
+        &completions,
+        &shutdown,
+        &metrics,
+    );
 
     jobs.close();
     for worker in workers {
         let _ = worker.join();
     }
+    // Every connection the loop still held is gone with it; jobs the
+    // workers never popped are gone too. Zero the gauges so a snapshot
+    // taken after (or across a transport restart in tests) reads clean.
+    metrics.live_connections.set(0);
+    metrics.worker_queue_depth.set(0);
     result
 }
 
@@ -332,6 +349,7 @@ fn event_loop(
     jobs: &JobQueue,
     completions: &Completions,
     shutdown: &Shutdown,
+    metrics: &ServerMetrics,
 ) -> io::Result<()> {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_token = FIRST_CONN_TOKEN;
@@ -392,13 +410,13 @@ fn event_loop(
         }
 
         if accept_ready && draining.is_none() {
-            accept_all(listener, poller, &mut conns, &mut next_token);
+            accept_all(listener, poller, &mut conns, &mut next_token, metrics);
         }
 
         touched.sort_unstable();
         touched.dedup();
         for &token in &touched {
-            advance(token, &mut conns, poller, jobs);
+            advance(token, &mut conns, poller, jobs, metrics);
         }
     }
 }
@@ -409,6 +427,7 @@ fn accept_all(
     poller: &Poller,
     conns: &mut HashMap<u64, Conn>,
     next_token: &mut u64,
+    metrics: &ServerMetrics,
 ) {
     loop {
         match listener.accept() {
@@ -424,6 +443,7 @@ fn accept_all(
                 match poller.add(stream.as_raw_fd(), token, Interest::READ) {
                     Ok(()) => {
                         conns.insert(token, Conn::new(stream));
+                        metrics.live_connections.add(1);
                     }
                     Err(e) => eprintln!("jim-serve: cannot register connection: {e}"),
                 }
@@ -447,7 +467,13 @@ fn accept_all(
 /// Drive one connection's state machine as far as it can go right now:
 /// flush, then either dispatch the next buffered line or close, then
 /// re-arm poller interest to match the new state.
-fn advance(token: u64, conns: &mut HashMap<u64, Conn>, poller: &Poller, jobs: &JobQueue) {
+fn advance(
+    token: u64,
+    conns: &mut HashMap<u64, Conn>,
+    poller: &Poller,
+    jobs: &JobQueue,
+    metrics: &ServerMetrics,
+) {
     let Some(conn) = conns.get_mut(&token) else {
         return;
     };
@@ -462,12 +488,14 @@ fn advance(token: u64, conns: &mut HashMap<u64, Conn>, poller: &Poller, jobs: &J
         match conn.extract_line() {
             Extract::Line(line) => {
                 conn.inflight = true;
+                metrics.worker_queue_depth.add(1);
                 jobs.push(Job { token, line });
                 break false;
             }
             Extract::Oversize => {
                 // Same contract as the threads transport: answer the
                 // error, then drop the connection once it flushes.
+                metrics.oversized.inc();
                 let response = oversize_response();
                 conn.queue_response(&response);
                 conn.read_closed = true;
@@ -496,6 +524,7 @@ fn advance(token: u64, conns: &mut HashMap<u64, Conn>, poller: &Poller, jobs: &J
     if close {
         if let Some(conn) = conns.remove(&token) {
             let _ = poller.delete(conn.stream.as_raw_fd());
+            metrics.live_connections.add(-1);
         }
     }
 }

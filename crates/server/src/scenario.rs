@@ -1,7 +1,7 @@
 //! Named `jim-synth` scenarios a client can open without shipping data.
 
 use jim_relation::{IntoSharedRelation, Product, RelationError};
-use jim_synth::{flights, random_db, setgame, tpch};
+use jim_synth::{flights, random_db, setgame, social, tpch};
 
 /// Build the product for a named scenario.
 ///
@@ -10,6 +10,9 @@ use jim_synth::{flights, random_db, setgame, tpch};
 ///   sets of pictures", kept small enough for interactive play).
 /// * `tpch` — a tiny TPC-H-shaped customer × orders instance.
 /// * `random` — a seeded random 2-relation instance (domain 3).
+/// * `social` — a `follows(src, dst)` graph self-joined: multi-hop
+///   (follows-of-follows) and cyclic (mutual-follow) join goals live on
+///   this one (see `jim_synth::social`).
 pub fn product(name: &str) -> Result<Product, String> {
     let build = |rels: Vec<jim_relation::Relation>| {
         Product::new(rels).map_err(|e: RelationError| e.to_string())
@@ -36,14 +39,18 @@ pub fn product(name: &str) -> Result<Product, String> {
             let (rels, _) = db.join_view(&["r1", "r2"]).map_err(|e| e.to_string())?;
             Product::new(rels).map_err(|e| e.to_string())
         }
+        "social" => {
+            let graph = social::default_follows().into_shared();
+            Product::new(vec![graph.clone(), graph]).map_err(|e| e.to_string())
+        }
         other => Err(format!(
-            "unknown scenario `{other}`; available: flights, setgame, tpch, random"
+            "unknown scenario `{other}`; available: flights, setgame, tpch, random, social"
         )),
     }
 }
 
 /// The scenario names [`product`] accepts.
-pub const NAMES: &[&str] = &["flights", "setgame", "tpch", "random"];
+pub const NAMES: &[&str] = &["flights", "setgame", "tpch", "random", "social"];
 
 #[cfg(test)]
 mod tests {

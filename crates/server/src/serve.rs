@@ -221,13 +221,18 @@ pub fn serve(
     }
 }
 
-/// Decrements the live-connection count however the connection thread
-/// exits (clean EOF, I/O error or panic in the handler).
-struct ConnGuard(Arc<std::sync::atomic::AtomicUsize>);
+/// Decrements the live-connection count (and its metrics gauge) however
+/// the connection thread exits (clean EOF, I/O error or panic in the
+/// handler).
+struct ConnGuard {
+    active: Arc<std::sync::atomic::AtomicUsize>,
+    gauge: Arc<jim_metrics::Gauge>,
+}
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.gauge.add(-1);
     }
 }
 
@@ -244,6 +249,7 @@ fn serve_threads(
     // Non-blocking accept so the loop can observe the shutdown signal;
     // connections themselves stay blocking.
     listener.set_nonblocking(true)?;
+    let metrics = Arc::clone(handler.store().metrics());
     let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     while !shutdown.is_triggered() {
         match listener.accept() {
@@ -261,7 +267,11 @@ fn serve_threads(
                 let handler = Arc::clone(&handler);
                 let shutdown = shutdown.clone();
                 active.fetch_add(1, Ordering::SeqCst);
-                let guard = ConnGuard(Arc::clone(&active));
+                metrics.live_connections.add(1);
+                let guard = ConnGuard {
+                    active: Arc::clone(&active),
+                    gauge: Arc::clone(&metrics.live_connections),
+                };
                 std::thread::spawn(move || {
                     let _guard = guard;
                     if let Err(e) = serve_connection(stream, &handler, &shutdown) {
@@ -300,13 +310,20 @@ fn serve_threads(
 /// a `CreateSession` carrying mangled inline CSV can never be stored as
 /// corrupted relation data.
 pub(crate) fn respond_to(handler: &Handler, raw: &[u8]) -> Option<String> {
+    let metrics = handler.store().metrics();
     let Ok(line) = std::str::from_utf8(raw) else {
+        // Dispatched-then-refused: the line reached the decode path (it
+        // counts toward transport traffic) but was never parsed as a
+        // request (it counts as a decode refusal, like malformed JSON).
+        metrics.dispatched.inc();
+        metrics.decode_refused.inc();
         return Some(invalid_utf8_response());
     };
     let line = line.trim();
     if line.is_empty() {
         return None;
     }
+    metrics.dispatched.inc();
     Some(handler.handle_line(line))
 }
 
@@ -377,6 +394,7 @@ pub fn serve_connection(
         // mid-line (`read_until` only returns without a delimiter at
         // EOF or at the `take` limit).
         if buf.len() as u64 >= MAX_LINE_BYTES {
+            handler.store().metrics().oversized.inc();
             let mut response = oversize_response();
             response.push('\n');
             writer.write_all(response.as_bytes())?;
@@ -393,10 +411,12 @@ pub fn serve_connection(
 /// loop). It exits when `shutdown` triggers **or** every other owner of
 /// the store is gone (it holds only a weak reference); the returned
 /// handle joins promptly after a trigger. Evictions are accounted from
-/// the sweep result itself: each log line reports how many sessions
-/// *this sweep* moved out of memory and how many of those stayed
-/// resumable on disk — concurrent LRU evictions on `create` are counted
-/// in the running totals but never attributed to the sweep.
+/// the sweep result itself: each sweep updates the metrics aggregate
+/// (sweep counters plus the session-population gauges) and the log line
+/// is formatted **from those counters**, so the sweeper's reporting and
+/// a concurrent `Metrics` snapshot can never disagree about totals —
+/// concurrent LRU evictions on `create` move the running totals but are
+/// never attributed to the sweep.
 pub fn spawn_sweeper(
     store: &Arc<SessionStore>,
     interval: Duration,
@@ -410,14 +430,21 @@ pub fn spawn_sweeper(
         }
         let Some(store) = weak.upgrade() else { return };
         let report = store.sweep_report(Instant::now());
+        let metrics = store.metrics();
+        metrics.sweeps.inc();
+        metrics.swept_sessions.add(report.evicted.len() as u64);
+        metrics.resident_sessions.set(store.len() as i64);
+        metrics.disk_sessions.set(store.disk_ids().len() as i64);
         if !report.evicted.is_empty() {
             eprintln!(
                 "jim-serve: swept {} expired session(s), {} resumable on disk \
-                 ({} evicted / {} persisted since start)",
+                 ({} evicted / {} persisted since start; {} resident, {} on disk)",
                 report.evicted.len(),
                 report.persisted,
-                store.evicted_total(),
-                store.persisted_total(),
+                metrics.evicted_total.get(),
+                metrics.persisted_total.get(),
+                metrics.resident_sessions.get(),
+                metrics.disk_sessions.get(),
             );
         }
     })

@@ -46,6 +46,7 @@
 //! strategies.
 
 use crate::journal::JournalStore;
+use crate::metrics::ServerMetrics;
 use jim_core::{Engine, Label, SessionOrigin, Strategy};
 use jim_relation::ProductId;
 use std::collections::HashMap;
@@ -141,10 +142,13 @@ pub struct SessionStore {
     next_id: AtomicU64,
     /// The write-ahead journal directory, when durability is on.
     journal: Option<JournalStore>,
-    /// Sessions dropped from memory by LRU/TTL since the store started.
-    evicted_total: AtomicU64,
-    /// Of those, how many had a journal and stayed resumable on disk.
-    persisted_total: AtomicU64,
+    /// The server-wide metrics aggregate. The store owns it because the
+    /// store is the one value every server layer (handler, transports,
+    /// sweeper, bins) already shares — store/journal counters are updated
+    /// here at the sites where the events happen, transport and per-op
+    /// counters by the layers that reach the aggregate through
+    /// [`SessionStore::metrics`].
+    metrics: Arc<ServerMetrics>,
 }
 
 impl SessionStore {
@@ -171,8 +175,7 @@ impl SessionStore {
             mask: n as u64 - 1,
             next_id: AtomicU64::new(first_id),
             journal,
-            evicted_total: AtomicU64::new(0),
-            persisted_total: AtomicU64::new(0),
+            metrics: Arc::new(ServerMetrics::new()),
         }
     }
 
@@ -181,20 +184,26 @@ impl SessionStore {
         self.journal.as_ref()
     }
 
+    /// The server-wide metrics aggregate (see the field docs).
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
     /// Sessions dropped from memory by LRU/TTL eviction so far.
     pub fn evicted_total(&self) -> u64 {
-        self.evicted_total.load(Ordering::Relaxed)
+        self.metrics.evicted_total.get()
     }
 
     /// Evicted sessions that stayed resumable on disk.
     pub fn persisted_total(&self) -> u64 {
-        self.persisted_total.load(Ordering::Relaxed)
+        self.metrics.persisted_total.get()
     }
 
     fn count_eviction(&self, persisted: bool) {
-        self.evicted_total.fetch_add(1, Ordering::Relaxed);
+        self.metrics.evicted_total.inc();
+        self.metrics.resident_sessions.add(-1);
         if persisted {
-            self.persisted_total.fetch_add(1, Ordering::Relaxed);
+            self.metrics.persisted_total.inc();
         }
     }
 
@@ -257,7 +266,10 @@ impl SessionStore {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let persisted = match (&self.journal, &origin) {
             (Some(journal), Some(origin)) => match journal.create(id, origin) {
-                Ok(()) => true,
+                Ok(bytes) => {
+                    self.metrics.journal_bytes.add(bytes as u64);
+                    true
+                }
                 Err(e) => {
                     eprintln!("jim-server: cannot journal session {id}: {e}");
                     false
@@ -339,6 +351,11 @@ impl SessionStore {
                 persisted,
             },
         );
+        // All shard locks are held: this is the one place the resident
+        // gauge can be set to an exact population instead of nudged by a
+        // delta, correcting any drift from concurrent sweeps.
+        let total: usize = guards.iter().map(|g| g.len()).sum();
+        self.metrics.resident_sessions.set(total as i64);
         (session, evicted)
     }
 
@@ -368,6 +385,10 @@ impl SessionStore {
         let Some(stored) = journal.load(id)? else {
             return Ok(None);
         };
+        self.metrics.store_resumes.inc();
+        self.metrics
+            .replayed_batches
+            .add(stored.batches.len() as u64);
         let engine = stored.rebuild_engine()?;
         let (strategy, strategy_name) = stored.rebuild_strategy()?;
         let session = Session {
@@ -391,6 +412,7 @@ impl SessionStore {
         let mut entries = self.shard(id).lock().expect("store lock");
         entries.get_mut(&id).map(|e| {
             e.last_touched = Instant::now();
+            self.metrics.store_hits.inc();
             Arc::clone(&e.session)
         })
     }
@@ -410,25 +432,28 @@ impl SessionStore {
             return;
         }
         if let Some(journal) = &self.journal {
-            if let Err(e) = journal.append(session.id, labels) {
-                eprintln!(
-                    "jim-server: journal append for session {} failed ({e}); \
-                     demoting the session to memory-only",
-                    session.id
-                );
-                session.persisted = false;
-                journal.delete(session.id);
-                // Shard-after-session lock acquisition is safe here: no
-                // path in this module acquires a session lock while
-                // holding a shard lock (guards are dropped before
-                // handles are locked).
-                if let Some(entry) = self
-                    .shard(session.id)
-                    .lock()
-                    .expect("store lock")
-                    .get_mut(&session.id)
-                {
-                    entry.persisted = false;
+            match journal.append(session.id, labels) {
+                Ok(bytes) => self.metrics.journal_bytes.add(bytes as u64),
+                Err(e) => {
+                    eprintln!(
+                        "jim-server: journal append for session {} failed ({e}); \
+                         demoting the session to memory-only",
+                        session.id
+                    );
+                    session.persisted = false;
+                    journal.delete(session.id);
+                    // Shard-after-session lock acquisition is safe here: no
+                    // path in this module acquires a session lock while
+                    // holding a shard lock (guards are dropped before
+                    // handles are locked).
+                    if let Some(entry) = self
+                        .shard(session.id)
+                        .lock()
+                        .expect("store lock")
+                        .get_mut(&session.id)
+                    {
+                        entry.persisted = false;
+                    }
                 }
             }
         }
@@ -452,6 +477,9 @@ impl SessionStore {
             .expect("store lock")
             .remove(&id)
             .is_some();
+        if resident {
+            self.metrics.resident_sessions.add(-1);
+        }
         let on_disk = self.journal.as_ref().is_some_and(|j| j.delete(id));
         resident || on_disk
     }

@@ -13,6 +13,9 @@
 //!   controls signature-lattice richness (the complexity knob of
 //!   experiment E3).
 //! * [`goals`] — satisfiable goal queries of controlled complexity.
+//! * [`social`] — a `follows(src, dst)` social graph for multi-hop
+//!   self-joins: a follows-of-follows goal and a cyclic (mutual-follow)
+//!   goal over `follows × follows`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,4 +24,5 @@ pub mod flights;
 pub mod goals;
 pub mod random_db;
 pub mod setgame;
+pub mod social;
 pub mod tpch;

@@ -1,0 +1,163 @@
+//! A social-graph workload: multi-hop self-joins over a single edge
+//! relation.
+//!
+//! The paper's instances join *different* relations; real exploration
+//! sessions just as often join a relation **with itself** — "who follows
+//! someone who follows X?" over one `follows(src, dst)` edge table. This
+//! module generates such a graph and the two natural inference goals over
+//! its self-join `follows × follows`:
+//!
+//! * [`two_hop_goal`] — `r1.dst ≍ r2.src`: paths of length two
+//!   (follows-of-follows), the canonical multi-hop join;
+//! * [`mutual_goal`] — `r1.dst ≍ r2.src ∧ r1.src ≍ r2.dst`: a **cyclic**
+//!   join goal, selecting mutual-follow pairs (2-cycles in the graph).
+//!
+//! Both goals are satisfiable by construction: the generated graph always
+//! contains the forced edges `0→1→2` (a two-hop witness) and `3⇄4` (a
+//! mutual pair), on top of `extra` seeded random edges. The graph is also
+//! guaranteed to contain a *non*-witness for each goal, so neither goal
+//! degenerates to "everything" — the inference session has something to
+//! learn.
+
+use jim_core::{AtomUniverse, JoinPredicate};
+use jim_relation::{DataType, Relation, RelationSchema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The `follows(src, dst)` edge relation over nodes `0..nodes`: the
+/// forced witness edges (`0→1`, `1→2`, `3→4`, `4→3`) plus `extra` seeded
+/// random distinct non-self edges. Edges are deduplicated and sorted, so
+/// equal parameters build the identical relation.
+pub fn follows(nodes: i64, extra: usize, seed: u64) -> Relation {
+    assert!(nodes >= 5, "the forced witness edges need nodes 0..=4");
+    let mut edges: Vec<(i64, i64)> = vec![(0, 1), (1, 2), (3, 4), (4, 3)];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attempts = 0;
+    while edges.len() < 4 + extra && attempts < extra * 20 {
+        attempts += 1;
+        let src = rng.gen_range(0..nodes);
+        let dst = rng.gen_range(0..nodes);
+        if src != dst && !edges.contains(&(src, dst)) {
+            edges.push((src, dst));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let rows = edges
+        .into_iter()
+        .map(|(src, dst)| Tuple::new(vec![Value::Int(src), Value::Int(dst)]))
+        .collect();
+    Relation::new(
+        RelationSchema::of("follows", &[("src", DataType::Int), ("dst", DataType::Int)])
+            .expect("static schema"),
+        rows,
+    )
+    .expect("generated rows match the schema")
+}
+
+/// The scenario instance: 12 nodes, 8 random edges on top of the forced
+/// witnesses (so the self-join product stays interactively small).
+pub fn default_follows() -> Relation {
+    follows(12, 8, 2014)
+}
+
+/// `r1.dst ≍ r2.src` over `follows × follows`: the two-hop
+/// (follows-of-follows) paths.
+pub fn two_hop_goal(universe: &Arc<AtomUniverse>) -> JoinPredicate {
+    let hop = universe
+        .id_by_names((0, "dst"), (1, "src"))
+        .expect("dst/src atom exists on the self-join");
+    JoinPredicate::of(universe.clone(), [hop])
+}
+
+/// `r1.dst ≍ r2.src ∧ r1.src ≍ r2.dst`: the cyclic goal — mutual-follow
+/// pairs, i.e. 2-cycles of the graph.
+pub fn mutual_goal(universe: &Arc<AtomUniverse>) -> JoinPredicate {
+    let hop = universe
+        .id_by_names((0, "dst"), (1, "src"))
+        .expect("dst/src atom exists on the self-join");
+    let back = universe
+        .id_by_names((0, "src"), (1, "dst"))
+        .expect("src/dst atom exists on the self-join");
+    JoinPredicate::of(universe.clone(), [hop, back])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jim_core::session::run_most_informative;
+    use jim_core::{Engine, EngineOptions, GoalOracle, StrategyKind};
+    use jim_relation::{IntoSharedRelation, Product};
+
+    fn self_join() -> Product {
+        let shared = default_follows().into_shared();
+        Product::new(vec![shared.clone(), shared]).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_forced_edges_present() {
+        let a = follows(12, 8, 7);
+        let b = follows(12, 8, 7);
+        assert_eq!(a.len(), b.len());
+        let rows: Vec<String> = a.rows().iter().map(|t| t.to_string()).collect();
+        for forced in ["(0, 1)", "(1, 2)", "(3, 4)", "(4, 3)"] {
+            assert!(rows.contains(&forced.to_string()), "missing {forced}");
+        }
+        assert!(a.len() >= 4 && a.len() <= 12);
+    }
+
+    #[test]
+    fn both_goals_are_satisfiable_and_non_trivial() {
+        let p = self_join();
+        let size = p.size();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let two_hop = two_hop_goal(e.universe()).eval(e.product()).unwrap();
+        let mutual = mutual_goal(e.universe()).eval(e.product()).unwrap();
+        assert!(!two_hop.is_empty(), "0→1→2 is a two-hop witness");
+        assert!(!mutual.is_empty(), "3⇄4 is a mutual witness");
+        assert!((two_hop.len() as u64) < size, "not everything is two-hop");
+        assert!(mutual.len() < two_hop.len(), "the cycle is strictly rarer");
+    }
+
+    #[test]
+    fn mutual_goal_selects_exactly_the_two_cycles() {
+        let p = self_join();
+        let e = Engine::new(p, &EngineOptions::default()).unwrap();
+        let selected = mutual_goal(e.universe()).eval(e.product()).unwrap();
+        for &id in &selected {
+            let t = e.product().tuple(id).unwrap();
+            let (s1, d1, s2, d2) = match (&t[0], &t[1], &t[2], &t[3]) {
+                (Value::Int(a), Value::Int(b), Value::Int(c), Value::Int(d)) => (a, b, c, d),
+                other => panic!("int columns expected, got {other:?}"),
+            };
+            assert_eq!((s1, d1), (d2, s2), "selected pair must be a 2-cycle");
+        }
+        // 3⇄4 appears in both orders, and every self-paired mutual edge
+        // (r1 = r2 reversed or identical loops) satisfies the predicate.
+        assert!(selected.len() >= 2);
+    }
+
+    #[test]
+    fn sessions_over_both_goals_resolve_to_them() {
+        for goal_of in [two_hop_goal, mutual_goal] as [fn(&Arc<AtomUniverse>) -> JoinPredicate; 2] {
+            let e = Engine::new(self_join(), &EngineOptions::default()).unwrap();
+            let goal = goal_of(e.universe());
+            let mut oracle = GoalOracle::new(goal.clone());
+            let mut strategy = StrategyKind::LookaheadMinPrune.build();
+            let outcome = run_most_informative(e, strategy.as_mut(), &mut oracle).unwrap();
+            assert!(outcome.engine.is_resolved());
+            // Extensional equivalence is the honest check: distinct atom
+            // sets can select the same rows on this instance.
+            assert_eq!(
+                outcome
+                    .engine
+                    .result()
+                    .eval(outcome.engine.product())
+                    .unwrap(),
+                goal.eval(outcome.engine.product()).unwrap(),
+                "inferred predicate must select the goal's rows"
+            );
+        }
+    }
+}
