@@ -21,7 +21,14 @@ use jim_synth::random_db::{generate, RandomDbConfig};
 /// goal that selects a nontrivial subset (the signature of one product
 /// tuple), mirroring the `candidates` bench fixture.
 fn fixture() -> (Engine, JoinPredicate) {
-    let db = generate(&RandomDbConfig::uniform(2, 3, 120, 3, 42));
+    fixture_with(3, 120)
+}
+
+/// Same, with a chosen per-relation arity: the cross-relation universe
+/// has `arity²` atoms (16 → 256 atoms, 32 → 1024), the widths where the
+/// version-space sweeps run multi-word `jim-simd` kernels per pair.
+fn fixture_with(arity: usize, rows: usize) -> (Engine, JoinPredicate) {
+    let db = generate(&RandomDbConfig::uniform(2, arity, rows, 3, 42));
     let wb = Workbench::new(db, &["r1", "r2"]);
     let engine = wb.engine();
     let universe = engine.universe().clone();
@@ -104,5 +111,37 @@ fn bench_clone_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_vs_sequential, bench_clone_baseline);
+/// Batched propagation on wide atom universes (256 / 1024 atoms): the
+/// subsumption sweep after a negative-only batch is exactly the packed
+/// `subsumed_mask` kernel path.
+fn bench_batch_wide_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_batch_wide");
+    group.sample_size(10);
+    for arity in [16usize, 32] {
+        let (engine, goal) = fixture_with(arity, 40);
+        let atoms = engine.universe().len();
+        let batch = truthful_batch(&engine, &goal, 16);
+        let mut check = engine.clone();
+        check.label_batch(&batch).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("batched", format!("{atoms}atoms")),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut e = engine.clone();
+                    e.label_batch(std::hint::black_box(batch)).unwrap();
+                    e.generation()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_vs_sequential,
+    bench_clone_baseline,
+    bench_batch_wide_universe
+);
 criterion_main!(benches);

@@ -17,7 +17,15 @@ use jim_synth::random_db::{generate, RandomDbConfig};
 /// A random 2-relation instance: `rows`² product tuples over a small
 /// domain, so the signature lattice is rich (many distinct candidates).
 fn fixture(rows: usize) -> Engine {
-    let db = generate(&RandomDbConfig::uniform(2, 3, rows, 3, 42));
+    fixture_with(3, rows)
+}
+
+/// Same, with a chosen per-relation arity: the cross-relation universe
+/// has `arity²` atoms, so arity 16 → 256 atoms (4 bitset words) and
+/// arity 32 → 1024 atoms (16 words) — the widths where the `jim-simd`
+/// batch kernels, not the per-group bookkeeping, dominate the sweeps.
+fn fixture_with(arity: usize, rows: usize) -> Engine {
+    let db = generate(&RandomDbConfig::uniform(2, arity, rows, 3, 42));
     let wb = Workbench::new(db, &["r1", "r2"]);
     let mut engine = wb.engine();
     // One negative label so the version space has a non-trivial antichain
@@ -145,10 +153,40 @@ fn bench_label_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-question step and label absorption on wide atom universes
+/// (256 and 1024 atoms), where every subset test spans 4 / 16 words and
+/// the antichain sweeps run through the `jim-simd` batch kernels.
+fn bench_wide_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wide_universe");
+    group.sample_size(10);
+    for arity in [16usize, 32] {
+        let engine = fixture_with(arity, 40);
+        let atoms = engine.universe().len();
+        let label = format!("{atoms}atoms_{}c", engine.candidates().len());
+        group.bench_with_input(BenchmarkId::new("choose", &label), &engine, |b, engine| {
+            b.iter(|| incremental_choose(std::hint::black_box(engine)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("negative_label", &label),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    let mut e = engine.clone();
+                    let c = e.candidates().candidates()[0].clone();
+                    e.label(c.representative, Label::Negative).unwrap();
+                    e.candidates().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_per_question,
     bench_candidate_access,
-    bench_label_step
+    bench_label_step,
+    bench_wide_universe
 );
 criterion_main!(benches);

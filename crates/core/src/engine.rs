@@ -32,7 +32,7 @@
 //! property tests compare against.
 
 use crate::atoms::{AtomScope, AtomUniverse};
-use crate::bitset::AtomSet;
+use crate::bitset::{AtomSet, PackedAtomSets};
 use crate::error::{InferenceError, Result};
 use crate::label::Label;
 use crate::predicate::JoinPredicate;
@@ -455,7 +455,6 @@ impl Engine {
     /// [`Engine::simulate`] with a caller-provided scratch, so a strategy
     /// scoring every candidate reuses one buffer across the whole sweep.
     pub fn simulate_in(&self, restricted_sig: &AtomSet, scratch: &mut SimScratch) -> (u64, u64) {
-        let negs = self.vs.negatives();
         let mut pruned_pos = 0u64;
         let mut pruned_neg = 0u64;
         for c in &self.index.candidates {
@@ -465,7 +464,7 @@ impl Engine {
             // r ∩ U' ⊆ n for some n.
             r.intersection_into(restricted_sig, &mut scratch.inter);
             let becomes_pos = restricted_sig.is_subset(r);
-            let becomes_neg = negs.iter().any(|n| scratch.inter.is_subset(n));
+            let becomes_neg = self.vs.any_negative_contains(&scratch.inter);
             if becomes_pos || becomes_neg {
                 pruned_pos += c.count;
             }
@@ -631,15 +630,19 @@ impl Engine {
     /// with all groups at construction.
     fn reindex(&mut self, alive: &[usize]) {
         self.index.clear();
+        // One scratch set: classification and the candidate re-key both
+        // need `sig ∩ U`, so compute the intersection once per group.
+        let mut restricted = self.universe.empty_set();
         for &g in alive {
             let group = &mut self.groups[g];
-            group.class = self.vs.classify(&group.sig);
+            group.class = self
+                .vs
+                .classify_restricted_into(&group.sig, &mut restricted);
             if group.class != TupleClass::Informative {
                 continue;
             }
-            let restricted = self.vs.restrict(&group.sig);
             let (count, rep) = (group.count(), group.ids[0]);
-            self.index.add_group(g, restricted, count, rep);
+            self.index.add_group(g, restricted.clone(), count, rep);
         }
     }
 
@@ -653,12 +656,17 @@ impl Engine {
     /// their slot indices are fixed up), so nothing is re-hashed or
     /// re-cloned.
     fn drop_subsumed_candidates(&mut self, new_negs: &[AtomSet]) {
-        let keep: Vec<bool> = self
-            .index
-            .candidates
-            .iter()
-            .map(|c| !new_negs.iter().any(|n| c.restricted_sig.is_subset(n)))
-            .collect();
+        // Pack both sides row-major so the whole antichain sweep is one
+        // batch kernel dispatch over contiguous rows — no per-pair
+        // dispatch, no per-candidate pointer chase.
+        let nbits = self.universe.len();
+        let mut rows = PackedAtomSets::with_capacity(nbits, self.index.candidates.len());
+        rows.extend(self.index.candidates.iter().map(|c| &c.restricted_sig));
+        let mut negs = PackedAtomSets::with_capacity(nbits, new_negs.len());
+        negs.extend(new_negs.iter());
+        let mut subsumed = Vec::new();
+        rows.subsumed_mask(&negs, &mut subsumed);
+        let keep: Vec<bool> = subsumed.iter().map(|&s| !s).collect();
         if keep.iter().all(|&k| k) {
             return;
         }

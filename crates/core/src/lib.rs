@@ -83,7 +83,7 @@ pub mod transcript;
 mod version_space;
 
 pub use atoms::{Atom, AtomId, AtomScope, AtomUniverse};
-pub use bitset::{maximal_antichain, AtomSet, AtomSetIter};
+pub use bitset::{maximal_antichain, AtomSet, AtomSetIter, PackedAtomSets};
 pub use cost::{Cost, CostModel};
 pub use engine::{
     BatchOutcome, Candidate, CandidateView, Engine, EngineOptions, LabelOutcome, SimScratch,

@@ -14,7 +14,7 @@
 //!   inclusion–exclusion over `N`.
 
 use crate::atoms::AtomUniverse;
-use crate::bitset::{maximal_antichain, AtomSet};
+use crate::bitset::{maximal_antichain, AtomSet, PackedAtomSets};
 use crate::error::{InferenceError, Result};
 use crate::predicate::JoinPredicate;
 use jim_relation::ProductId;
@@ -54,6 +54,12 @@ pub struct VersionSpace {
     /// element is a **proper** subset of `upper`; no element contains
     /// another.
     negatives: Vec<AtomSet>,
+    /// Row-major mirror of `negatives`, rebuilt on every mutation, so the
+    /// hot `∃n: x ⊆ n` sweep runs as one `jim-simd` batch dispatch with
+    /// contiguous loads instead of chasing one heap box per antichain
+    /// element. `negatives` stays the source of truth (strategies, the
+    /// explainer and the transcript all iterate it).
+    packed_negatives: PackedAtomSets,
     positives_seen: usize,
     negatives_seen: usize,
 }
@@ -62,13 +68,28 @@ impl VersionSpace {
     /// The initial version space: every predicate is consistent.
     pub fn new(universe: Arc<AtomUniverse>) -> Self {
         let upper = universe.full_set();
+        let packed_negatives = PackedAtomSets::new(upper.capacity());
         VersionSpace {
             universe,
             upper,
             negatives: Vec::new(),
+            packed_negatives,
             positives_seen: 0,
             negatives_seen: 0,
         }
+    }
+
+    /// Rebuild the packed mirror after `negatives` changed.
+    fn repack_negatives(&mut self) {
+        self.packed_negatives.clear();
+        self.packed_negatives.extend(self.negatives.iter());
+    }
+
+    /// `∃n ∈ N: x ⊆ n` — the antichain membership sweep behind
+    /// classification, consistency and lookahead simulation, as one batch
+    /// kernel dispatch over the packed mirror.
+    pub fn any_negative_contains(&self, x: &AtomSet) -> bool {
+        self.packed_negatives.contains_superset_of(x)
     }
 
     /// The shared atom universe.
@@ -93,11 +114,21 @@ impl VersionSpace {
 
     /// Classify a tuple by its **full** signature `Θ(t)`.
     pub fn classify(&self, sig: &AtomSet) -> TupleClass {
+        let mut restricted = self.universe.empty_set();
+        self.classify_restricted_into(sig, &mut restricted)
+    }
+
+    /// [`VersionSpace::classify`], writing the restricted signature
+    /// `Θ(t) ∩ U` into a caller-provided scratch set instead of
+    /// allocating. The engine's re-key pass calls this once per group:
+    /// the restriction it needs for candidate grouping and the one
+    /// classification computes are the same intersection, done once.
+    pub fn classify_restricted_into(&self, sig: &AtomSet, restricted: &mut AtomSet) -> TupleClass {
+        sig.intersection_into(&self.upper, restricted);
         if self.upper.is_subset(sig) {
             return TupleClass::CertainPositive;
         }
-        let restricted = sig.intersection(&self.upper);
-        if self.negatives.iter().any(|n| restricted.is_subset(n)) {
+        if self.any_negative_contains(restricted) {
             TupleClass::CertainNegative
         } else {
             TupleClass::Informative
@@ -118,7 +149,7 @@ impl VersionSpace {
     /// the error message).
     pub fn add_positive(&mut self, tuple: ProductId, sig: &AtomSet) -> Result<()> {
         let new_upper = self.upper.intersection(sig);
-        if self.negatives.iter().any(|n| new_upper.is_subset(n)) {
+        if self.any_negative_contains(&new_upper) {
             return Err(InferenceError::InconsistentLabel {
                 tuple,
                 positive: true,
@@ -133,6 +164,7 @@ impl VersionSpace {
             .map(|n| n.intersection(&self.upper))
             .collect();
         self.negatives = maximal_antichain(restricted);
+        self.repack_negatives();
         self.positives_seen += 1;
         Ok(())
     }
@@ -151,17 +183,18 @@ impl VersionSpace {
             });
         }
         self.negatives_seen += 1;
-        if self.negatives.iter().any(|n| restricted.is_subset(n)) {
+        if self.any_negative_contains(&restricted) {
             return Ok(()); // dominated: no new information
         }
         self.negatives.retain(|n| !n.is_subset(&restricted));
         self.negatives.push(restricted);
+        self.repack_negatives();
         Ok(())
     }
 
     /// Is `θ` consistent with the labels so far?
     pub fn is_consistent(&self, theta: &AtomSet) -> bool {
-        theta.is_subset(&self.upper) && self.negatives.iter().all(|n| !theta.is_subset(n))
+        theta.is_subset(&self.upper) && !self.any_negative_contains(theta)
     }
 
     /// The canonical answer JIM returns on termination: the unique maximal

@@ -474,6 +474,13 @@ impl Report {
                     ("seed", Json::from(self.config.seed)),
                     ("smoke", Json::Bool(self.config.smoke)),
                     ("exclusive", Json::Bool(self.config.exclusive)),
+                    // Which jim-simd backend the in-process server's
+                    // engine sweeps ran on, and the last revision that
+                    // touched the kernel crate — so regressions in a
+                    // BENCH_load.json diff can be attributed to (or ruled
+                    // out of) a kernel change at a glance.
+                    ("simd_backend", Json::from(jim_simd::active_name())),
+                    ("simd_rev", Json::from(simd_rev())),
                 ]),
             ),
             ("elapsed_secs", Json::from(self.elapsed.as_secs_f64())),
@@ -511,6 +518,20 @@ fn git_rev() -> String {
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The last commit that touched the kernel crate (`crates/simd`) — a
+/// kernel-level provenance stamp, distinct from the workspace `git_rev`.
+fn simd_rev() -> String {
+    std::process::Command::new("git")
+        .args(["log", "-n1", "--format=%H", "--", "crates/simd"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".into())
 }
 

@@ -153,7 +153,7 @@ fn main() -> std::io::Result<()> {
     let listener = TcpListener::bind((host.as_str(), port))?;
     eprintln!(
         "jim-serve: listening on {} via the {} transport (max {} sessions, {} shards, ttl \
-         {:?}, sample past {} tuples, answer batches up to {} labels, sessions {})",
+         {:?}, sample past {} tuples, answer batches up to {} labels, sessions {}, simd {})",
         listener.local_addr()?,
         transport,
         config.max_sessions,
@@ -164,7 +164,8 @@ fn main() -> std::io::Result<()> {
         match &data_dir {
             Some(dir) => format!("durable in {dir}"),
             None => "in memory only".to_string(),
-        }
+        },
+        jim_simd::active_name()
     );
     serve(listener, handler, transport, shutdown)
 }

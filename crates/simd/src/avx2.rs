@@ -1,0 +1,210 @@
+//! The x86_64 AVX2 backend.
+//!
+//! Every function here carries `#[target_feature(enable = "avx2,popcnt")]`:
+//! the compiler emits 256-bit bitwise ops and the hardware `popcnt`
+//! instruction, and callers outside an AVX2 context must prove the
+//! features are present before calling (the dispatch layer in `lib.rs`
+//! does, via `is_x86_feature_detected!`). This module is the workspace's
+//! second `unsafe` surface after `jim-aio`, and like there the unsafety
+//! is confined: raw-pointer vector loads inside bounds-checked loops,
+//! nothing else.
+//!
+//! Kernel notes:
+//!
+//! * `subset` / `intersects` test four words per step with
+//!   `vpandn` + `vptest` — the AND-NOT-is-empty form of `a ⊆ b`.
+//! * `popcount` / `intersection_count` use scalar `popcnt`, four
+//!   accumulators wide. At jim's working sizes (≤ a few dozen words per
+//!   signature) that beats the pshufb nibble-LUT vector popcount, which
+//!   only wins past ~64 words.
+//! * The batch entry points (`subset_any`, `subsumed_mask`) stay inside
+//!   the feature context for the whole sweep: one runtime dispatch per
+//!   sweep, not per pair.
+
+use std::arch::x86_64::{
+    __m256i, _mm256_and_si256, _mm256_andnot_si256, _mm256_loadu_si256, _mm256_or_si256,
+    _mm256_testz_si256,
+};
+
+/// Words per 256-bit vector step.
+const LANES: usize = 4;
+
+/// True iff the CPU supports this backend (AVX2 + POPCNT).
+pub fn available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+}
+
+/// Number of set bits across the slice.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn popcount(a: &[u64]) -> u64 {
+    let mut chunks = a.chunks_exact(LANES);
+    let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+    for c in chunks.by_ref() {
+        c0 += c[0].count_ones() as u64;
+        c1 += c[1].count_ones() as u64;
+        c2 += c[2].count_ones() as u64;
+        c3 += c[3].count_ones() as u64;
+    }
+    let tail: u64 = chunks
+        .remainder()
+        .iter()
+        .map(|&w| w.count_ones() as u64)
+        .sum();
+    c0 + c1 + c2 + c3 + tail
+}
+
+/// Load one 256-bit vector from `words[i..i + 4]`.
+///
+/// # Safety
+/// `i + 4 <= words.len()` must hold (`loadu` itself has no alignment
+/// requirement).
+#[target_feature(enable = "avx2")]
+unsafe fn load(words: &[u64], i: usize) -> __m256i {
+    debug_assert!(i + LANES <= words.len());
+    // SAFETY: caller guarantees the 4-word window is in bounds.
+    unsafe { _mm256_loadu_si256(words.as_ptr().add(i) as *const __m256i) }
+}
+
+/// `a ⊆ b`, i.e. `a & !b == 0` — `vpandn` + `vptest`, eight words per
+/// step (two vectors, strays OR-combined so each step pays one `vptest`).
+#[target_feature(enable = "avx2,popcnt")]
+pub fn subset(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let mut i = 0usize;
+    while i + 2 * LANES <= n {
+        // SAFETY: `i + 2·LANES <= n` bounds all four loads.
+        let (va0, vb0) = unsafe { (load(a, i), load(b, i)) };
+        let (va1, vb1) = unsafe { (load(a, i + LANES), load(b, i + LANES)) };
+        // andnot(b, a) = !b & a: the bits of `a` that stray outside `b`.
+        let stray = _mm256_or_si256(_mm256_andnot_si256(vb0, va0), _mm256_andnot_si256(vb1, va1));
+        if _mm256_testz_si256(stray, stray) == 0 {
+            return false;
+        }
+        i += 2 * LANES;
+    }
+    if i + LANES <= n {
+        // SAFETY: `i + LANES <= n` bounds both loads.
+        let (va, vb) = unsafe { (load(a, i), load(b, i)) };
+        let stray = _mm256_andnot_si256(vb, va);
+        if _mm256_testz_si256(stray, stray) == 0 {
+            return false;
+        }
+        i += LANES;
+    }
+    a[i..n].iter().zip(&b[i..n]).all(|(&x, &y)| x & !y == 0)
+}
+
+/// True iff the slices share at least one set bit.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let mut i = 0usize;
+    while i + LANES <= n {
+        // SAFETY: `i + LANES <= n` bounds both loads.
+        let (va, vb) = unsafe { (load(a, i), load(b, i)) };
+        if _mm256_testz_si256(va, vb) == 0 {
+            return true;
+        }
+        i += LANES;
+    }
+    a[i..n].iter().zip(&b[i..n]).any(|(&x, &y)| x & y != 0)
+}
+
+/// `|a ∩ b|` — vector AND, scalar `popcnt` per word.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn intersection_count(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let mut i = 0usize;
+    let mut acc = 0u64;
+    while i + LANES <= n {
+        // SAFETY: `i + LANES <= n` bounds both loads.
+        let (va, vb) = unsafe { (load(a, i), load(b, i)) };
+        let and = _mm256_and_si256(va, vb);
+        // SAFETY: `__m256i` is plain 256-bit data, layout-identical to
+        // four `u64` lanes.
+        let words: [u64; LANES] = unsafe { std::mem::transmute(and) };
+        acc += words[0].count_ones() as u64
+            + words[1].count_ones() as u64
+            + words[2].count_ones() as u64
+            + words[3].count_ones() as u64;
+        i += LANES;
+    }
+    acc + a[i..n]
+        .iter()
+        .zip(&b[i..n])
+        .map(|(&x, &y)| (x & y).count_ones() as u64)
+        .sum::<u64>()
+}
+
+/// `out = a & b`.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x & y;
+    }
+}
+
+/// `a &= b` in place.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn and_assign(a: &mut [u64], b: &[u64]) {
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x &= y;
+    }
+}
+
+/// `out = a | b`.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn or_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x | y;
+    }
+}
+
+/// `out = a & !b`.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn and_not_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x & !y;
+    }
+}
+
+/// `x ⊆ r` for some row `r` of `rows` (row-major, width = `x.len()`).
+/// A zero-width `x` encodes no rows at all, so the answer is `false`.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn subset_any(x: &[u64], rows: &[u64]) -> bool {
+    let w = x.len();
+    if w == 0 {
+        return false;
+    }
+    // Index arithmetic, not per-row `chunks_exact`: re-deriving the chunk
+    // count costs a 64-bit division per call, which dwarfs the subset
+    // test itself at antichain widths.
+    let n = rows.len() / w;
+    (0..n).any(|j| subset(x, &rows[j * w..j * w + w]))
+}
+
+/// For each row of `rows`, whether it is `⊆` some row of `negs`; both are
+/// row-major with the given `width`. `out` is overwritten.
+#[target_feature(enable = "avx2,popcnt")]
+pub fn subsumed_mask(rows: &[u64], negs: &[u64], width: usize, out: &mut Vec<bool>) {
+    out.clear();
+    if width == 0 {
+        return;
+    }
+    // Hoist the row counts: one division each, not one per row.
+    let nnegs = negs.len() / width;
+    if nnegs == 1 {
+        // The common sweep — one fresh negative per label batch. Slicing
+        // it once lets the row loop run without per-row index math.
+        let neg = &negs[..width];
+        out.extend(rows.chunks_exact(width).map(|row| subset(row, neg)));
+        return;
+    }
+    out.extend(
+        rows.chunks_exact(width)
+            .map(|row| (0..nnegs).any(|j| subset(row, &negs[j * width..j * width + width]))),
+    );
+}

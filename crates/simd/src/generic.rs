@@ -1,0 +1,145 @@
+//! The portable fallback backend: `u64`-chunked loops, hand-unrolled four
+//! words wide so LLVM can keep four accumulators live (and, on targets
+//! with 128-bit vectors, autovectorize the bitwise half) without any
+//! architecture-specific code. This is what non-x86_64 hosts — and
+//! `JIM_SIMD=generic` — run.
+
+const LANES: usize = 4;
+
+/// Number of set bits across the slice.
+pub fn popcount(a: &[u64]) -> u64 {
+    let mut chunks = a.chunks_exact(LANES);
+    let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+    for c in chunks.by_ref() {
+        c0 += c[0].count_ones() as u64;
+        c1 += c[1].count_ones() as u64;
+        c2 += c[2].count_ones() as u64;
+        c3 += c[3].count_ones() as u64;
+    }
+    let tail: u64 = chunks
+        .remainder()
+        .iter()
+        .map(|&w| w.count_ones() as u64)
+        .sum();
+    c0 + c1 + c2 + c3 + tail
+}
+
+/// `a ⊆ b`. Accumulates the stray bits of four words at a time and tests
+/// once per chunk, trading the per-word branch for one OR tree.
+pub fn subset(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        let stray = (ca[0] & !cb[0]) | (ca[1] & !cb[1]) | (ca[2] & !cb[2]) | (ca[3] & !cb[3]);
+        if stray != 0 {
+            return false;
+        }
+    }
+    ac.remainder()
+        .iter()
+        .zip(bc.remainder().iter())
+        .all(|(&x, &y)| x & !y == 0)
+}
+
+/// True iff the slices share at least one set bit.
+pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        if (ca[0] & cb[0]) | (ca[1] & cb[1]) | (ca[2] & cb[2]) | (ca[3] & cb[3]) != 0 {
+            return true;
+        }
+    }
+    ac.remainder()
+        .iter()
+        .zip(bc.remainder().iter())
+        .any(|(&x, &y)| x & y != 0)
+}
+
+/// `|a ∩ b|`.
+pub fn intersection_count(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        c0 += (ca[0] & cb[0]).count_ones() as u64;
+        c1 += (ca[1] & cb[1]).count_ones() as u64;
+        c2 += (ca[2] & cb[2]).count_ones() as u64;
+        c3 += (ca[3] & cb[3]).count_ones() as u64;
+    }
+    let tail: u64 = ac
+        .remainder()
+        .iter()
+        .zip(bc.remainder().iter())
+        .map(|(&x, &y)| (x & y).count_ones() as u64)
+        .sum();
+    c0 + c1 + c2 + c3 + tail
+}
+
+/// `out = a & b`. Simple element-wise form — LLVM vectorizes it at the
+/// target's natural width with no help needed.
+pub fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x & y;
+    }
+}
+
+/// `a &= b` in place.
+pub fn and_assign(a: &mut [u64], b: &[u64]) {
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x &= y;
+    }
+}
+
+/// `out = a | b`.
+pub fn or_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x | y;
+    }
+}
+
+/// `out = a & !b`.
+pub fn and_not_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x & !y;
+    }
+}
+
+/// `x ⊆ r` for some row `r` of `rows` (row-major, width = `x.len()`).
+/// A zero-width `x` encodes no rows at all, so the answer is `false`.
+pub fn subset_any(x: &[u64], rows: &[u64]) -> bool {
+    let w = x.len();
+    if w == 0 {
+        return false;
+    }
+    // Index arithmetic, not per-row `chunks_exact`: re-deriving the chunk
+    // count costs a 64-bit division per call, which dwarfs the subset
+    // test itself at antichain widths.
+    let n = rows.len() / w;
+    (0..n).any(|j| subset(x, &rows[j * w..j * w + w]))
+}
+
+/// For each row of `rows`, whether it is `⊆` some row of `negs`; both are
+/// row-major with the given `width`. `out` is overwritten.
+pub fn subsumed_mask(rows: &[u64], negs: &[u64], width: usize, out: &mut Vec<bool>) {
+    out.clear();
+    if width == 0 {
+        return;
+    }
+    // Hoist the row counts: one division each, not one per row.
+    let nnegs = negs.len() / width;
+    if nnegs == 1 {
+        // The common sweep — one fresh negative per label batch. Slicing
+        // it once lets the row loop run without per-row index math.
+        let neg = &negs[..width];
+        out.extend(rows.chunks_exact(width).map(|row| subset(row, neg)));
+        return;
+    }
+    out.extend(
+        rows.chunks_exact(width)
+            .map(|row| (0..nnegs).any(|j| subset(row, &negs[j * width..j * width + width]))),
+    );
+}
