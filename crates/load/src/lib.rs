@@ -37,7 +37,8 @@
 use jim_json::Json;
 use jim_metrics::{Histogram, HistogramSnapshot};
 use jim_server::{
-    serve, spawn_sweeper, Handler, JournalStore, Op, SessionStore, Shutdown, StoreConfig, Transport,
+    serve_with, spawn_sweeper, Handler, JournalStore, Op, SessionStore, Shutdown, StoreConfig,
+    Transport, TransportLimits,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,6 +73,14 @@ pub struct Config {
     pub exclusive: bool,
     /// Smoke preset (small, CI-sized run).
     pub smoke: bool,
+    /// Transport guardrails for the spawned server (reactor count,
+    /// admission cap, idle timeout, in-flight cap) — recorded in the
+    /// report so a BENCH_load.json diff shows what front end produced it.
+    pub limits: TransportLimits,
+    /// The admission-churn preset: more workers than connection slots,
+    /// one connection per session, so every session pays the full
+    /// admit-or-shed path. The run *fails* if the cap never sheds.
+    pub connections_preset: bool,
 }
 
 impl Default for Config {
@@ -86,6 +95,8 @@ impl Default for Config {
             out: PathBuf::from("BENCH_load.json"),
             exclusive: true,
             smoke: false,
+            limits: TransportLimits::default(),
+            connections_preset: false,
         }
     }
 }
@@ -102,7 +113,31 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// The `--connections` preset: twice as many workers as connection
+    /// slots, reconnecting for every session, so the admission cap sheds
+    /// continuously while admitted traffic stays error-free. Shed
+    /// workers retry with backoff until a slot frees.
+    pub fn connections() -> Config {
+        Config {
+            concurrency: 64,
+            sessions: 96,
+            max_turns: 5,
+            limits: TransportLimits {
+                max_connections: 32,
+                ..TransportLimits::default()
+            },
+            connections_preset: true,
+            ..Config::default()
+        }
+    }
 }
+
+/// How long a fresh connection listens for an immediate shed notice
+/// before concluding it was admitted. The server sheds synchronously at
+/// accept, so on loopback the notice (or its FIN) lands in microseconds;
+/// the window only bounds the *admitted* case, which pays it once.
+const ADMISSION_PROBE: Duration = Duration::from_millis(150);
 
 /// One line-oriented client connection.
 struct Conn {
@@ -126,6 +161,44 @@ impl Conn {
         })
     }
 
+    /// Connect and classify the server's admission verdict before
+    /// sending anything: a shed connection hears the typed `overloaded`
+    /// line (or at least the close) immediately, an admitted one hears
+    /// nothing until it speaks. `Ok(None)` means shed — the caller backs
+    /// off and retries. Probing before the first write keeps the notice
+    /// reliable (the client has nothing in flight, so the server's close
+    /// is a clean FIN, never a data-discarding reset) and keeps shed
+    /// requests out of the sent counts entirely.
+    fn connect_probe(addr: &str) -> Result<Option<Conn>, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(ADMISSION_PROBE))
+            .map_err(|e| format!("probe timeout: {e}"))?;
+        let mut one = [0u8; 1];
+        match stream.peek(&mut one) {
+            Ok(_) => Ok(None), // the shed notice (or bare close): not admitted
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+                let reader = BufReader::new(
+                    stream
+                        .try_clone()
+                        .map_err(|e| format!("clone stream: {e}"))?,
+                );
+                Ok(Some(Conn {
+                    reader,
+                    writer: stream,
+                }))
+            }
+            Err(e) => Err(format!("probe {addr}: {e}")),
+        }
+    }
+
     fn round_trip(&mut self, line: &str) -> Result<String, String> {
         self.writer
             .write_all(line.as_bytes())
@@ -147,6 +220,7 @@ struct WorkerStats {
     protocol_errors: u64,
     io_errors: u64,
     rejected_batches: u64,
+    sheds: u64,
     error_samples: Vec<String>,
 }
 
@@ -161,6 +235,7 @@ impl WorkerStats {
             protocol_errors: 0,
             io_errors: 0,
             rejected_batches: 0,
+            sheds: 0,
             error_samples: Vec::new(),
         }
     }
@@ -176,7 +251,6 @@ impl WorkerStats {
                 return Err(e);
             }
         };
-        self.latency[op as usize].record_duration(start.elapsed());
         let json = match Json::parse(response.trim()) {
             Ok(json) => json,
             Err(e) => {
@@ -184,6 +258,16 @@ impl WorkerStats {
                 return Err(format!("unparseable response: {e}"));
             }
         };
+        if json.get("code").and_then(Json::as_str) == Some("overloaded") {
+            // Shed at admission (the connect probe's window was outrun):
+            // the server never read this request, so it must not count
+            // toward the exact cross-check. The connection is closing —
+            // tell the caller to reconnect.
+            self.sent[op as usize] -= 1;
+            self.sheds += 1;
+            return Err("shed at admission".into());
+        }
+        self.latency[op as usize].record_duration(start.elapsed());
         if json.get("ok").and_then(Json::as_bool) != Some(true) {
             self.protocol_errors += 1;
             if self.error_samples.len() < ERROR_SAMPLES {
@@ -211,8 +295,15 @@ fn pick_weighted<'a>(rng: &mut StdRng, table: &[(&'a str, u32)]) -> &'a str {
     table.last().expect("non-empty table").0
 }
 
-/// Drive one full session lifecycle over `conn`.
-fn drive_session(conn: &mut Conn, rng: &mut StdRng, stats: &mut WorkerStats, max_turns: usize) {
+/// Drive one full session lifecycle over `conn`. `Err` means the
+/// connection itself is unusable (I/O failure or an admission shed that
+/// outran the connect probe) — the worker reconnects and retries.
+fn drive_session(
+    conn: &mut Conn,
+    rng: &mut StdRng,
+    stats: &mut WorkerStats,
+    max_turns: usize,
+) -> Result<(), String> {
     let scenario = pick_weighted(rng, &SCENARIOS);
     let strategy = match rng.gen_range(0u32..4) {
         0 => String::new(), // server default
@@ -232,11 +323,9 @@ fn drive_session(conn: &mut Conn, rng: &mut StdRng, stats: &mut WorkerStats, max
     let create = format!(
         r#"{{"op":"CreateSession","source":{{"scenario":"{scenario}"}}{strategy}{sampling}}}"#
     );
-    let Ok(r) = stats.request(conn, Op::CreateSession, &create) else {
-        return;
-    };
+    let r = stats.request(conn, Op::CreateSession, &create)?;
     let Some(sid) = r.get("session").and_then(Json::as_u64) else {
-        return;
+        return Ok(());
     };
     let mut last_tuple: Option<u64> = None;
     for _ in 0..max_turns {
@@ -248,19 +337,18 @@ fn drive_session(conn: &mut Conn, rng: &mut StdRng, stats: &mut WorkerStats, max
         } else {
             side_op_turn(conn, rng, stats, sid, last_tuple)
         };
-        match resolved {
-            Ok(true) => break,
-            Ok(false) => {}
-            Err(_) => return, // transport gone; the worker moves on
+        if resolved? {
+            break;
         }
     }
     if rng.gen_bool(0.85) {
-        let _ = stats.request(
+        stats.request(
             conn,
             Op::CloseSession,
             &format!(r#"{{"op":"CloseSession","session":{sid}}}"#),
-        );
+        )?;
     }
+    Ok(())
 }
 
 /// `NextQuestion` then `Answer` on the proposed tuple. `Ok(true)` once
@@ -414,12 +502,19 @@ pub struct Report {
     /// `AnswerBatch` contradiction rejections — expected workload
     /// outcomes (atomic rejection is the contract), outside the gate.
     pub rejected_batches: u64,
+    /// Admission sheds the client observed (typed `overloaded` notices).
+    /// Expected traffic under the `--connections` preset — which *fails*
+    /// if this stays zero, since then the cap was never exercised.
+    pub sheds: u64,
     /// The first few `ok:false` messages, `"Op: message"`, for triage.
     pub error_samples: Vec<String>,
     /// `"exact"`, `"skipped"`, or a mismatch description.
     pub cross_check: String,
     /// The server's `store` metrics section, verbatim.
     pub server_store: Json,
+    /// The server's `transport` metrics section, verbatim — dispatch and
+    /// shed/reap counters, globally and per reactor.
+    pub server_transport: Json,
 }
 
 impl Report {
@@ -433,11 +528,14 @@ impl Report {
         self.requests_total() as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// Did the run meet the gate: no errors, no cross-check mismatch?
+    /// Did the run meet the gate: no errors, no cross-check mismatch,
+    /// and — under the `--connections` preset — an admission cap that
+    /// actually shed something?
     pub fn clean(&self) -> bool {
         self.protocol_errors == 0
             && self.io_errors == 0
             && (self.cross_check == "exact" || self.cross_check == "skipped")
+            && (!self.config.connections_preset || self.sheds > 0)
     }
 
     /// Render the `BENCH_load.json` document.
@@ -473,7 +571,27 @@ impl Report {
                     ("max_turns", Json::from(self.config.max_turns)),
                     ("seed", Json::from(self.config.seed)),
                     ("smoke", Json::Bool(self.config.smoke)),
+                    (
+                        "connections_preset",
+                        Json::Bool(self.config.connections_preset),
+                    ),
                     ("exclusive", Json::Bool(self.config.exclusive)),
+                    // The spawned server's transport guardrails, so a
+                    // throughput diff can be attributed to (or ruled out
+                    // of) a front-end reconfiguration at a glance.
+                    ("reactors", Json::from(self.config.limits.reactors)),
+                    (
+                        "max_connections",
+                        Json::from(self.config.limits.max_connections),
+                    ),
+                    (
+                        "idle_timeout_secs",
+                        match self.config.limits.idle_timeout {
+                            Some(t) => Json::from(t.as_secs()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("max_inflight", Json::from(self.config.limits.max_inflight)),
                     // Which jim-simd backend the in-process server's
                     // engine sweeps ran on, and the last revision that
                     // touched the kernel crate — so regressions in a
@@ -504,8 +622,10 @@ impl Report {
                 ]),
             ),
             ("rejected_batches", Json::from(self.rejected_batches)),
+            ("sheds", Json::from(self.sheds)),
             ("cross_check", Json::from(self.cross_check.as_str())),
             ("server_store", self.server_store.clone()),
+            ("server_transport", self.server_transport.clone()),
         ])
     }
 }
@@ -584,8 +704,9 @@ impl SpawnedServer {
             .unwrap_or_else(Transport::default_for_platform);
         let sweeper = spawn_sweeper(&store, Duration::from_secs(5), shutdown.clone());
         let serve_shutdown = shutdown.clone();
+        let limits = config.limits.clone();
         let serve_thread = std::thread::spawn(move || {
-            if let Err(e) = serve(listener, handler, transport, serve_shutdown) {
+            if let Err(e) = serve_with(listener, handler, transport, serve_shutdown, limits) {
                 eprintln!("jim-load: spawned server failed: {e}");
             }
         });
@@ -633,6 +754,12 @@ pub fn run(config: Config) -> Result<Report, String> {
     // Deal sessions round-robin so every worker gets within one of the
     // same share.
     let workers = config.concurrency.max(1);
+    // Shedding is reachable whenever the workers can outnumber the
+    // admission slots; then (and only then) connects pay the probe, and
+    // a shed is an expected outcome to retry rather than an error.
+    let shed_possible =
+        config.addr.is_none() && config.limits.clone().normalized().max_connections < workers + 1;
+    let churn = config.connections_preset;
     let base = config.sessions / workers;
     let extra = config.sessions % workers;
     let start = Instant::now();
@@ -645,15 +772,58 @@ pub fn run(config: Config) -> Result<Report, String> {
             std::thread::spawn(move || {
                 let mut stats = WorkerStats::new();
                 let mut rng = StdRng::seed_from_u64(seed);
-                match Conn::connect(&addr) {
-                    Ok(mut conn) => {
-                        for _ in 0..sessions {
-                            drive_session(&mut conn, &mut rng, &mut stats, max_turns);
+                let mut remaining = sessions;
+                let mut backoff = Duration::from_millis(5);
+                let mut stalls = 0u32;
+                while remaining > 0 {
+                    let conn = if shed_possible {
+                        match Conn::connect_probe(&addr) {
+                            Ok(Some(conn)) => Some(conn),
+                            Ok(None) => {
+                                stats.sheds += 1;
+                                None
+                            }
+                            Err(e) => {
+                                eprintln!("jim-load: worker {i}: {e}");
+                                stats.io_errors += 1;
+                                None
+                            }
                         }
-                    }
-                    Err(e) => {
-                        eprintln!("jim-load: worker {i}: {e}");
-                        stats.io_errors += 1;
+                    } else {
+                        match Conn::connect(&addr) {
+                            Ok(conn) => Some(conn),
+                            Err(e) => {
+                                eprintln!("jim-load: worker {i}: {e}");
+                                stats.io_errors += 1;
+                                None
+                            }
+                        }
+                    };
+                    let Some(mut conn) = conn else {
+                        stalls += 1;
+                        if stalls > 400 {
+                            eprintln!("jim-load: worker {i}: no admission after {stalls} tries");
+                            stats.io_errors += 1;
+                            break;
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(200));
+                        continue;
+                    };
+                    stalls = 0;
+                    backoff = Duration::from_millis(5);
+                    while remaining > 0 {
+                        match drive_session(&mut conn, &mut rng, &mut stats, max_turns) {
+                            Ok(()) => {
+                                remaining -= 1;
+                                // The churn preset releases its slot after
+                                // every session so admission keeps cycling.
+                                if churn {
+                                    break;
+                                }
+                            }
+                            Err(_) => break, // connection gone; reconnect
+                        }
                     }
                 }
                 stats
@@ -667,6 +837,7 @@ pub fn run(config: Config) -> Result<Report, String> {
         .collect();
     let (mut protocol_errors, mut io_errors) = (0u64, 0u64);
     let mut rejected_batches = 0u64;
+    let mut sheds = 0u64;
     let mut error_samples = Vec::new();
     for handle in handles {
         let stats = handle.join().map_err(|_| "worker panicked".to_string())?;
@@ -679,6 +850,7 @@ pub fn run(config: Config) -> Result<Report, String> {
         protocol_errors += stats.protocol_errors;
         io_errors += stats.io_errors;
         rejected_batches += stats.rejected_batches;
+        sheds += stats.sheds;
         for sample in stats.error_samples {
             if error_samples.len() < ERROR_SAMPLES {
                 error_samples.push(sample);
@@ -691,8 +863,23 @@ pub fn run(config: Config) -> Result<Report, String> {
     // the server-side snapshot. These requests count like any others —
     // the server increments before dispatch, so the snapshot includes
     // the very request that fetched it and the totals can match exactly.
+    // After a shed-heavy run, lingering slots may still be draining —
+    // retry until one frees (observer sheds are the server's to count,
+    // not part of the client shed tally).
     let mut observer = WorkerStats::new();
-    let mut conn = Conn::connect(&addr)?;
+    let mut conn = {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match Conn::connect_probe(&addr) {
+                Ok(Some(conn)) => break conn,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Ok(None) => return Err("observer connection never admitted".into()),
+                Err(e) => return Err(e),
+            }
+        }
+    };
     let _ = observer.request(&mut conn, Op::ListSessions, r#"{"op":"ListSessions"}"#)?;
     observer.sent[Op::Metrics as usize] += 1;
     let snapshot = conn.round_trip(r#"{"op":"Metrics"}"#)?;
@@ -709,6 +896,7 @@ pub fn run(config: Config) -> Result<Report, String> {
         "skipped".to_string()
     };
     let server_store = snapshot.get("store").cloned().unwrap_or(Json::Null);
+    let server_transport = snapshot.get("transport").cloned().unwrap_or(Json::Null);
 
     Ok(Report {
         config,
@@ -719,9 +907,11 @@ pub fn run(config: Config) -> Result<Report, String> {
         protocol_errors,
         io_errors,
         rejected_batches,
+        sheds,
         error_samples,
         cross_check,
         server_store,
+        server_transport,
     })
 }
 
@@ -799,18 +989,23 @@ pub fn cli_main() {
     }
     println!(
         "jim-load: {} requests in {:.2}s ({:.0} req/s), errors: {} protocol / {} io, \
-         {} batch(es) rejected as contradictory, cross-check: {} -> {}",
+         {} batch(es) rejected as contradictory, {} connection(s) shed at admission, \
+         cross-check: {} -> {}",
         report.requests_total(),
         report.elapsed.as_secs_f64(),
         report.throughput_rps(),
         report.protocol_errors,
         report.io_errors,
         report.rejected_batches,
+        report.sheds,
         report.cross_check,
         out.display(),
     );
     if !report.clean() {
-        eprintln!("jim-load: run failed the gate (errors or cross-check mismatch)");
+        eprintln!(
+            "jim-load: run failed the gate (errors, cross-check mismatch, or an \
+             admission preset that never shed)"
+        );
         for sample in &report.error_samples {
             eprintln!("jim-load:   error sample: {sample}");
         }
@@ -820,32 +1015,38 @@ pub fn cli_main() {
 
 const USAGE: &str = "usage: jim-load [--addr HOST:PORT] [--transport threads|epoll] \
     [--concurrency N] [--sessions N] [--max-turns N] [--seed N] [--out PATH] \
-    [--exclusive] [--smoke]";
+    [--reactors N] [--max-connections N] [--idle-timeout SECS] \
+    [--exclusive] [--smoke] [--connections]";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
     let mut config = Config::default();
     let mut args = args.peekable();
     let mut smoke = false;
+    let mut connections = false;
     let mut explicit_exclusive = false;
     let mut parsed: Vec<(String, String)> = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--smoke" => smoke = true,
+            "--connections" => connections = true,
             "--exclusive" => explicit_exclusive = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
             "--addr" | "--transport" | "--concurrency" | "--sessions" | "--max-turns"
-            | "--seed" | "--out" => {
+            | "--seed" | "--out" | "--reactors" | "--max-connections" | "--idle-timeout" => {
                 let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 parsed.push((flag, value));
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if smoke {
-        config = Config::smoke();
+    match (smoke, connections) {
+        (true, true) => return Err("--smoke and --connections are mutually exclusive".into()),
+        (true, false) => config = Config::smoke(),
+        (false, true) => config = Config::connections(),
+        (false, false) => {}
     }
     for (flag, value) in parsed {
         match flag.as_str() {
@@ -868,6 +1069,26 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
             }
             "--seed" => config.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
             "--out" => config.out = PathBuf::from(value),
+            "--reactors" => {
+                config.limits.reactors = value
+                    .parse()
+                    .map_err(|_| format!("bad --reactors {value:?}"))?
+            }
+            "--max-connections" => {
+                config.limits.max_connections = value
+                    .parse()
+                    .map_err(|_| format!("bad --max-connections {value:?}"))?
+            }
+            // 0 disables the idle reaper, mirroring jim-serve's flag.
+            "--idle-timeout" => {
+                config.limits.idle_timeout = match value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --idle-timeout {value:?}"))?
+                {
+                    0 => None,
+                    secs => Some(Duration::from_secs(secs)),
+                }
+            }
             _ => unreachable!("filtered above"),
         }
     }
@@ -898,6 +1119,29 @@ mod tests {
         assert!(!config.exclusive, "external servers may have other clients");
         assert!(parse_args(["--nope"].iter().map(|s| s.to_string())).is_err());
         assert!(parse_args(["--seed"].iter().map(|s| s.to_string())).is_err());
+
+        let config = parse_args(
+            [
+                "--connections",
+                "--max-connections",
+                "5",
+                "--idle-timeout",
+                "0",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(config.connections_preset);
+        assert_eq!(
+            config.limits.max_connections, 5,
+            "flags override the preset"
+        );
+        assert!(
+            config.limits.idle_timeout.is_none(),
+            "0 disables the reaper"
+        );
+        assert!(parse_args(["--smoke", "--connections"].iter().map(|s| s.to_string())).is_err());
     }
 
     #[test]
@@ -932,5 +1176,45 @@ mod tests {
         let creates = json.get("ops").unwrap().get("CreateSession").unwrap();
         assert_eq!(creates.get("count").unwrap().as_u64(), Some(6));
         assert!(json.get("server_store").unwrap().get("hits").is_some());
+        assert_eq!(report.sheds, 0, "an uncapped run never sheds");
+    }
+
+    /// A miniature `--connections` preset: more workers than admission
+    /// slots, reconnecting per session. Sheds must happen (else the cap
+    /// was never exercised), admitted traffic must stay error-free, and
+    /// — because shed requests never reach the server — the per-op
+    /// cross-check must still be *exact*.
+    #[test]
+    fn capped_run_sheds_and_still_cross_checks_exactly() {
+        let report = run(Config {
+            concurrency: 8,
+            sessions: 16,
+            max_turns: 3,
+            seed: 11,
+            limits: TransportLimits {
+                max_connections: 3,
+                ..TransportLimits::default()
+            },
+            connections_preset: true,
+            ..Config::default()
+        })
+        .unwrap();
+        assert_eq!(report.protocol_errors, 0, "{:?}", report.error_samples);
+        assert_eq!(report.io_errors, 0);
+        assert_eq!(report.cross_check, "exact");
+        assert!(report.sheds > 0, "8 workers over a 3-slot cap never shed");
+        assert!(report.clean());
+        // The server counted at least every shed the client observed
+        // (it may have counted more: reset races can eat a notice).
+        let server_sheds = report
+            .server_transport
+            .get("sheds")
+            .and_then(Json::as_u64)
+            .expect("transport.sheds in the snapshot");
+        assert!(
+            server_sheds >= report.sheds,
+            "{server_sheds} < {}",
+            report.sheds
+        );
     }
 }

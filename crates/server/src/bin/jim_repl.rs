@@ -104,7 +104,18 @@ impl Repl {
                         .get("error")
                         .and_then(Json::as_str)
                         .unwrap_or("unknown error");
-                    println!("! {msg}");
+                    // Transport-level refusals carry a machine `code`;
+                    // the two connection-fate ones deserve a hint beyond
+                    // the message (the server is about to hang up on us).
+                    match response.get("code").and_then(Json::as_str) {
+                        Some("overloaded") => {
+                            println!("! {msg}\n! (server shed this connection; retry shortly)")
+                        }
+                        Some("idle_timeout") => {
+                            println!("! {msg}\n! (reconnect with --connect to continue)")
+                        }
+                        _ => println!("! {msg}"),
+                    }
                     None
                 } else {
                     Some(response)

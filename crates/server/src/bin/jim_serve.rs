@@ -4,6 +4,8 @@
 //! jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N]
 //!           [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH]
 //!           [--transport threads|epoll] [--metrics-interval SECS]
+//!           [--reactors N] [--max-connections N] [--idle-timeout SECS]
+//!           [--max-inflight N]
 //! ```
 //!
 //! With `--data-dir`, every session is journaled to disk (write-ahead,
@@ -12,11 +14,16 @@
 //! them all up. Without it (the default), sessions are memory-only.
 //!
 //! `--transport` picks the front end: `epoll` (the default on linux) is
-//! a non-blocking event loop — one reactor thread plus a small worker
-//! pool, so ten thousand idle sessions don't cost ten thousand stacks;
-//! `threads` (the default elsewhere, where `jim-aio` has no backend) is
-//! the portable thread-per-connection fallback. The wire behavior is
-//! identical on both.
+//! a non-blocking event loop — `--reactors N` reactor threads (default
+//! `min(cores, 4)`, also `JIM_REACTORS`), each with its own poller and
+//! worker pool, fed round-robin by an accept thread, so ten thousand
+//! idle sessions don't cost ten thousand stacks; `threads` (the default
+//! elsewhere, where `jim-aio` has no backend) is the portable
+//! thread-per-connection fallback. The wire behavior is identical on
+//! both, including the guardrails: `--max-connections` sheds over-cap
+//! connects with a typed `overloaded` error, `--idle-timeout` reaps
+//! peers that complete no request line in SECS seconds (0 disables),
+//! and `--max-inflight` caps pipelined requests per connection (epoll).
 //!
 //! `--metrics-interval SECS` logs a one-line metrics summary (requests,
 //! errors, latency quantiles, live connections, resident sessions) every
@@ -28,7 +35,7 @@
 
 use jim_server::handler::{Handler, ServerLimits};
 use jim_server::journal::JournalStore;
-use jim_server::serve::{serve, spawn_sweeper, Shutdown, Transport};
+use jim_server::serve::{serve_with, spawn_sweeper, Shutdown, Transport, TransportLimits};
 use jim_server::store::{SessionStore, StoreConfig};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -38,7 +45,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N] \
          [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH] \
-         [--transport threads|epoll] [--metrics-interval SECS]"
+         [--transport threads|epoll] [--metrics-interval SECS] \
+         [--reactors N] [--max-connections N] [--idle-timeout SECS] [--max-inflight N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +59,7 @@ fn main() -> std::io::Result<()> {
     let mut data_dir: Option<String> = None;
     let mut transport = Transport::default_for_platform();
     let mut metrics_interval: Option<Duration> = None;
+    let mut transport_limits = TransportLimits::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -98,6 +107,24 @@ fn main() -> std::io::Result<()> {
                     eprintln!("jim-serve: {message}");
                     usage();
                 }
+            },
+            "--reactors" => match value("--reactors").parse() {
+                Ok(n) if n > 0 => transport_limits.reactors = n,
+                _ => usage(),
+            },
+            "--max-connections" => match value("--max-connections").parse() {
+                Ok(n) if n > 0 => transport_limits.max_connections = n,
+                _ => usage(),
+            },
+            // 0 disables the idle reaper (a debugging convenience).
+            "--idle-timeout" => match value("--idle-timeout").parse::<u64>() {
+                Ok(0) => transport_limits.idle_timeout = None,
+                Ok(secs) => transport_limits.idle_timeout = Some(Duration::from_secs(secs)),
+                Err(_) => usage(),
+            },
+            "--max-inflight" => match value("--max-inflight").parse() {
+                Ok(n) if n > 0 => transport_limits.max_inflight = n,
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             other => {
@@ -152,10 +179,18 @@ fn main() -> std::io::Result<()> {
 
     let listener = TcpListener::bind((host.as_str(), port))?;
     eprintln!(
-        "jim-serve: listening on {} via the {} transport (max {} sessions, {} shards, ttl \
-         {:?}, sample past {} tuples, answer batches up to {} labels, sessions {}, simd {})",
+        "jim-serve: listening on {} via the {} transport ({} reactors, max {} connections, \
+         idle timeout {}, {} in-flight/conn; max {} sessions, {} shards, ttl {:?}, sample \
+         past {} tuples, answer batches up to {} labels, sessions {}, simd {})",
         listener.local_addr()?,
         transport,
+        transport_limits.reactors,
+        transport_limits.max_connections,
+        match transport_limits.idle_timeout {
+            Some(t) => format!("{t:?}"),
+            None => "off".to_string(),
+        },
+        transport_limits.max_inflight,
         config.max_sessions,
         shards,
         config.ttl,
@@ -167,5 +202,5 @@ fn main() -> std::io::Result<()> {
         },
         jim_simd::active_name()
     );
-    serve(listener, handler, transport, shutdown)
+    serve_with(listener, handler, transport, shutdown, transport_limits)
 }

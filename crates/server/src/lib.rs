@@ -72,7 +72,7 @@ pub mod store;
 
 pub use handler::{Handler, ServerLimits};
 pub use journal::{JournalStore, StoredSession};
-pub use metrics::{Op, OpMetrics, ServerMetrics};
-pub use protocol::{Request, Source};
-pub use serve::{serve, spawn_sweeper, Shutdown, Transport};
+pub use metrics::{Op, OpMetrics, ReactorMetrics, ServerMetrics};
+pub use protocol::{Request, ServerError, Source};
+pub use serve::{serve, serve_with, spawn_sweeper, Shutdown, Transport, TransportLimits};
 pub use store::{QuestionCache, Session, SessionStore, StoreConfig, SweepReport};

@@ -30,7 +30,7 @@
 use crate::protocol::Request;
 use jim_json::Json;
 use jim_metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Every wire op, in protocol-table order. `Op as usize` indexes the
@@ -122,6 +122,27 @@ impl Op {
     }
 }
 
+/// One reactor thread's share of the transport counters (epoll only).
+///
+/// The global transport gauges are **aggregates**: every reactor
+/// increments and decrements the same `transport.live_connections` /
+/// `transport.worker_queue_depth` handles symmetrically (no reactor ever
+/// `set`s them), so N reactors sum correctly. These per-reactor handles
+/// exist on top of that so a snapshot can show *skew* — a reactor whose
+/// queue is deep or whose connection share is lopsided.
+pub struct ReactorMetrics {
+    /// Complete lines this reactor handed to its worker pool.
+    pub dispatched: Arc<Counter>,
+    /// Connections currently owned by this reactor.
+    pub live_connections: Arc<Gauge>,
+    /// Jobs queued at this reactor's worker pool right now.
+    pub worker_queue_depth: Arc<Gauge>,
+    /// Connections this reactor reaped for idling past the timeout.
+    pub idle_timeouts: Arc<Counter>,
+    /// Over-cap connections shed that round-robin would have sent here.
+    pub sheds: Arc<Counter>,
+}
+
 /// Per-op counters and latency.
 pub struct OpMetrics {
     /// Requests dispatched (counted before the handler runs).
@@ -143,10 +164,18 @@ pub struct ServerMetrics {
     pub decode_refused: Arc<Counter>,
     /// Lines refused for exceeding the 16 MiB cap.
     pub oversized: Arc<Counter>,
-    /// Currently open client connections.
+    /// Currently open client connections (summed across reactors).
     pub live_connections: Arc<Gauge>,
-    /// Jobs queued at the epoll worker pool right now (0 on threads).
+    /// Jobs queued at the epoll worker pools right now, summed across
+    /// reactors (0 on threads).
     pub worker_queue_depth: Arc<Gauge>,
+    /// Connections refused at the admission cap with `Overloaded`.
+    pub sheds: Arc<Counter>,
+    /// Connections reaped for idling past the timeout.
+    pub idle_timeouts: Arc<Counter>,
+    /// Per-reactor breakdowns, one entry per reactor index (lazily
+    /// registered by the epoll transport; empty on threads).
+    reactors: Mutex<Vec<Arc<ReactorMetrics>>>,
     /// Session lookups answered from memory.
     pub store_hits: Arc<Counter>,
     /// Session lookups rehydrated from the journal (evicted → resident).
@@ -193,6 +222,9 @@ impl ServerMetrics {
             oversized: registry.counter("transport.oversized"),
             live_connections: registry.gauge("transport.live_connections"),
             worker_queue_depth: registry.gauge("transport.worker_queue_depth"),
+            sheds: registry.counter("transport.sheds"),
+            idle_timeouts: registry.counter("transport.idle_timeouts"),
+            reactors: Mutex::new(Vec::new()),
             store_hits: registry.counter("store.hits"),
             store_resumes: registry.counter("store.resumes"),
             replayed_batches: registry.counter("store.replayed_batches"),
@@ -212,6 +244,35 @@ impl ServerMetrics {
     /// The per-op metrics of one wire op.
     pub fn op(&self, op: Op) -> &OpMetrics {
         &self.ops[op as usize]
+    }
+
+    /// The per-reactor metrics of reactor `index`, registering the slots
+    /// up through `index` on first use. Registration is name-keyed, so a
+    /// transport restart over the same store (tests do this) gets the
+    /// same handles back — counters continue, they don't double-register.
+    pub fn reactor(&self, index: usize) -> Arc<ReactorMetrics> {
+        let mut reactors = self.reactors.lock().expect("reactor metrics");
+        while reactors.len() <= index {
+            let i = reactors.len();
+            reactors.push(Arc::new(ReactorMetrics {
+                dispatched: self
+                    .registry
+                    .counter(&format!("transport.reactor.{i}.dispatched")),
+                live_connections: self
+                    .registry
+                    .gauge(&format!("transport.reactor.{i}.live_connections")),
+                worker_queue_depth: self
+                    .registry
+                    .gauge(&format!("transport.reactor.{i}.worker_queue_depth")),
+                idle_timeouts: self
+                    .registry
+                    .counter(&format!("transport.reactor.{i}.idle_timeouts")),
+                sheds: self
+                    .registry
+                    .counter(&format!("transport.reactor.{i}.sheds")),
+            }));
+        }
+        Arc::clone(&reactors[index])
     }
 
     /// The underlying name-keyed registry (every typed handle above is
@@ -272,6 +333,30 @@ impl ServerMetrics {
                     (
                         "worker_queue_depth",
                         Json::from(self.worker_queue_depth.get()),
+                    ),
+                    ("sheds", Json::from(self.sheds.get())),
+                    ("idle_timeouts", Json::from(self.idle_timeouts.get())),
+                    (
+                        "reactors",
+                        Json::Array(
+                            self.reactors
+                                .lock()
+                                .expect("reactor metrics")
+                                .iter()
+                                .map(|r| {
+                                    Json::object([
+                                        ("dispatched", Json::from(r.dispatched.get())),
+                                        ("live_connections", Json::from(r.live_connections.get())),
+                                        (
+                                            "worker_queue_depth",
+                                            Json::from(r.worker_queue_depth.get()),
+                                        ),
+                                        ("idle_timeouts", Json::from(r.idle_timeouts.get())),
+                                        ("sheds", Json::from(r.sheds.get())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
                     ),
                 ]),
             ),

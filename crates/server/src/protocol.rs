@@ -347,6 +347,62 @@ pub fn error(message: impl Into<String>) -> Json {
     ])
 }
 
+/// The transport-level rejections a client can be refused with *before*
+/// (or instead of) its request reaching the handler. Unlike handler
+/// errors — which are free-form strings about a specific request — these
+/// are conditions of the **connection**, so they carry a stable machine
+/// `code` a client can dispatch on (retry-with-backoff for `overloaded`,
+/// reconnect for `idle_timeout`, give up for the framing refusals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerError {
+    /// The global admission cap is reached: the connection is refused at
+    /// accept, answered with this, and closed. Nothing was queued.
+    Overloaded,
+    /// The connection sat idle (or dripped an incomplete line) past the
+    /// server's idle timeout and is being reaped.
+    IdleTimeout,
+    /// A request line exceeded the 16 MiB cap.
+    Oversize,
+    /// A request line was not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl ServerError {
+    /// The stable machine-readable `code` field value.
+    pub fn code(self) -> &'static str {
+        match self {
+            ServerError::Overloaded => "overloaded",
+            ServerError::IdleTimeout => "idle_timeout",
+            ServerError::Oversize => "oversize",
+            ServerError::InvalidUtf8 => "invalid_utf8",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(self) -> &'static str {
+        match self {
+            ServerError::Overloaded => {
+                "server at max-connections; connection refused — retry with backoff"
+            }
+            ServerError::IdleTimeout => "connection idle past the server timeout; closing",
+            ServerError::Oversize => "request line exceeds the 16 MiB limit",
+            ServerError::InvalidUtf8 => {
+                "request line is not valid UTF-8; the line was refused, \
+                 no session state was touched"
+            }
+        }
+    }
+
+    /// The full response object: `{"ok":false,"error":...,"code":...}`.
+    pub fn response(self) -> Json {
+        Json::object([
+            ("ok", Json::Bool(false)),
+            ("error", Json::from(self.message())),
+            ("code", Json::from(self.code())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,76 +1,115 @@
-//! The epoll event-loop transport (linux only).
+//! The epoll event-loop transport (linux only): a multi-reactor front
+//! end with admission control.
 //!
-//! One **reactor thread** owns every connection: it multiplexes
-//! readiness through a `jim-aio` [`Poller`] (level-triggered
-//! epoll), accumulates request bytes per connection until `\n`, and
-//! writes buffered responses back with backpressure. It never runs a
-//! request itself — complete lines are handed to a small **worker pool**
-//! (bounded, independent of connection count) so a slow `CreateSession`
-//! or journal replay cannot stall the loop; finished responses come back
-//! over a completion queue and an eventfd [`Waker`]. The result is the
-//! serving posture the interactive workload wants: thousands of
-//! mostly-idle sessions held for the price of their buffers, with
-//! `reactor + workers` threads total instead of one stack per socket.
-//!
-//! Per-connection state machine (see [`Conn`]):
+//! ## Thread layout
 //!
 //! ```text
-//!   read-accumulate ──complete line──▶ in-flight at worker pool
-//!        ▲   │ cap hit: queue error, close-after-flush       │
-//!        │   ▼                                               ▼
-//!        └── idle ◀──────flush response (EPOLLOUT on short write)
+//!                 ┌───────────────┐  round-robin   ┌──────────────────────┐
+//!   TCP accept ──▶│ accept thread │───────────────▶│ reactor 0 ... N-1    │
+//!                 │  (admission)  │  inbox+waker   │  Poller · conns      │
+//!                 └───────┬───────┘                │  worker pool (2..8)  │
+//!                         │ over cap:              │  completion queue    │
+//!                         ▼                        └──────────────────────┘
+//!                  Overloaded + close
 //! ```
 //!
-//! Invariants:
+//! The thread that calls [`serve_epoll`] becomes the **accept loop**: it
+//! owns the listener, enforces the global max-connections admission cap,
+//! and hands each accepted socket to one of N **reactor threads**
+//! (`TransportLimits::reactors`) round-robin, via a per-reactor inbox
+//! and eventfd [`Waker`]. Each reactor owns its own `jim-aio`
+//! [`Poller`], its own worker pool and its own completion queue, so the
+//! accept/framing path scales across cores with no shared epoll set and
+//! no cross-reactor locks on the hot path.
 //!
-//! * at most **one** line per connection is in flight — responses come
-//!   back in request order with no per-connection queueing;
-//! * read interest is dropped while a request is in flight or a
-//!   response is unflushed, so a pipelining peer is backpressured at
-//!   the socket instead of growing server buffers;
+//! **Why an accept thread, not `SO_REUSEPORT`?** `serve()` takes a
+//! *pre-bound* listener (tests, benches and `jim-load` all bind
+//! `127.0.0.1:0` and read the OS-assigned port back), and `SO_REUSEPORT`
+//! only balances across sockets that all set the option *before* `bind`
+//! — adopting it would mean re-binding inside `serve` (racy for port-0
+//! listeners) and breaking the public API. A single accept point also
+//! makes the admission cap **exact** (one admitter, one counter — no
+//! distributed over-admit race) and balances small connection counts
+//! better than the kernel's 4-tuple hash, which happily lands a test's
+//! four connections on one reactor. The cost — one thread doing only
+//! `accept` + an eventfd write per connection — is noise next to
+//! per-connection framing work.
+//!
+//! ## Guardrails (see [`TransportLimits`])
+//!
+//! * **Admission**: past `max_connections` the accept thread writes one
+//!   typed `Overloaded` line (machine `code":"overloaded"`) and closes —
+//!   load is shed, never queued.
+//! * **Idle/read timeout**: the reactor's `poller.wait` timeout doubles
+//!   as a timer tick; a connection that completes no request line for
+//!   `idle_timeout` is answered with `IdleTimeout` and reaped. The clock
+//!   resets on *complete lines* only, so a slowloris dripping bytes
+//!   mid-line is reaped on schedule.
+//! * **In-flight cap**: up to `max_inflight` pipelined lines per
+//!   connection run concurrently at the worker pool; responses are
+//!   reordered back into **request order** before flushing (`seq`
+//!   numbers, a per-connection pending map). Past the cap, read interest
+//!   is dropped and the peer is backpressured at the socket.
+//!
+//! Other invariants carried over from the single-reactor design:
+//!
+//! * connection tokens are **never reused** within a reactor, so a
+//!   completion for a dead connection cannot be misdelivered;
 //! * a partial line never exceeds [`MAX_LINE_BYTES`]: past the cap the
 //!   peer gets the same answered-then-dropped treatment as on the
 //!   threads transport;
-//! * [`Shutdown`]: stop accepting, drop idle connections, let in-flight
-//!   responses finish and flush, then return (with a hard deadline so a
-//!   peer that never drains its socket cannot pin the process).
+//! * [`Shutdown`]: stop accepting, stop reading, let in-flight responses
+//!   finish and flush, then return (with a hard deadline so a peer that
+//!   never drains its socket cannot pin the process);
+//! * the global `live_connections` / `worker_queue_depth` gauges are
+//!   **aggregates**: every reactor moves them symmetrically (increment
+//!   on admit/dispatch, decrement on close/pop — never `set`), so they
+//!   stay correct with N reactors and across transport restarts.
 
 use crate::handler::Handler;
-use crate::metrics::ServerMetrics;
-use crate::serve::{oversize_response, respond_to, Shutdown, DRAIN_DEADLINE, MAX_LINE_BYTES};
+use crate::metrics::{ReactorMetrics, ServerMetrics};
+use crate::serve::{
+    idle_timeout_response, oversize_response, respond_to, shed_connection, Shutdown,
+    TransportLimits, DRAIN_DEADLINE, MAX_LINE_BYTES,
+};
 use jim_aio::{Events, Interest, Poller, Waker};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 const LISTENER_TOKEN: u64 = 0;
 const WAKER_TOKEN: u64 = 1;
-/// Connection tokens count up from here and are **never reused**, so a
-/// completion for a connection that died mid-request cannot be delivered
-/// to a newcomer that recycled its slot.
+/// Connection tokens count up from here (per reactor) and are **never
+/// reused**, so a completion for a connection that died mid-request
+/// cannot be delivered to a newcomer that recycled its slot.
 const FIRST_CONN_TOKEN: u64 = 2;
 
 /// Socket read granularity.
 const READ_CHUNK: usize = 64 * 1024;
 
-/// Worker-pool bounds: enough to hide one slow request behind others,
-/// few enough that the "bounded thread count" promise stays meaningful.
+/// Per-reactor worker-pool bounds: enough to hide one slow request
+/// behind others, few enough that the "bounded thread count" promise
+/// stays meaningful even at `--reactors 4`.
 const MIN_WORKERS: usize = 2;
 const MAX_WORKERS: usize = 8;
 
-fn worker_count() -> usize {
-    std::thread::available_parallelism()
+fn workers_per_reactor(reactors: usize) -> usize {
+    let cores = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(MIN_WORKERS)
-        .clamp(MIN_WORKERS, MAX_WORKERS)
+        .unwrap_or(MIN_WORKERS);
+    (cores / reactors.max(1)).clamp(MIN_WORKERS, MAX_WORKERS)
 }
 
-/// One complete request line travelling to the worker pool.
+/// One complete request line travelling to a reactor's worker pool.
+/// `seq` is its position in the connection's request order — the reactor
+/// uses it to put concurrent completions back in order.
 struct Job {
     token: u64,
+    seq: u64,
     line: Vec<u8>,
 }
 
@@ -118,20 +157,20 @@ impl JobQueue {
 /// The workers→reactor channel: finished responses, plus the waker that
 /// pops the reactor out of `epoll_wait` to collect them.
 struct Completions {
-    ready: Mutex<Vec<(u64, Option<String>)>>,
+    ready: Mutex<Vec<(u64, u64, Option<String>)>>,
     waker: Waker,
 }
 
 impl Completions {
-    fn push(&self, token: u64, response: Option<String>) {
+    fn push(&self, token: u64, seq: u64, response: Option<String>) {
         self.ready
             .lock()
             .expect("completions")
-            .push((token, response));
+            .push((token, seq, response));
         let _ = self.waker.wake();
     }
 
-    fn take(&self) -> Vec<(u64, Option<String>)> {
+    fn take(&self) -> Vec<(u64, u64, Option<String>)> {
         std::mem::take(&mut *self.ready.lock().expect("completions"))
     }
 }
@@ -146,7 +185,7 @@ enum Extract {
     Partial,
 }
 
-/// Per-connection state owned by the reactor.
+/// Per-connection state owned by one reactor.
 struct Conn {
     stream: TcpStream,
     /// Request bytes accumulated, newline not yet seen past `scanned`.
@@ -157,8 +196,16 @@ struct Conn {
     /// Response bytes not yet written, from `outpos`.
     outbuf: Vec<u8>,
     outpos: usize,
-    /// A line of this connection is at the worker pool.
-    inflight: bool,
+    /// Lines of this connection at the worker pool right now.
+    inflight: usize,
+    /// Request-order sequence number of the next dispatched line.
+    next_seq: u64,
+    /// Sequence number whose response flushes next: completions arriving
+    /// out of order park in `done` until their turn.
+    next_flush: u64,
+    /// Completed responses not yet promoted to `outbuf` (`None` = the
+    /// blank-line no-response case).
+    done: BTreeMap<u64, Option<String>>,
     /// No more reads: peer EOF, read error, or cap exceeded.
     read_closed: bool,
     /// Close once `outbuf` drains (and nothing is in flight).
@@ -168,6 +215,10 @@ struct Conn {
     dead: bool,
     /// Interest currently registered with the poller.
     armed: Interest,
+    /// When the last *complete* request line arrived (or the connection
+    /// was accepted). Raw bytes do not move this — that is the whole
+    /// slowloris defense.
+    last_line: Instant,
 }
 
 impl Conn {
@@ -178,12 +229,21 @@ impl Conn {
             scanned: 0,
             outbuf: Vec::new(),
             outpos: 0,
-            inflight: false,
+            inflight: 0,
+            next_seq: 0,
+            next_flush: 0,
+            done: BTreeMap::new(),
             read_closed: false,
             close_after_flush: false,
             dead: false,
             armed: Interest::READ,
+            last_line: Instant::now(),
         }
+    }
+
+    /// Everything dispatched has completed and been promoted.
+    fn settled(&self) -> bool {
+        self.inflight == 0 && self.done.is_empty()
     }
 
     /// Pull whatever the socket has, bounded by the line cap (plus one
@@ -278,13 +338,116 @@ impl Conn {
     }
 }
 
-/// Run the event loop until `shutdown` triggers and the drain finishes.
+/// The accept thread's handle on one reactor.
+struct ReactorHandle {
+    /// Sockets admitted but not yet registered with the reactor's poller.
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    /// Pops the reactor out of `epoll_wait` to drain the inbox (also
+    /// hooked into [`Shutdown`]).
+    waker: Waker,
+    /// This reactor's metrics slot (shed attribution happens here, since
+    /// the accept thread knows which reactor a refused socket was for).
+    metrics: Arc<ReactorMetrics>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+/// Run the multi-reactor front end until `shutdown` triggers and every
+/// reactor finishes draining. The calling thread becomes the accept
+/// loop.
 pub(crate) fn serve_epoll(
     listener: TcpListener,
     handler: Arc<Handler>,
     shutdown: Shutdown,
+    limits: TransportLimits,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
+    let metrics = Arc::clone(handler.store().metrics());
+    // Admitted-and-not-yet-closed connections, across every reactor.
+    // The accept thread is the only admitter, so `load >= cap → shed`
+    // cannot over-admit.
+    let admitted = Arc::new(AtomicUsize::new(0));
+
+    let mut reactors = Vec::with_capacity(limits.reactors);
+    for index in 0..limits.reactors {
+        let waker = Waker::new()?;
+        let inbox: Arc<Mutex<Vec<TcpStream>>> = Arc::default();
+        let rmetrics = metrics.reactor(index);
+        {
+            let waker = waker.clone();
+            shutdown.on_trigger(move || {
+                let _ = waker.wake();
+            });
+        }
+        let thread = {
+            let handler = Arc::clone(&handler);
+            let shutdown = shutdown.clone();
+            let limits = limits.clone();
+            let waker = waker.clone();
+            let inbox = Arc::clone(&inbox);
+            let admitted = Arc::clone(&admitted);
+            let rmetrics = Arc::clone(&rmetrics);
+            std::thread::Builder::new()
+                .name(format!("jim-reactor-{index}"))
+                .spawn(move || {
+                    run_reactor(ReactorCtx {
+                        index,
+                        handler,
+                        shutdown,
+                        limits,
+                        waker,
+                        inbox,
+                        admitted,
+                        rmetrics,
+                    })
+                })
+                .expect("spawn reactor thread")
+        };
+        reactors.push(ReactorHandle {
+            inbox,
+            waker,
+            metrics: rmetrics,
+            thread,
+        });
+    }
+
+    let accept_result = accept_loop(
+        &listener, &shutdown, &limits, &admitted, &metrics, &reactors,
+    );
+    if accept_result.is_err() {
+        // The accept path is fatally broken; the server is coming down.
+        // Triggering shutdown makes the reactors (and the sweeper) drain
+        // and exit so this function can still join everything.
+        shutdown.trigger();
+    }
+    drop(listener); // stop the port answering while the reactors drain
+    let mut result = accept_result;
+    for reactor in reactors {
+        let _ = reactor.waker.wake();
+        match reactor.thread.join() {
+            Ok(r) => {
+                if result.is_ok() {
+                    result = r;
+                }
+            }
+            Err(_) => {
+                if result.is_ok() {
+                    result = Err(io::Error::other("reactor thread panicked"));
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Accept until shutdown: admission check, then round-robin handoff.
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &Shutdown,
+    limits: &TransportLimits,
+    admitted: &AtomicUsize,
+    metrics: &ServerMetrics,
+    reactors: &[ReactorHandle],
+) -> io::Result<()> {
     let poller = Poller::new()?;
     let waker = Waker::new()?;
     poller.add(waker.as_raw_fd(), WAKER_TOKEN, Interest::READ)?;
@@ -295,60 +458,124 @@ pub(crate) fn serve_epoll(
             let _ = waker.wake();
         });
     }
+    let mut events = Events::with_capacity(64);
+    let mut next = 0usize; // round-robin cursor
+    while !shutdown.is_triggered() {
+        poller.wait(&mut events, None)?;
+        let mut accept_ready = false;
+        for event in events.iter() {
+            match event.token {
+                WAKER_TOKEN => waker.drain(),
+                LISTENER_TOKEN => accept_ready = true,
+                _ => {}
+            }
+        }
+        if !accept_ready || shutdown.is_triggered() {
+            continue;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // drop the stream; the peer sees a close
+                    }
+                    // Responses leave in one write; Nagle would stall the
+                    // interactive ping-pong a delayed-ACK per turn.
+                    let _ = stream.set_nodelay(true);
+                    let target = &reactors[next];
+                    next = (next + 1) % reactors.len();
+                    if admitted.load(Ordering::SeqCst) >= limits.max_connections {
+                        metrics.sheds.inc();
+                        target.metrics.sheds.inc();
+                        shed_connection(stream);
+                        continue;
+                    }
+                    admitted.fetch_add(1, Ordering::SeqCst);
+                    metrics.live_connections.add(1);
+                    target.inbox.lock().expect("reactor inbox").push(stream);
+                    let _ = target.waker.wake();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // EMFILE and friends: the listener event is level-
+                    // triggered and stays readable, so without a pause
+                    // the loop would spin on the failing accept. A short
+                    // sleep bounds the retry rate.
+                    eprintln!("jim-serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(25));
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Everything one reactor thread owns.
+struct ReactorCtx {
+    index: usize,
+    handler: Arc<Handler>,
+    shutdown: Shutdown,
+    limits: TransportLimits,
+    waker: Waker,
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    admitted: Arc<AtomicUsize>,
+    rmetrics: Arc<ReactorMetrics>,
+}
+
+/// One reactor: poller + conns + worker pool, until shutdown drains it.
+fn run_reactor(ctx: ReactorCtx) -> io::Result<()> {
+    let metrics = Arc::clone(ctx.handler.store().metrics());
+    let poller = Poller::new()?;
+    poller.add(ctx.waker.as_raw_fd(), WAKER_TOKEN, Interest::READ)?;
 
     let jobs = Arc::new(JobQueue::default());
     let completions = Arc::new(Completions {
         ready: Mutex::new(Vec::new()),
-        waker: waker.clone(),
+        waker: ctx.waker.clone(),
     });
-    let metrics = Arc::clone(handler.store().metrics());
-    let workers: Vec<_> = (0..worker_count())
-        .map(|i| {
+    let workers: Vec<_> = (0..workers_per_reactor(ctx.limits.reactors))
+        .map(|w| {
             let jobs = Arc::clone(&jobs);
             let completions = Arc::clone(&completions);
-            let handler = Arc::clone(&handler);
+            let handler = Arc::clone(&ctx.handler);
+            let rmetrics = Arc::clone(&ctx.rmetrics);
             std::thread::Builder::new()
-                .name(format!("jim-worker-{i}"))
+                .name(format!("jim-r{}-w{w}", ctx.index))
                 .spawn(move || {
                     while let Some(job) = jobs.pop() {
                         let metrics = handler.store().metrics();
                         metrics.worker_queue_depth.add(-1);
-                        completions.push(job.token, respond_to(&handler, &job.line));
+                        rmetrics.worker_queue_depth.add(-1);
+                        completions.push(job.token, job.seq, respond_to(&handler, &job.line));
                     }
                 })
                 .expect("spawn worker thread")
         })
         .collect();
 
-    let result = event_loop(
-        &listener,
-        &poller,
-        &waker,
-        &jobs,
-        &completions,
-        &shutdown,
-        &metrics,
-    );
+    let result = reactor_loop(&ctx, &poller, &jobs, &completions, &metrics);
 
     jobs.close();
     for worker in workers {
         let _ = worker.join();
     }
-    // Every connection the loop still held is gone with it; jobs the
-    // workers never popped are gone too. Zero the gauges so a snapshot
-    // taken after (or across a transport restart in tests) reads clean.
-    metrics.live_connections.set(0);
-    metrics.worker_queue_depth.set(0);
+    // Symmetric teardown (never `set(0)` — other reactors are still
+    // counting): whatever this reactor still holds is released here.
+    for stream in std::mem::take(&mut *ctx.inbox.lock().expect("reactor inbox")) {
+        drop(stream);
+        ctx.admitted.fetch_sub(1, Ordering::SeqCst);
+        metrics.live_connections.add(-1);
+    }
     result
 }
 
-fn event_loop(
-    listener: &TcpListener,
+fn reactor_loop(
+    ctx: &ReactorCtx,
     poller: &Poller,
-    waker: &Waker,
     jobs: &JobQueue,
     completions: &Completions,
-    shutdown: &Shutdown,
     metrics: &ServerMetrics,
 ) -> io::Result<()> {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
@@ -357,22 +584,33 @@ fn event_loop(
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut touched: Vec<u64> = Vec::new();
     let mut draining: Option<Instant> = None;
+    // The idle sweep rides the poller timeout: wake at least every
+    // `tick` so a reap happens within [timeout, timeout + tick].
+    let tick = ctx
+        .limits
+        .idle_timeout
+        .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
+    let mut last_sweep = Instant::now();
 
     loop {
         if let Some(since) = draining {
             if conns.is_empty() || since.elapsed() > DRAIN_DEADLINE {
+                for (_, conn) in conns.drain() {
+                    close_conn(conn, poller, metrics, ctx);
+                }
                 return Ok(());
             }
         }
-        let timeout = draining.map(|_| Duration::from_millis(100));
+        let timeout = match draining {
+            Some(_) => Some(Duration::from_millis(100)),
+            None => tick,
+        };
         poller.wait(&mut events, timeout)?;
 
         touched.clear();
-        let mut accept_ready = false;
         for event in events.iter() {
             match event.token {
-                WAKER_TOKEN => waker.drain(),
-                LISTENER_TOKEN => accept_ready = true,
+                WAKER_TOKEN => ctx.waker.drain(),
                 token => {
                     let Some(conn) = conns.get_mut(&token) else {
                         continue;
@@ -385,21 +623,43 @@ fn event_loop(
             }
         }
 
-        for (token, response) in completions.take() {
+        // Sockets the accept thread handed over since the last pass.
+        for stream in std::mem::take(&mut *ctx.inbox.lock().expect("reactor inbox")) {
+            if draining.is_some() {
+                // Too late to serve it; release its admission slot.
+                drop(stream);
+                ctx.admitted.fetch_sub(1, Ordering::SeqCst);
+                metrics.live_connections.add(-1);
+                continue;
+            }
+            let token = next_token;
+            next_token += 1;
+            match poller.add(stream.as_raw_fd(), token, Interest::READ) {
+                Ok(()) => {
+                    conns.insert(token, Conn::new(stream));
+                    ctx.rmetrics.live_connections.add(1);
+                    touched.push(token);
+                }
+                Err(e) => {
+                    eprintln!("jim-serve: cannot register connection: {e}");
+                    ctx.admitted.fetch_sub(1, Ordering::SeqCst);
+                    metrics.live_connections.add(-1);
+                }
+            }
+        }
+
+        for (token, seq, response) in completions.take() {
             // A completion for a token that already closed is dropped
             // here — tokens are never reused, so it can't be misdelivered.
             if let Some(conn) = conns.get_mut(&token) {
-                conn.inflight = false;
-                if let Some(line) = response {
-                    conn.queue_response(&line);
-                }
+                conn.inflight -= 1;
+                conn.done.insert(seq, response);
                 touched.push(token);
             }
         }
 
-        if draining.is_none() && shutdown.is_triggered() {
+        if draining.is_none() && ctx.shutdown.is_triggered() {
             draining = Some(Instant::now());
-            let _ = poller.delete(listener.as_raw_fd());
             for (&token, conn) in conns.iter_mut() {
                 // Stop reading everywhere; whatever is in flight still
                 // finishes, flushes and then closes.
@@ -409,109 +669,129 @@ fn event_loop(
             }
         }
 
-        if accept_ready && draining.is_none() {
-            accept_all(listener, poller, &mut conns, &mut next_token, metrics);
+        // The timer tick: reap connections idle past the deadline. A
+        // conn with work in flight is never idle; one whose peer stopped
+        // draining responses gets dropped without the courtesy line.
+        if let (None, Some(idle)) = (draining, ctx.limits.idle_timeout) {
+            let t = tick.unwrap_or(Duration::MAX);
+            if last_sweep.elapsed() >= t {
+                last_sweep = Instant::now();
+                for (&token, conn) in conns.iter_mut() {
+                    if conn.inflight > 0
+                        || conn.close_after_flush
+                        || conn.dead
+                        || conn.last_line.elapsed() < idle
+                    {
+                        continue;
+                    }
+                    metrics.idle_timeouts.inc();
+                    ctx.rmetrics.idle_timeouts.inc();
+                    if conn.flushed() && conn.done.is_empty() {
+                        conn.queue_response(&idle_timeout_response());
+                        conn.read_closed = true;
+                        conn.close_after_flush = true;
+                    } else {
+                        conn.dead = true;
+                    }
+                    touched.push(token);
+                }
+            }
         }
 
         touched.sort_unstable();
         touched.dedup();
         for &token in &touched {
-            advance(token, &mut conns, poller, jobs, metrics);
+            if let Some(conn) = advance(token, &mut conns, poller, jobs, metrics, ctx) {
+                close_conn(conn, poller, metrics, ctx);
+            }
         }
     }
 }
 
-/// Accept everything pending on the listener and register it.
-fn accept_all(
-    listener: &TcpListener,
-    poller: &Poller,
-    conns: &mut HashMap<u64, Conn>,
-    next_token: &mut u64,
-    metrics: &ServerMetrics,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if stream.set_nonblocking(true).is_err() {
-                    continue; // drop the stream; the peer sees a close
-                }
-                // Responses leave in one write; Nagle would stall the
-                // interactive ping-pong a delayed-ACK per turn.
-                let _ = stream.set_nodelay(true);
-                let token = *next_token;
-                *next_token += 1;
-                match poller.add(stream.as_raw_fd(), token, Interest::READ) {
-                    Ok(()) => {
-                        conns.insert(token, Conn::new(stream));
-                        metrics.live_connections.add(1);
-                    }
-                    Err(e) => eprintln!("jim-serve: cannot register connection: {e}"),
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => {
-                // EMFILE and friends: the listener event is level-
-                // triggered and stays readable, so without a pause the
-                // reactor would spin on the failing accept. A short
-                // sleep bounds the retry rate; existing connections
-                // resume within it.
-                eprintln!("jim-serve: accept failed: {e}");
-                std::thread::sleep(Duration::from_millis(25));
-                return;
-            }
-        }
-    }
+/// Release one closed connection: poller registration, the aggregate
+/// and per-reactor gauges, and its global admission slot — the exact
+/// mirror of what admission + registration took, so the counters stay
+/// correct with any number of reactors (nobody ever `set`s them).
+fn close_conn(conn: Conn, poller: &Poller, metrics: &ServerMetrics, ctx: &ReactorCtx) {
+    let _ = poller.delete(conn.stream.as_raw_fd());
+    metrics.live_connections.add(-1);
+    ctx.rmetrics.live_connections.add(-1);
+    ctx.admitted.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Drive one connection's state machine as far as it can go right now:
-/// flush, then either dispatch the next buffered line or close, then
-/// re-arm poller interest to match the new state.
+/// promote completed responses into request order, flush, dispatch
+/// buffered lines up to the in-flight cap, then re-arm poller interest.
+/// Returns the connection if it must close.
 fn advance(
     token: u64,
     conns: &mut HashMap<u64, Conn>,
     poller: &Poller,
     jobs: &JobQueue,
     metrics: &ServerMetrics,
-) {
-    let Some(conn) = conns.get_mut(&token) else {
-        return;
-    };
+    ctx: &ReactorCtx,
+) -> Option<Conn> {
+    let conn = conns.get_mut(&token)?;
     let mut close = loop {
+        // Responses leave in request order: promote every completion
+        // whose turn has come, park the rest in `done`.
+        while let Some(response) = conn.done.remove(&conn.next_flush) {
+            conn.next_flush += 1;
+            if let Some(line) = response {
+                conn.queue_response(&line);
+            }
+        }
         conn.flush();
-        if conn.dead || (conn.flushed() && conn.close_after_flush && !conn.inflight) {
+        if conn.dead {
             break true;
         }
-        if !conn.flushed() || conn.inflight || conn.close_after_flush {
+        if conn.close_after_flush && conn.settled() && conn.flushed() {
+            break true;
+        }
+        // Dispatch more pipelined lines only when under the in-flight
+        // cap and fully flushed (the flush requirement bounds `outbuf`:
+        // a peer that won't read its responses stops being served).
+        if conn.close_after_flush || !conn.flushed() || conn.inflight >= ctx.limits.max_inflight {
             break false;
         }
         match conn.extract_line() {
             Extract::Line(line) => {
-                conn.inflight = true;
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.inflight += 1;
+                conn.last_line = Instant::now();
                 metrics.worker_queue_depth.add(1);
-                jobs.push(Job { token, line });
-                break false;
+                ctx.rmetrics.worker_queue_depth.add(1);
+                ctx.rmetrics.dispatched.inc();
+                jobs.push(Job { token, seq, line });
+                // Loop: there may be more buffered lines under the cap.
             }
             Extract::Oversize => {
                 // Same contract as the threads transport: answer the
-                // error, then drop the connection once it flushes.
+                // error, then drop the connection once it flushes. The
+                // answer takes a `seq` slot so it stays in order behind
+                // any responses still in flight.
                 metrics.oversized.inc();
-                let response = oversize_response();
-                conn.queue_response(&response);
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.done.insert(seq, Some(oversize_response()));
                 conn.read_closed = true;
                 conn.close_after_flush = true;
-                // Loop: flush what we can immediately.
+                // Loop: promote + flush what we can immediately.
             }
             Extract::Partial => {
                 // EOF with no complete line pending: drop the partial.
-                break conn.read_closed;
+                break conn.read_closed && conn.settled() && conn.flushed();
             }
         }
     };
     if !close {
-        // Backpressure: read only when idle and fully flushed.
+        // Backpressure: read only when flushed and under the cap.
         let want = Interest {
-            read: !conn.inflight && conn.flushed() && !conn.read_closed && !conn.close_after_flush,
+            read: !conn.read_closed
+                && !conn.close_after_flush
+                && conn.flushed()
+                && conn.inflight < ctx.limits.max_inflight,
             write: !conn.flushed(),
         };
         if want != conn.armed {
@@ -522,9 +802,7 @@ fn advance(
         }
     }
     if close {
-        if let Some(conn) = conns.remove(&token) {
-            let _ = poller.delete(conn.stream.as_raw_fd());
-            metrics.live_connections.add(-1);
-        }
+        return conns.remove(&token);
     }
+    None
 }

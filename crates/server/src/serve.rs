@@ -25,11 +25,11 @@
 //! into replacement characters and stored as corrupted relation data.
 
 use crate::handler::Handler;
-use crate::protocol;
+use crate::protocol::ServerError;
 use crate::store::SessionStore;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -46,6 +46,82 @@ const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
 /// finish and flush before giving up on them (a peer that never reads
 /// its socket must not pin the process).
 pub(crate) const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Default global admission cap (see [`TransportLimits::max_connections`]).
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
+
+/// Default per-connection idle timeout (see [`TransportLimits::idle_timeout`]).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Default per-connection in-flight cap (see [`TransportLimits::max_inflight`]).
+pub const DEFAULT_MAX_INFLIGHT: usize = 4;
+
+/// The production-traffic guardrails both transports honor.
+///
+/// One struct, one semantics, two enforcement points: the epoll
+/// transport checks admission in its accept loop and drives timeouts off
+/// the reactor's `poller.wait` tick; the threads transport checks
+/// admission in the same place and drives timeouts off its existing
+/// 50 ms read-timeout tick. Either way a client sees the identical wire
+/// behavior: connection 257 of a 256-cap server gets a typed
+/// [`ServerError::Overloaded`] line and a close (never a silent queue),
+/// and a peer that goes quiet — or drips bytes without ever finishing a
+/// line — is answered with [`ServerError::IdleTimeout`] and reaped.
+#[derive(Debug, Clone)]
+pub struct TransportLimits {
+    /// Epoll reactor threads (`--reactors` / `JIM_REACTORS`). Ignored by
+    /// the threads transport. Clamped to at least 1.
+    pub reactors: usize,
+    /// Global admission cap across every reactor (or connection thread).
+    /// Connections past it are shed with [`ServerError::Overloaded`].
+    pub max_connections: usize,
+    /// Reap a connection that completes no request line for this long
+    /// (`None` disables). The clock resets on *complete lines*, not raw
+    /// bytes, so a slowloris drip does not count as progress.
+    pub idle_timeout: Option<Duration>,
+    /// Pipelined requests one connection may have in flight at the
+    /// worker pool before the reactor stops reading it (epoll only; the
+    /// threads transport is strictly request/response per thread).
+    pub max_inflight: usize,
+}
+
+impl Default for TransportLimits {
+    fn default() -> TransportLimits {
+        TransportLimits {
+            reactors: default_reactors(),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+}
+
+impl TransportLimits {
+    /// Clamp every knob to something the transports can run with.
+    pub fn normalized(mut self) -> TransportLimits {
+        self.reactors = self.reactors.clamp(1, 64);
+        self.max_connections = self.max_connections.max(1);
+        self.max_inflight = self.max_inflight.max(1);
+        self
+    }
+}
+
+/// The reactor-count default: `JIM_REACTORS` if set to a positive
+/// integer, else `min(cores, 4)` — enough to spread accept/framing load
+/// across cores without spawning a pool of mostly-idle epoll waiters on
+/// big machines.
+pub fn default_reactors() -> usize {
+    if let Ok(raw) = std::env::var("JIM_REACTORS") {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n.min(64),
+            _ => eprintln!("jim-serve: ignoring invalid JIM_REACTORS={raw:?}"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
+}
 
 /// Which TCP front end [`serve`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,7 +270,8 @@ impl Shutdown {
 }
 
 /// Serve the listener with the chosen transport until `shutdown` is
-/// triggered (or a fatal listener/reactor error). [`Transport::Epoll`]
+/// triggered (or a fatal listener/reactor error), under the default
+/// [`TransportLimits`] (which honor `JIM_REACTORS`). [`Transport::Epoll`]
 /// off linux returns [`io::ErrorKind::Unsupported`].
 pub fn serve(
     listener: TcpListener,
@@ -202,16 +279,28 @@ pub fn serve(
     transport: Transport,
     shutdown: Shutdown,
 ) -> io::Result<()> {
+    serve_with(listener, handler, transport, shutdown, Default::default())
+}
+
+/// [`serve`] with explicit [`TransportLimits`].
+pub fn serve_with(
+    listener: TcpListener,
+    handler: Arc<Handler>,
+    transport: Transport,
+    shutdown: Shutdown,
+    limits: TransportLimits,
+) -> io::Result<()> {
+    let limits = limits.normalized();
     match transport {
-        Transport::Threads => serve_threads(listener, handler, shutdown),
+        Transport::Threads => serve_threads(listener, handler, shutdown, limits),
         Transport::Epoll => {
             #[cfg(target_os = "linux")]
             {
-                crate::reactor::serve_epoll(listener, handler, shutdown)
+                crate::reactor::serve_epoll(listener, handler, shutdown, limits)
             }
             #[cfg(not(target_os = "linux"))]
             {
-                let _ = (listener, handler, shutdown);
+                let _ = (listener, handler, shutdown, limits);
                 Err(io::Error::new(
                     io::ErrorKind::Unsupported,
                     "the epoll transport is linux-only; use --transport threads",
@@ -219,6 +308,20 @@ pub fn serve(
             }
         }
     }
+}
+
+/// Refuse a connection at the admission cap: best-effort write of the
+/// typed [`ServerError::Overloaded`] line, then close. Shared by both
+/// transports' accept paths so an over-cap client always sees the same
+/// thing — an answer and a hangup, never a hang.
+pub(crate) fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut line = overloaded_response();
+    line.push('\n');
+    // The socket is fresh, so the line fits its send buffer whether the
+    // stream is blocking or not; if the peer is already gone, the shed
+    // stands regardless.
+    let _ = stream.write_all(line.as_bytes());
 }
 
 /// Decrements the live-connection count (and its metrics gauge) however
@@ -240,17 +343,22 @@ impl Drop for ConnGuard {
 /// blocking thread per connection, then drain — connection threads
 /// observe the signal within one [`SHUTDOWN_POLL`] (finishing any
 /// response they are mid-way through first), and `serve` waits for them
-/// up to [`DRAIN_DEADLINE`] so returning really means drained.
+/// up to [`DRAIN_DEADLINE`] so returning really means drained. The
+/// [`TransportLimits`] admission cap is enforced at accept; the idle
+/// timeout rides the per-read [`SHUTDOWN_POLL`] tick inside
+/// [`serve_connection`].
 fn serve_threads(
     listener: TcpListener,
     handler: Arc<Handler>,
     shutdown: Shutdown,
+    limits: TransportLimits,
 ) -> io::Result<()> {
     // Non-blocking accept so the loop can observe the shutdown signal;
     // connections themselves stay blocking.
     listener.set_nonblocking(true)?;
     let metrics = Arc::clone(handler.store().metrics());
-    let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let active = Arc::new(AtomicUsize::new(0));
+    let limits = Arc::new(limits);
     while !shutdown.is_triggered() {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -261,11 +369,20 @@ fn serve_threads(
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
+                // Admission: `active` counts only admitted connections
+                // and this loop is the only admitter, so the cap is
+                // exact — no queueing, the peer gets a typed answer now.
+                if active.load(Ordering::SeqCst) >= limits.max_connections {
+                    metrics.sheds.inc();
+                    shed_connection(stream);
+                    continue;
+                }
                 // One write per response line; Nagle would stall the
                 // question/answer ping-pong a delayed-ACK (~40ms) per turn.
                 let _ = stream.set_nodelay(true);
                 let handler = Arc::clone(&handler);
                 let shutdown = shutdown.clone();
+                let limits = Arc::clone(&limits);
                 active.fetch_add(1, Ordering::SeqCst);
                 metrics.live_connections.add(1);
                 let guard = ConnGuard {
@@ -274,7 +391,7 @@ fn serve_threads(
                 };
                 std::thread::spawn(move || {
                     let _guard = guard;
-                    if let Err(e) = serve_connection(stream, &handler, &shutdown) {
+                    if let Err(e) = serve_connection(stream, &handler, &shutdown, &limits) {
                         // Disconnects are routine; log and move on.
                         eprintln!("jim-serve: connection ended: {e}");
                     }
@@ -329,38 +446,100 @@ pub(crate) fn respond_to(handler: &Handler, raw: &[u8]) -> Option<String> {
 
 /// The typed rejection for a request line with invalid UTF-8.
 pub(crate) fn invalid_utf8_response() -> String {
-    protocol::error(
-        "request line is not valid UTF-8; the line was refused, no session state was touched",
-    )
-    .render()
+    ServerError::InvalidUtf8.response().render()
 }
 
 /// The typed rejection for a request line over [`MAX_LINE_BYTES`].
 pub(crate) fn oversize_response() -> String {
-    protocol::error("request line exceeds the 16 MiB limit").render()
+    ServerError::Oversize.response().render()
+}
+
+/// The typed rejection written (best effort) before reaping an idle peer.
+pub(crate) fn idle_timeout_response() -> String {
+    ServerError::IdleTimeout.response().render()
+}
+
+/// The typed rejection for a connection shed at the admission cap.
+pub(crate) fn overloaded_response() -> String {
+    ServerError::Overloaded.response().render()
 }
 
 /// Pump one connection: read request lines, write response lines.
-/// Returns when the peer closes the stream or `shutdown` triggers
-/// between requests; drops the connection after answering if a line
-/// exceeds [`MAX_LINE_BYTES`].
+/// Returns when the peer closes the stream, `shutdown` triggers between
+/// requests, or the idle timeout reaps it; drops the connection after
+/// answering if a line exceeds [`MAX_LINE_BYTES`].
+///
+/// Reads are raw `read` calls with a [`SHUTDOWN_POLL`] timeout into an
+/// explicit accumulation buffer (not `read_until`): the idle deadline is
+/// checked once per read tick, so a slowloris peer dripping one byte per
+/// tick is reaped on schedule — a buffered line reader would happily sit
+/// inside one `read_until` call for as long as bytes keep trickling in.
+/// The deadline clock resets only on **complete** lines.
 pub fn serve_connection(
     stream: TcpStream,
     handler: &Handler,
     shutdown: &Shutdown,
+    limits: &TransportLimits,
 ) -> io::Result<()> {
     // A read timeout lets an idle (or mid-line) connection observe the
-    // shutdown signal without a byte arriving.
+    // shutdown signal and its own idle deadline without a byte arriving.
     stream.set_read_timeout(Some(SHUTDOWN_POLL))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut reader = stream.try_clone()?;
     let mut writer = stream;
     let mut buf: Vec<u8> = Vec::new();
+    let mut scanned = 0usize; // newline-scan high-water mark in `buf`
+    let mut chunk = vec![0u8; 64 << 10];
+    let mut last_line = Instant::now();
     loop {
-        // The cap is cumulative across partial (timed-out) reads of one
-        // line; `take` bounds this call to whatever headroom is left.
-        let remaining = MAX_LINE_BYTES - buf.len() as u64;
-        let n = match (&mut reader).take(remaining).read_until(b'\n', &mut buf) {
-            Ok(n) => n,
+        // Answer every complete line already buffered.
+        while let Some(found) = buf[scanned..].iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=scanned + found).collect();
+            scanned = 0;
+            last_line = Instant::now();
+            if line.len() as u64 > MAX_LINE_BYTES {
+                handler.store().metrics().oversized.inc();
+                let mut response = oversize_response();
+                response.push('\n');
+                writer.write_all(response.as_bytes())?;
+                return Ok(()); // drop the connection rather than resync
+            }
+            if let Some(mut response) = respond_to(handler, &line) {
+                // One write per response: two segments would trip the
+                // peer's delayed ACK even with nodelay set here.
+                response.push('\n');
+                writer.write_all(response.as_bytes())?;
+                writer.flush()?;
+            }
+        }
+        scanned = buf.len();
+        // A one-off huge line must not pin its buffer for the rest of a
+        // mostly-idle connection.
+        if buf.capacity() > (64 << 10) && buf.len() < (64 << 10) {
+            buf.shrink_to(64 << 10);
+        }
+        // The cap is cumulative across partial reads of one line.
+        if buf.len() as u64 > MAX_LINE_BYTES {
+            handler.store().metrics().oversized.inc();
+            let mut response = oversize_response();
+            response.push('\n');
+            writer.write_all(response.as_bytes())?;
+            writer.flush()?;
+            return Ok(());
+        }
+        // One idle check per tick, whether the tick ended in a timeout,
+        // a drip of bytes, or a slow trickle mid-line.
+        if let Some(idle) = limits.idle_timeout {
+            if last_line.elapsed() >= idle {
+                handler.store().metrics().idle_timeouts.inc();
+                let mut response = idle_timeout_response();
+                response.push('\n');
+                let _ = writer.write_all(response.as_bytes()); // best effort
+                return Ok(());
+            }
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Ok(()), // peer closed; drop any partial line
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
                 if matches!(
                     e.kind(),
@@ -370,39 +549,10 @@ pub fn serve_connection(
                 if shutdown.is_triggered() {
                     return Ok(()); // a half-received request is not in flight
                 }
-                continue;
             }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
-        };
-        if buf.last() == Some(&b'\n') {
-            if let Some(mut response) = respond_to(handler, &buf) {
-                // One write per response: two segments would trip the
-                // peer's delayed ACK even with nodelay set here.
-                response.push('\n');
-                writer.write_all(response.as_bytes())?;
-                writer.flush()?;
-            }
-            buf.clear();
-            // A one-off huge line must not pin its buffer for the rest
-            // of a mostly-idle connection.
-            if buf.capacity() > (64 << 10) {
-                buf.shrink_to(64 << 10);
-            }
-            continue;
         }
-        // No newline: either the cap is exhausted or the peer closed
-        // mid-line (`read_until` only returns without a delimiter at
-        // EOF or at the `take` limit).
-        if buf.len() as u64 >= MAX_LINE_BYTES {
-            handler.store().metrics().oversized.inc();
-            let mut response = oversize_response();
-            response.push('\n');
-            writer.write_all(response.as_bytes())?;
-            writer.flush()?;
-            return Ok(()); // drop the connection rather than resync mid-line
-        }
-        debug_assert!(n == 0 || !buf.is_empty());
-        return Ok(()); // peer closed (cleanly, or mid-line — drop the partial)
     }
 }
 

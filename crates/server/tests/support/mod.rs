@@ -8,7 +8,7 @@
 
 use jim_json::Json;
 use jim_server::handler::Handler;
-use jim_server::serve::{serve, spawn_sweeper, Shutdown, Transport};
+use jim_server::serve::{serve_with, spawn_sweeper, Shutdown, Transport, TransportLimits};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -43,7 +43,9 @@ pub struct TestServer {
 }
 
 impl TestServer {
-    /// Serve `handler` on an OS-assigned port, with a TTL sweeper.
+    /// Serve `handler` on an OS-assigned port, with a TTL sweeper and
+    /// the default [`TransportLimits`] (these honor `JIM_REACTORS`, so
+    /// the CI reactor matrix reaches every test through this path).
     pub fn start(transport: Transport, handler: Arc<Handler>) -> TestServer {
         TestServer::start_with_sweep(transport, handler, Duration::from_millis(200))
     }
@@ -54,13 +56,25 @@ impl TestServer {
         handler: Arc<Handler>,
         sweep: Duration,
     ) -> TestServer {
+        TestServer::start_with_limits(transport, handler, sweep, TransportLimits::default())
+    }
+
+    /// [`TestServer::start`] with explicit [`TransportLimits`] — the
+    /// admission-cap / idle-timeout / reactor-count tests pin theirs.
+    pub fn start_with_limits(
+        transport: Transport,
+        handler: Arc<Handler>,
+        sweep: Duration,
+        limits: TransportLimits,
+    ) -> TestServer {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind test port");
         let addr = listener.local_addr().expect("local addr");
         let shutdown = Shutdown::new();
         let sweeper = spawn_sweeper(handler.store(), sweep, shutdown.clone());
         let serve_shutdown = shutdown.clone();
-        let serve_thread =
-            std::thread::spawn(move || serve(listener, handler, transport, serve_shutdown));
+        let serve_thread = std::thread::spawn(move || {
+            serve_with(listener, handler, transport, serve_shutdown, limits)
+        });
         TestServer {
             addr,
             transport,

@@ -1,18 +1,23 @@
 //! Hostile-peer and scale behavior of the TCP front ends, end to end on
 //! **both** transports: strict UTF-8 framing (no lossy decode can ever
-//! store corrupted relation data), slowloris partial lines, the 16 MiB
-//! answered-then-dropped cap, graceful shutdown that drains in-flight
-//! responses, and the one thing only the epoll event loop can do —
-//! holding hundreds of idle connections without a thread per socket.
+//! store corrupted relation data), slowloris partial lines (tolerated
+//! below the idle timeout, reaped past it), the 16 MiB
+//! answered-then-dropped cap, the max-connections admission cap (typed
+//! `overloaded` shed, never a hang), pipelined request ordering,
+//! graceful shutdown that drains in-flight responses, and the things
+//! only the epoll event loop can do — holding hundreds of idle
+//! connections without a thread per socket, and spreading them across
+//! multiple reactors.
 
 mod support;
 
+use jim_json::Json;
 use jim_server::handler::Handler;
-use jim_server::serve::Transport;
+use jim_server::serve::{Transport, TransportLimits};
 use jim_server::store::{SessionStore, StoreConfig};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use support::{transports, Client, TestServer};
 
 fn start(transport: Transport) -> TestServer {
@@ -22,6 +27,26 @@ fn start(transport: Transport) -> TestServer {
         ..Default::default()
     }));
     TestServer::start(transport, Arc::new(Handler::new(store)))
+}
+
+fn start_with_limits(transport: Transport, limits: TransportLimits) -> TestServer {
+    let store = Arc::new(SessionStore::new(StoreConfig {
+        max_sessions: 512,
+        ttl: Duration::from_secs(600),
+        ..Default::default()
+    }));
+    TestServer::start_with_limits(
+        transport,
+        Arc::new(Handler::new(store)),
+        Duration::from_secs(600),
+        limits,
+    )
+}
+
+/// The typed `code` field of an `ok:false` response.
+fn code(response: &Json) -> Option<&str> {
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    response.get("code").and_then(Json::as_str)
 }
 
 #[test]
@@ -241,4 +266,301 @@ fn many_idle_connections_need_no_thread_per_connection() {
     // Still responsive with everything connected, front to back.
     conns[0].send(r#"{"op":"ListSessions"}"#);
     conns[IDLE_CONNS - 1].send(r#"{"op":"ListSessions"}"#);
+}
+
+/// Connect and classify the server's admission verdict: a shed
+/// connection is written to immediately (the typed `overloaded` line,
+/// then close), an admitted one hears nothing until it speaks. `Err` is
+/// the shed response (`None` when a TCP reset raced the notice away).
+fn connect_probe(addr: std::net::SocketAddr) -> Result<Client, Option<Json>> {
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .expect("set timeout");
+    stream.set_nodelay(true).expect("set nodelay");
+    let mut one = [0u8; 1];
+    match stream.peek(&mut one) {
+        Ok(0) => Err(None), // closed before the notice arrived
+        Ok(_) => {
+            let mut reader = std::io::BufReader::new(stream);
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(n) if n > 0 => Err(Some(Json::parse(line.trim()).expect("shed line is JSON"))),
+                _ => Err(None),
+            }
+        }
+        Err(_) => {
+            // Nothing said within the probe window: admitted.
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("set timeout");
+            Ok(Client {
+                reader: std::io::BufReader::new(stream.try_clone().expect("clone stream")),
+                writer: stream,
+            })
+        }
+    }
+}
+
+#[test]
+fn idle_peer_is_answered_then_reaped_after_the_timeout() {
+    for transport in transports() {
+        let server = start_with_limits(
+            transport,
+            TransportLimits {
+                idle_timeout: Some(Duration::from_millis(300)),
+                ..Default::default()
+            },
+        );
+        let mut client = Client::connect(server.addr);
+        client.send(r#"{"op":"ListSessions"}"#); // live — then silent
+        let waiting = Instant::now();
+        let r = client.read_response(); // blocks until the reaper speaks
+        assert_eq!(code(&r), Some("idle_timeout"), "{r}");
+        let waited = waiting.elapsed();
+        assert!(
+            waited >= Duration::from_millis(200),
+            "reaped too early ({waited:?}) — the timeout clock must reset on complete lines"
+        );
+        assert!(
+            waited < Duration::from_secs(10),
+            "reaped too late ({waited:?})"
+        );
+        let mut rest = String::new();
+        match client.reader.read_line(&mut rest) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("connection outlived its idle reap ({n} more bytes)"),
+        }
+        // The server itself is fine, and a *busy* connection with the
+        // same limits is never reaped.
+        let mut busy = Client::connect(server.addr);
+        for _ in 0..5 {
+            busy.send(r#"{"op":"ListSessions"}"#);
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        busy.send(r#"{"op":"ListSessions"}"#);
+    }
+}
+
+#[test]
+fn slowloris_dripping_mid_line_is_disconnected() {
+    for transport in transports() {
+        let server = start_with_limits(
+            transport,
+            TransportLimits {
+                idle_timeout: Some(Duration::from_millis(300)),
+                ..Default::default()
+            },
+        );
+        let mut client = Client::connect(server.addr);
+        client
+            .writer
+            .write_all(br#"{"op":"Li"#)
+            .expect("write partial");
+        client.writer.flush().expect("flush partial");
+        // Drip one byte every 30ms, never finishing the line — stretches
+        // far past the idle timeout. Raw bytes must not count as
+        // progress; writes start failing once the server hangs up.
+        for _ in 0..30 {
+            std::thread::sleep(Duration::from_millis(30));
+            if client
+                .writer
+                .write_all(b"x")
+                .and_then(|_| client.writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+        // By now (~900ms of dripping vs a 300ms timeout) the connection
+        // must be dead: either the typed reap notice or a reset/EOF (a
+        // reset can race the notice away once our drips hit the closed
+        // socket). What it must NOT be is alive.
+        let reading = Instant::now();
+        let mut line = String::new();
+        match client.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => {
+                let r = Json::parse(line.trim()).expect("valid JSON response");
+                assert_eq!(code(&r), Some("idle_timeout"), "{r}");
+            }
+        }
+        assert!(
+            reading.elapsed() < Duration::from_secs(10),
+            "slowloris connection was never reaped"
+        );
+        // Fresh connections are unaffected.
+        let mut next = Client::connect(server.addr);
+        next.send(r#"{"op":"ListSessions"}"#);
+    }
+}
+
+#[test]
+fn over_cap_connect_is_shed_with_typed_overloaded_and_slots_free_on_close() {
+    for transport in transports() {
+        let server = start_with_limits(
+            transport,
+            TransportLimits {
+                max_connections: 4,
+                ..Default::default()
+            },
+        );
+        // Fill the cap and prove every admitted connection serves.
+        let mut admitted: Vec<Client> = (0..4).map(|_| Client::connect(server.addr)).collect();
+        for c in admitted.iter_mut() {
+            c.send(r#"{"op":"ListSessions"}"#);
+        }
+        // Connection 5 of a 4-cap server: a typed answer and a close —
+        // not a hang, not a queue slot.
+        match connect_probe(server.addr) {
+            Ok(_) => panic!("connection over the cap was admitted"),
+            Err(Some(r)) => {
+                assert_eq!(code(&r), Some("overloaded"), "{r}");
+                assert!(
+                    r.get("error")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .contains("max-connections"),
+                    "{r}"
+                );
+            }
+            Err(None) => panic!("shed without the typed notice"),
+        }
+        // Shedding disturbed nobody: the admitted connections still serve.
+        for c in admitted.iter_mut() {
+            c.send(r#"{"op":"ListSessions"}"#);
+        }
+        // Closing one frees its slot (admission is a live count, not a
+        // lifetime quota) — within the server's close-detection latency.
+        drop(admitted.remove(0));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut readmitted = loop {
+            match connect_probe(server.addr) {
+                Ok(client) => break client,
+                Err(_) => {
+                    assert!(Instant::now() < deadline, "freed slot never re-admitted");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        };
+        readmitted.send(r#"{"op":"ListSessions"}"#);
+    }
+}
+
+/// The ISSUE-sized version: connection 257 of a 256-cap server (epoll
+/// only — the threads transport would need 256 OS threads to stage it).
+#[test]
+#[cfg(target_os = "linux")]
+fn connection_257_of_a_256_cap_server_gets_overloaded() {
+    if !jim_aio::SUPPORTED {
+        return;
+    }
+    let server = start_with_limits(
+        Transport::Epoll,
+        TransportLimits {
+            max_connections: 256,
+            ..Default::default()
+        },
+    );
+    let mut conns: Vec<Client> = (0..256).map(|_| Client::connect(server.addr)).collect();
+    // Prove the fleet is live, not just accepted (every 32nd round-trips).
+    for i in (0..256).step_by(32) {
+        conns[i].send(r#"{"op":"ListSessions"}"#);
+    }
+    match connect_probe(server.addr) {
+        Ok(_) => panic!("connection 257 was admitted past the 256 cap"),
+        Err(Some(r)) => assert_eq!(code(&r), Some("overloaded"), "{r}"),
+        Err(None) => panic!("shed without the typed notice"),
+    }
+    // Existing connections keep serving after the shed.
+    conns[0].send(r#"{"op":"ListSessions"}"#);
+    conns[255].send(r#"{"op":"ListSessions"}"#);
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_request_order() {
+    // A peer that writes a burst of requests without reading gets every
+    // response, in request order — even though the epoll transport runs
+    // up to `max_inflight` of them concurrently on the worker pool (the
+    // reactor reorders completions by sequence number before flushing).
+    const BURST: usize = 24;
+    for transport in transports() {
+        let server = start(transport);
+        let mut client = Client::connect(server.addr);
+        let mut batch = String::new();
+        for i in 0..BURST {
+            if i % 2 == 0 {
+                batch.push_str("{\"op\":\"ListSessions\"}\n"); // ok:true
+            } else {
+                batch.push_str("{\"op\":\"NextQuestion\",\"session\":999}\n"); // ok:false
+            }
+        }
+        client
+            .writer
+            .write_all(batch.as_bytes())
+            .expect("write burst");
+        client.writer.flush().expect("flush burst");
+        for i in 0..BURST {
+            let r = client.read_response();
+            let expect_ok = i % 2 == 0;
+            assert_eq!(
+                r.get("ok").and_then(Json::as_bool),
+                Some(expect_ok),
+                "response {i} out of order: {r}"
+            );
+            if expect_ok {
+                assert!(r.get("sessions").is_some(), "response {i}: {r}");
+            }
+        }
+        // Nothing extra trails the burst, and the connection still works.
+        client.send(r#"{"op":"ListSessions"}"#);
+    }
+}
+
+/// Multi-reactor distribution and gauge aggregation, end to end: eight
+/// connections over four reactors land two on each (round-robin from
+/// one accept point is deterministic), the per-reactor gauges say so,
+/// and the global gauges are the exact sum — the `Metrics` snapshot is
+/// where both live.
+#[test]
+#[cfg(target_os = "linux")]
+fn four_reactors_share_connections_and_gauges_aggregate() {
+    if !jim_aio::SUPPORTED {
+        return;
+    }
+    let server = start_with_limits(
+        Transport::Epoll,
+        TransportLimits {
+            reactors: 4,
+            ..Default::default()
+        },
+    );
+    let mut conns: Vec<Client> = (0..8).map(|_| Client::connect(server.addr)).collect();
+    for c in conns.iter_mut() {
+        c.send(r#"{"op":"ListSessions"}"#);
+    }
+    let m = conns[0].send(r#"{"op":"Metrics"}"#);
+    let t = m.get("transport").expect("transport section");
+    assert_eq!(t.get("live_connections").unwrap().as_i64(), Some(8), "{t}");
+    let reactors = t
+        .get("reactors")
+        .unwrap()
+        .as_array()
+        .expect("reactors array");
+    assert_eq!(reactors.len(), 4, "{t}");
+    let mut live_sum = 0i64;
+    let mut dispatched_sum = 0u64;
+    for (i, r) in reactors.iter().enumerate() {
+        let live = r.get("live_connections").unwrap().as_i64().unwrap();
+        assert_eq!(live, 2, "reactor {i} connection share: {t}");
+        live_sum += live;
+        dispatched_sum += r.get("dispatched").unwrap().as_u64().unwrap();
+    }
+    assert_eq!(live_sum, 8);
+    // 8 ListSessions + 1 Metrics, all attributed to some reactor.
+    assert_eq!(dispatched_sum, 9, "{t}");
+    // Reap/shed counters exist and are quiet on a polite workload.
+    assert_eq!(t.get("sheds").unwrap().as_u64(), Some(0));
+    assert_eq!(t.get("idle_timeouts").unwrap().as_u64(), Some(0));
 }
