@@ -50,6 +50,11 @@ pub struct EngineOptions {
     /// Refuse to enumerate products larger than this (callers should
     /// [`Product::sample`] first). Default: 5,000,000.
     pub max_product: u64,
+    /// Sweep budget for [`Engine::from_factorized`]: the maximum number of
+    /// block combinations (dense sweep) or candidate block pairs (sparse
+    /// sweep) factorization may visit before giving up with
+    /// [`InferenceError::FactorizationTooLarge`]. Default: 4,000,000.
+    pub max_combos: u64,
 }
 
 impl Default for EngineOptions {
@@ -57,6 +62,65 @@ impl Default for EngineOptions {
         EngineOptions {
             scope: AtomScope::CrossRelation,
             max_product: 5_000_000,
+            max_combos: 4_000_000,
+        }
+    }
+}
+
+/// How a signature group's member tuples are represented.
+///
+/// Enumerated and sampled construction ([`Engine::new`], [`Engine::from_ids`])
+/// store every member id; factorized construction
+/// ([`Engine::from_factorized`]) never materializes the product, so a group
+/// carries only its exact cardinality plus a bounded sample of witness ids.
+/// Strategies and stats only ever consume `count()` and `rep()`, so both
+/// representations drive inference identically.
+#[derive(Debug, Clone)]
+enum GroupMembers {
+    /// Every member id, in rank order.
+    Explicit(Vec<ProductId>),
+    /// Exact cardinality plus up to `max_witnesses` member ids (ascending;
+    /// `witnesses[0]` is the group minimum).
+    Counted {
+        count: u64,
+        witnesses: Vec<ProductId>,
+    },
+}
+
+impl GroupMembers {
+    fn count(&self) -> u64 {
+        match self {
+            GroupMembers::Explicit(ids) => ids.len() as u64,
+            GroupMembers::Counted { count, .. } => *count,
+        }
+    }
+
+    /// The canonical representative: the first member id. Construction
+    /// feeds ids in ascending rank order in every mode, so at build time
+    /// this is the group minimum (later absorbs may append smaller ids —
+    /// the representative deliberately stays stable).
+    fn rep(&self) -> ProductId {
+        match self {
+            GroupMembers::Explicit(ids) => ids[0],
+            GroupMembers::Counted { witnesses, .. } => witnesses[0],
+        }
+    }
+
+    /// The enumerable member ids: all of them when explicit, the carried
+    /// witness sample when counted.
+    fn witnesses(&self) -> &[ProductId] {
+        match self {
+            GroupMembers::Explicit(ids) => ids,
+            GroupMembers::Counted { witnesses, .. } => witnesses,
+        }
+    }
+
+    fn push(&mut self, id: ProductId) {
+        match self {
+            GroupMembers::Explicit(ids) => ids.push(id),
+            // `absorb_ids` early-returns on factorized engines, the only
+            // place counted groups exist.
+            GroupMembers::Counted { .. } => unreachable!("counted groups never absorb ids"),
         }
     }
 }
@@ -66,8 +130,8 @@ impl Default for EngineOptions {
 struct Group {
     /// The full (unrestricted) signature — immutable for the whole run.
     sig: AtomSet,
-    /// The product tuples carrying this signature, in rank order.
-    ids: Vec<ProductId>,
+    /// The product tuples carrying this signature.
+    members: GroupMembers,
     /// Current classification under the version space.
     class: TupleClass,
     /// Tuples of this group explicitly labeled by the user.
@@ -76,7 +140,7 @@ struct Group {
 
 impl Group {
     fn count(&self) -> u64 {
-        self.ids.len() as u64
+        self.members.count()
     }
 }
 
@@ -246,6 +310,9 @@ pub struct Engine {
     labels: HashMap<ProductId, Label>,
     stats: ProgressStats,
     index: CandidateIndex,
+    /// True iff this engine was built by [`Engine::from_factorized`]: every
+    /// group is [`GroupMembers::Counted`] and covers the *whole* product.
+    factorized: bool,
 }
 
 impl Engine {
@@ -273,13 +340,13 @@ impl Engine {
             let tuple = product.tuple(id)?;
             let sig = universe.signature(&tuple);
             match by_sig.get(&sig) {
-                Some(&g) => groups[g].ids.push(id),
+                Some(&g) => groups[g].members.push(id),
                 None => {
                     let class = vs.classify(&sig);
                     by_sig.insert(sig.clone(), groups.len());
                     groups.push(Group {
                         sig,
-                        ids: vec![id],
+                        members: GroupMembers::Explicit(vec![id]),
                         class,
                         labeled: 0,
                     });
@@ -299,6 +366,88 @@ impl Engine {
                 ..Default::default()
             },
             index: CandidateIndex::default(),
+            factorized: false,
+        };
+        let all: Vec<usize> = (0..engine.groups.len()).collect();
+        engine.reindex(&all);
+        engine.refresh_counters();
+        Ok(engine)
+    }
+
+    /// Build an engine over the **full** cartesian product without ever
+    /// materializing it: the signature-group partition is computed directly
+    /// from the base relations by [`jim_relation::factorize`], so build cost
+    /// scales with the relations' block structure rather than with
+    /// `product.size()`. Groups carry exact counts plus a bounded sample of
+    /// witness ids; candidates, strategies and progress statistics behave
+    /// exactly as if every tuple had been enumerated (the equivalence is
+    /// property-tested against [`Engine::new`]).
+    ///
+    /// Fails with [`InferenceError::FactorizationTooLarge`] when the block
+    /// sweep would exceed [`EngineOptions::max_combos`] — callers fall back
+    /// to sampling ([`Product::sample`] + [`Engine::from_ids`]).
+    pub fn from_factorized(product: Product, options: &EngineOptions) -> Result<Self> {
+        let universe = AtomUniverse::new(product.schema().clone(), options.scope)?;
+        let vs = VersionSpace::new(universe.clone());
+        let fopts = jim_relation::FactorizeOptions {
+            cross_only: options.scope == AtomScope::CrossRelation,
+            max_sweep: options.max_combos,
+            ..Default::default()
+        };
+        let factorized = jim_relation::factorize(&product, &fopts).map_err(|e| match e {
+            // Under matching scope the joinable pairs are exactly the
+            // universe's atoms, so this arm is unreachable after a
+            // successful universe build; map it defensively.
+            jim_relation::FactorizeError::NoJoinablePairs => InferenceError::EmptyUniverse,
+            jim_relation::FactorizeError::SweepTooLarge { cost, limit } => {
+                InferenceError::FactorizationTooLarge { cost, limit }
+            }
+        })?;
+
+        let mut groups: Vec<Group> = Vec::with_capacity(factorized.groups.len());
+        let mut by_sig: HashMap<AtomSet, usize> = HashMap::with_capacity(factorized.groups.len());
+        for sg in factorized.groups {
+            let sig = universe.set_of(sg.pattern.iter().map(|&(a, b)| {
+                universe
+                    .id_of(a, b)
+                    .expect("factorized patterns range over universe atoms")
+            }));
+            #[cfg(debug_assertions)]
+            {
+                let witness = product.tuple(sg.min_id)?;
+                debug_assert_eq!(
+                    sig,
+                    universe.signature(&witness),
+                    "factorized pattern disagrees with the witness signature"
+                );
+            }
+            let class = vs.classify(&sig);
+            let prev = by_sig.insert(sig.clone(), groups.len());
+            debug_assert!(prev.is_none(), "factorized groups have distinct patterns");
+            groups.push(Group {
+                sig,
+                members: GroupMembers::Counted {
+                    count: sg.count,
+                    witnesses: sg.witnesses,
+                },
+                class,
+                labeled: 0,
+            });
+        }
+
+        let mut engine = Engine {
+            stats: ProgressStats {
+                total_tuples: product.size(),
+                ..Default::default()
+            },
+            product,
+            universe,
+            vs,
+            groups,
+            by_sig,
+            labels: HashMap::new(),
+            index: CandidateIndex::default(),
+            factorized: true,
         };
         let all: Vec<usize> = (0..engine.groups.len()).collect();
         engine.reindex(&all);
@@ -329,6 +478,13 @@ impl Engine {
     /// Number of distinct signatures observed in the instance.
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// True iff this engine was built by [`Engine::from_factorized`]:
+    /// groups carry exact counts plus witness samples, and together they
+    /// cover the entire product at full fidelity.
+    pub fn is_factorized(&self) -> bool {
+        self.factorized
     }
 
     /// The label previously given to `id`, if any.
@@ -370,11 +526,14 @@ impl Engine {
 
     /// Every tuple id entailed positive at the moment — the inferred join
     /// result on this instance (labeled positives + certain positives).
+    /// On a factorized engine the full member lists are not materialized,
+    /// so this returns the entailed-positive *witnesses* (evaluate
+    /// [`Engine::result`] against the product for the full join result).
     pub fn entailed_positive_ids(&self) -> Vec<ProductId> {
         let mut out = Vec::new();
         for g in &self.groups {
             if g.class == TupleClass::CertainPositive {
-                out.extend_from_slice(&g.ids);
+                out.extend_from_slice(g.members.witnesses());
             }
         }
         out.sort();
@@ -409,12 +568,12 @@ impl Engine {
                 Some(entry) => {
                     entry.0 += g.count();
                     // Keep the smallest representative for determinism.
-                    if g.ids[0] < entry.1 {
-                        entry.1 = g.ids[0];
+                    if g.members.rep() < entry.1 {
+                        entry.1 = g.members.rep();
                     }
                 }
                 None => {
-                    agg.insert(restricted.clone(), (g.count(), g.ids[0]));
+                    agg.insert(restricted.clone(), (g.count(), g.members.rep()));
                     order.push(restricted);
                 }
             }
@@ -641,7 +800,7 @@ impl Engine {
             if group.class != TupleClass::Informative {
                 continue;
             }
-            let (count, rep) = (group.count(), group.ids[0]);
+            let (count, rep) = (group.count(), group.members.rep());
             self.index.add_group(g, restricted.clone(), count, rep);
         }
     }
@@ -708,11 +867,17 @@ impl Engine {
     /// classified under the labels given *so far*: tuples whose label is
     /// already entailed arrive grayed out and are never asked about.
     /// Ids already known are skipped. Returns the number of tuples added.
+    ///
+    /// A factorized engine already covers the **entire** product, so every
+    /// id is known by construction and the call is a no-op returning 0.
     pub fn absorb_ids(&mut self, ids: &[ProductId]) -> Result<u64> {
+        if self.factorized {
+            return Ok(0);
+        }
         let known: std::collections::HashSet<ProductId> = self
             .groups
             .iter()
-            .flat_map(|g| g.ids.iter().copied())
+            .flat_map(|g| g.members.witnesses().iter().copied())
             .collect();
         let mut added = 0u64;
         for &id in ids {
@@ -723,11 +888,11 @@ impl Engine {
             let sig = self.universe.signature(&tuple);
             match self.by_sig.get(&sig) {
                 Some(&g) => {
-                    self.groups[g].ids.push(id);
+                    self.groups[g].members.push(id);
                     if self.groups[g].class == TupleClass::Informative {
                         // The group's restricted signature is a live index
                         // key; its candidate gains one tuple (the group's
-                        // representative `ids[0]` is unchanged by a push).
+                        // minimum is unchanged by an append).
                         let restricted = self.vs.restrict(&self.groups[g].sig);
                         let slot = self.index.by_restricted[&restricted];
                         self.index.candidates[slot].count += 1;
@@ -744,7 +909,7 @@ impl Engine {
                     }
                     self.groups.push(Group {
                         sig,
-                        ids: vec![id],
+                        members: GroupMembers::Explicit(vec![id]),
                         class,
                         labeled: 0,
                     });
@@ -762,14 +927,16 @@ impl Engine {
 
     /// Tuple ids currently *visible* to a free-form user: everything not
     /// yet explicitly labeled, and — when `gray_out` — not entailed either.
-    /// (Interaction modes 1 and 2 of Figure 3.)
+    /// (Interaction modes 1 and 2 of Figure 3.) A factorized engine shows
+    /// each group's witness sample instead of the unmaterialized full
+    /// member list.
     pub fn visible_ids(&self, gray_out: bool) -> Vec<ProductId> {
         let mut out = Vec::new();
         for g in &self.groups {
             if gray_out && g.class.is_certain() {
                 continue;
             }
-            for &id in &g.ids {
+            for &id in g.members.witnesses() {
                 if !self.labels.contains_key(&id) {
                     out.push(id);
                 }
@@ -1308,6 +1475,73 @@ mod tests {
         sequential.label(t(4), Label::Positive).unwrap();
         assert_eq!(e.result(), sequential.result());
         assert_eq!(e.stats().informative, sequential.stats().informative);
+    }
+
+    /// Factorized construction reproduces the enumerated engine's state on
+    /// the paper instance: same groups, same candidates (counts,
+    /// representatives, order), same stats.
+    #[test]
+    fn from_factorized_matches_full_engine_on_paper_instance() {
+        let (f, h) = (flights(), hotels());
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let fe = Engine::from_factorized(p, &EngineOptions::default()).unwrap();
+        let e = engine(&f, &h);
+        assert!(fe.is_factorized());
+        assert!(!e.is_factorized());
+        assert_eq!(fe.stats(), e.stats());
+        assert_eq!(fe.num_groups(), e.num_groups());
+        assert_eq!(fe.candidates().candidates(), e.candidates().candidates());
+    }
+
+    /// The paper's three terminating labels resolve a factorized engine to
+    /// the same predicate, with identical prune counts along the way.
+    #[test]
+    fn factorized_session_resolves_like_enumerated() {
+        let (f, h) = (flights(), hotels());
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut fe = Engine::from_factorized(p, &EngineOptions::default()).unwrap();
+        let mut e = engine(&f, &h);
+        for (k, label) in [
+            (3, Label::Positive),
+            (7, Label::Negative),
+            (8, Label::Negative),
+        ] {
+            let fo = fe.label(t(k), label).unwrap();
+            let eo = e.label(t(k), label).unwrap();
+            assert_eq!(fo, eo, "label outcome for tuple {k}");
+        }
+        assert!(fe.is_resolved());
+        assert_eq!(fe.result(), e.result());
+        assert_eq!(fe.entailed_positive_ids(), vec![t(3), t(4)]);
+    }
+
+    /// A factorized engine already covers the whole product: absorbing ids
+    /// is a no-op and does not disturb caches.
+    #[test]
+    fn factorized_absorb_is_a_noop() {
+        let (f, h) = (flights(), hotels());
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let mut fe = Engine::from_factorized(p, &EngineOptions::default()).unwrap();
+        let g0 = fe.generation();
+        let all: Vec<ProductId> = (0..12).map(ProductId).collect();
+        assert_eq!(fe.absorb_ids(&all).unwrap(), 0);
+        assert_eq!(fe.stats().total_tuples, 12);
+        assert_eq!(fe.generation(), g0);
+    }
+
+    /// An exhausted sweep budget surfaces as the typed fallback signal.
+    #[test]
+    fn factorized_sweep_budget_is_typed() {
+        let (f, h) = (flights(), hotels());
+        let p = Product::new(vec![&f, &h]).unwrap();
+        let opts = EngineOptions {
+            max_combos: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Engine::from_factorized(p, &opts),
+            Err(InferenceError::FactorizationTooLarge { limit: 1, .. })
+        ));
     }
 
     /// The generation counter moves on every mutation and only then.

@@ -44,6 +44,16 @@ pub enum InferenceError {
         /// The configured limit.
         limit: u64,
     },
+    /// Factorized construction gave up: the relations' block structure is
+    /// too rich to sweep within the configured budget. Callers should fall
+    /// back to sampling the product.
+    FactorizationTooLarge {
+        /// The estimated sweep cost (block combinations or candidate block
+        /// pairs).
+        cost: u64,
+        /// The configured limit (`EngineOptions::max_combos`).
+        limit: u64,
+    },
     /// An exact computation (consistent-predicate count, optimal planner)
     /// exceeded its configured budget.
     BudgetExceeded {
@@ -84,6 +94,9 @@ impl fmt::Display for InferenceError {
             }
             InferenceError::ProductTooLarge { size, limit } => {
                 write!(f, "cartesian product has {size} tuples, above the limit of {limit}; sample it first")
+            }
+            InferenceError::FactorizationTooLarge { cost, limit } => {
+                write!(f, "factorization too large: sweep cost {cost} exceeds limit {limit}; sample the product instead")
             }
             InferenceError::BudgetExceeded { what } => {
                 write!(f, "exact computation of {what} exceeded its budget")

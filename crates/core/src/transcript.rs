@@ -69,6 +69,11 @@ pub struct SessionOrigin {
     pub sample_seed: u64,
     /// Whether the instance is a uniform sample of a larger product.
     pub sampled: bool,
+    /// Whether the engine was built by factorized construction
+    /// ([`crate::Engine::from_factorized`]) — the full product at exact
+    /// fidelity, groups carried as counts plus witnesses. Recorded so a
+    /// resume rebuilds bit-identical state through the same path.
+    pub factorized: bool,
 }
 
 impl SessionOrigin {
@@ -106,6 +111,7 @@ impl SessionOrigin {
         fields.push(("max_product", Transcript::int_to_json(self.max_product)));
         fields.push(("sample_seed", Transcript::int_to_json(self.sample_seed)));
         fields.push(("sampled", Json::Bool(self.sampled)));
+        fields.push(("factorized", Json::Bool(self.factorized)));
         Json::object(fields)
     }
 
@@ -167,6 +173,12 @@ impl SessionOrigin {
                 .and_then(Transcript::int_from_json)
                 .unwrap_or(0),
             sampled: json.get("sampled").and_then(Json::as_bool).unwrap_or(false),
+            // Additive field: origins journaled before factorized
+            // construction existed decode as enumerated/sampled.
+            factorized: json
+                .get("factorized")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 }
@@ -644,6 +656,7 @@ mod tests {
             max_product: 5_000_000,
             sample_seed: 7,
             sampled: false,
+            factorized: false,
         }
     }
 
@@ -675,10 +688,23 @@ mod tests {
             max_product: 100,
             sample_seed: 0,
             sampled: true,
+            factorized: false,
         };
         let t = Transcript::capture(&e).with_origin(scenario.clone());
         let back = Transcript::parse_json(&t.to_json().render()).unwrap();
-        assert_eq!(back.origin, Some(scenario));
+        assert_eq!(back.origin, Some(scenario.clone()));
+
+        // A factorized origin round-trips, and its absence decodes false
+        // (origins journaled before the field existed stay readable).
+        let factorized = SessionOrigin {
+            factorized: true,
+            ..scenario
+        };
+        let back = SessionOrigin::from_json(&factorized.to_json()).unwrap();
+        assert_eq!(back, factorized);
+        assert!(!back.to_json().render().is_empty());
+        let legacy = Json::parse(r#"{"source":{"scenario":"flights"},"max_product":100}"#).unwrap();
+        assert!(!SessionOrigin::from_json(&legacy).unwrap().factorized);
     }
 
     #[test]

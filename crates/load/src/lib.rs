@@ -81,6 +81,10 @@ pub struct Config {
     /// one connection per session, so every session pays the full
     /// admit-or-shed path. The run *fails* if the cap never sheds.
     pub connections_preset: bool,
+    /// A previously written `BENCH_load.json` to regression-gate against:
+    /// the run fails if any op's p99 exceeds
+    /// [`BASELINE_P99_FACTOR`]× the baseline's.
+    pub check_baseline: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -97,6 +101,7 @@ impl Default for Config {
             smoke: false,
             limits: TransportLimits::default(),
             connections_preset: false,
+            check_baseline: None,
         }
     }
 }
@@ -311,10 +316,12 @@ fn drive_session(
         2 => r#","strategy":"local-general""#.into(),
         _ => format!(r#","strategy":"random:{}""#, rng.gen_range(1u64..1000)),
     };
-    // Sample setgame down so its 144-tuple product varies across sessions.
+    // Sample setgame down so its 144-tuple product varies across
+    // sessions — `force_sample` keeps the seed meaningful now that
+    // oversized products open factorized (at full fidelity) by default.
     let sampling = if scenario == "setgame" {
         format!(
-            r#","max_product":64,"sample_seed":{}"#,
+            r#","max_product":64,"sample_seed":{},"force_sample":true"#,
             rng.gen_range(0u64..1000)
         )
     } else {
@@ -943,6 +950,45 @@ fn cross_check(sent: &[u64], snapshot: &Json) -> String {
     }
 }
 
+/// How many times a baseline p99 may grow before `--check-baseline`
+/// fails the run. Generous on purpose: load-driver latencies on shared
+/// CI hosts jitter freely, and the gate exists to catch order-of-
+/// magnitude regressions (a lock on the hot path, an accidental
+/// per-request allocation storm), not scheduler noise.
+pub const BASELINE_P99_FACTOR: u64 = 3;
+
+/// Compare this run's per-op p99 latencies against a previously written
+/// `BENCH_load.json` document. Returns one line per regression — an op
+/// whose p99 exceeded [`BASELINE_P99_FACTOR`]× the baseline's — or an
+/// error if the baseline has no readable ops table. Ops that either side
+/// never exercised are skipped (a count of 0 measures nothing), as are
+/// baseline p99s of 0 (sub-resolution measurements have no meaningful
+/// multiple).
+pub fn p99_regressions(report: &Report, baseline: &Json) -> Result<Vec<String>, String> {
+    let ops = baseline
+        .get("ops")
+        .ok_or_else(|| "baseline has no ops section".to_string())?;
+    let mut regressions = Vec::new();
+    for (&op, (sent, lat)) in Op::ALL.iter().zip(&report.ops) {
+        let Some(base) = ops.get(op.name()) else {
+            continue; // op added after the baseline was written
+        };
+        let base_count = base.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let base_p99 = base.get("p99_us").and_then(Json::as_u64).unwrap_or(0);
+        if *sent == 0 || base_count == 0 || base_p99 == 0 {
+            continue;
+        }
+        let p99 = lat.p99();
+        if p99 > base_p99.saturating_mul(BASELINE_P99_FACTOR) {
+            regressions.push(format!(
+                "{}: p99 {p99}us vs baseline {base_p99}us (over {BASELINE_P99_FACTOR}x)",
+                op.name()
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
 /// Parse CLI flags, run the workload, write and validate the report.
 /// Exits non-zero on any error, mismatch or invalid report.
 pub fn cli_main() {
@@ -1011,12 +1057,42 @@ pub fn cli_main() {
         }
         std::process::exit(1);
     }
+    if let Some(path) = &report.config.check_baseline {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|text| {
+                Json::parse(text.trim()).map_err(|e| format!("{} is not JSON: {e}", path.display()))
+            });
+        let regressions = baseline.and_then(|json| p99_regressions(&report, &json));
+        match regressions {
+            Ok(regressions) if regressions.is_empty() => {
+                println!(
+                    "jim-load: no per-op p99 regressed over {BASELINE_P99_FACTOR}x vs {}",
+                    path.display()
+                );
+            }
+            Ok(regressions) => {
+                eprintln!(
+                    "jim-load: p99 regression gate failed against {}:",
+                    path.display()
+                );
+                for line in &regressions {
+                    eprintln!("jim-load:   {line}");
+                }
+                std::process::exit(1);
+            }
+            Err(message) => {
+                eprintln!("jim-load: baseline check: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 const USAGE: &str = "usage: jim-load [--addr HOST:PORT] [--transport threads|epoll] \
     [--concurrency N] [--sessions N] [--max-turns N] [--seed N] [--out PATH] \
     [--reactors N] [--max-connections N] [--idle-timeout SECS] \
-    [--exclusive] [--smoke] [--connections]";
+    [--check-baseline PATH] [--exclusive] [--smoke] [--connections]";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
     let mut config = Config::default();
@@ -1035,7 +1111,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
                 std::process::exit(0);
             }
             "--addr" | "--transport" | "--concurrency" | "--sessions" | "--max-turns"
-            | "--seed" | "--out" | "--reactors" | "--max-connections" | "--idle-timeout" => {
+            | "--seed" | "--out" | "--reactors" | "--max-connections" | "--idle-timeout"
+            | "--check-baseline" => {
                 let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 parsed.push((flag, value));
             }
@@ -1069,6 +1146,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
             }
             "--seed" => config.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
             "--out" => config.out = PathBuf::from(value),
+            "--check-baseline" => config.check_baseline = Some(PathBuf::from(value)),
             "--reactors" => {
                 config.limits.reactors = value
                     .parse()
@@ -1142,6 +1220,73 @@ mod tests {
             "0 disables the reaper"
         );
         assert!(parse_args(["--smoke", "--connections"].iter().map(|s| s.to_string())).is_err());
+
+        let config = parse_args(
+            ["--smoke", "--check-baseline", "BENCH_load.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(
+            config.check_baseline,
+            Some(PathBuf::from("BENCH_load.json"))
+        );
+    }
+
+    /// A synthetic report whose `CreateSession` histogram holds one
+    /// round trip of the given latency; every other op is untouched.
+    fn report_with_create_latency(us: u64) -> Report {
+        let mut ops: Vec<(u64, HistogramSnapshot)> = (0..Op::ALL.len())
+            .map(|_| (0, HistogramSnapshot::empty()))
+            .collect();
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(us));
+        ops[Op::CreateSession as usize] = (1, h.snapshot());
+        Report {
+            config: Config::default(),
+            addr: "test".into(),
+            transport: "test".into(),
+            elapsed: Duration::from_secs(1),
+            ops,
+            protocol_errors: 0,
+            io_errors: 0,
+            rejected_batches: 0,
+            sheds: 0,
+            error_samples: Vec::new(),
+            cross_check: "skipped".into(),
+            server_store: Json::Null,
+            server_transport: Json::Null,
+        }
+    }
+
+    #[test]
+    fn p99_gate_flags_only_real_regressions() {
+        let baseline = Json::parse(
+            r#"{"ops":{"CreateSession":{"count":5,"p99_us":100},
+                 "NextQuestion":{"count":9,"p99_us":50},
+                 "Answer":{"count":0,"p99_us":0}}}"#,
+        )
+        .unwrap();
+
+        // Within 3x of the 100us baseline: clean.
+        let ok = report_with_create_latency(150);
+        assert_eq!(
+            p99_regressions(&ok, &baseline).unwrap(),
+            Vec::<String>::new()
+        );
+
+        // An order of magnitude over: flagged, and only CreateSession is
+        // (NextQuestion was not exercised this run, Answer never was).
+        let bad = report_with_create_latency(5_000);
+        let regressions = p99_regressions(&bad, &baseline).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(
+            regressions[0].starts_with("CreateSession:"),
+            "{regressions:?}"
+        );
+
+        // A baseline without an ops table is an error, not a pass.
+        assert!(p99_regressions(&ok, &Json::parse("{}").unwrap()).is_err());
     }
 
     #[test]

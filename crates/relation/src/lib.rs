@@ -38,6 +38,7 @@ pub mod csv;
 mod database;
 pub mod display;
 mod error;
+pub mod factorize;
 mod join;
 mod product;
 mod relation;
@@ -49,6 +50,7 @@ mod value;
 
 pub use database::Database;
 pub use error::{RelationError, Result};
+pub use factorize::{factorize, FactorizeError, FactorizeOptions, Factorized, SigGroup};
 pub use join::{spec_by_names, JoinSpec};
 pub use product::{IntoSharedRelation, Product, ProductId, ProductIter};
 pub use relation::Relation;

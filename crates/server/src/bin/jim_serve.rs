@@ -5,7 +5,7 @@
 //!           [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH]
 //!           [--transport threads|epoll] [--metrics-interval SECS]
 //!           [--reactors N] [--max-connections N] [--idle-timeout SECS]
-//!           [--max-inflight N]
+//!           [--max-inflight N] [--max-per-ip N]
 //! ```
 //!
 //! With `--data-dir`, every session is journaled to disk (write-ahead,
@@ -23,7 +23,9 @@
 //! both, including the guardrails: `--max-connections` sheds over-cap
 //! connects with a typed `overloaded` error, `--idle-timeout` reaps
 //! peers that complete no request line in SECS seconds (0 disables),
-//! and `--max-inflight` caps pipelined requests per connection (epoll).
+//! `--max-inflight` caps pipelined requests per connection (epoll), and
+//! `--max-per-ip` sheds a single address's connections past N with the
+//! same `overloaded` error (0 disables, the default).
 //!
 //! `--metrics-interval SECS` logs a one-line metrics summary (requests,
 //! errors, latency quantiles, live connections, resident sessions) every
@@ -46,7 +48,8 @@ fn usage() -> ! {
         "usage: jim-serve [--port N] [--host ADDR] [--max-sessions N] [--ttl-secs N] \
          [--shards N] [--max-product N] [--max-batch N] [--data-dir PATH] \
          [--transport threads|epoll] [--metrics-interval SECS] \
-         [--reactors N] [--max-connections N] [--idle-timeout SECS] [--max-inflight N]"
+         [--reactors N] [--max-connections N] [--idle-timeout SECS] [--max-inflight N] \
+         [--max-per-ip N]"
     );
     std::process::exit(2);
 }
@@ -126,6 +129,12 @@ fn main() -> std::io::Result<()> {
                 Ok(n) if n > 0 => transport_limits.max_inflight = n,
                 _ => usage(),
             },
+            // 0 disables the per-address quota (the default).
+            "--max-per-ip" => match value("--max-per-ip").parse::<usize>() {
+                Ok(0) => transport_limits.max_per_ip = None,
+                Ok(n) => transport_limits.max_per_ip = Some(n),
+                Err(_) => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("jim-serve: unknown flag {other}");
@@ -180,8 +189,9 @@ fn main() -> std::io::Result<()> {
     let listener = TcpListener::bind((host.as_str(), port))?;
     eprintln!(
         "jim-serve: listening on {} via the {} transport ({} reactors, max {} connections, \
-         idle timeout {}, {} in-flight/conn; max {} sessions, {} shards, ttl {:?}, sample \
-         past {} tuples, answer batches up to {} labels, sessions {}, simd {})",
+         idle timeout {}, {} in-flight/conn, per-ip cap {}; max {} sessions, {} shards, \
+         ttl {:?}, factorize past {} tuples, answer batches up to {} labels, sessions {}, \
+         simd {})",
         listener.local_addr()?,
         transport,
         transport_limits.reactors,
@@ -191,6 +201,10 @@ fn main() -> std::io::Result<()> {
             None => "off".to_string(),
         },
         transport_limits.max_inflight,
+        match transport_limits.max_per_ip {
+            Some(n) => n.to_string(),
+            None => "off".to_string(),
+        },
         config.max_sessions,
         shards,
         config.ttl,

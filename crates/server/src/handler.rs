@@ -19,7 +19,8 @@ use std::time::Instant;
 pub struct ServerLimits {
     /// The most product tuples a session may enumerate **or sample**. A
     /// client `max_product` is clamped to this; products larger than the
-    /// effective limit are uniformly sampled down to it.
+    /// effective limit open through factorized construction at full
+    /// fidelity (or a uniform sample of this size under `force_sample`).
     pub max_product: u64,
     /// The most labels one `AnswerBatch` may carry. Validation is O(batch)
     /// and the batch is held in memory while the session lock is taken,
@@ -96,7 +97,8 @@ impl Handler {
                 strategy,
                 max_product,
                 sample_seed,
-            } => self.create_session(source, strategy, max_product, sample_seed),
+                force_sample,
+            } => self.create_session(source, strategy, max_product, sample_seed, force_sample),
             Request::NextQuestion { session } => self.with_session(session, Self::next_question),
             Request::TopK { session, k } => self.with_session(session, |s| Self::top_k(s, k)),
             Request::Answer {
@@ -163,6 +165,7 @@ impl Handler {
         strategy: Option<String>,
         max_product: Option<u64>,
         sample_seed: Option<u64>,
+        force_sample: bool,
     ) -> Json {
         let product = match journal::build_product(&source) {
             Ok(p) => p,
@@ -183,25 +186,52 @@ impl Handler {
             Some(l) => l.min(self.limits.max_product),
         };
         // The origin records the *effective* knobs (post-clamp limit, the
-        // seed actually used), so a resume rebuilds the identical engine
-        // even if server ceilings changed in between. Too-large products
-        // open over a uniform sample instead of being rejected
-        // (`Product::sample` → `Engine::from_ids`, inside `build engine`).
-        let origin = SessionOrigin {
+        // seed actually used, the construction mode), so a resume rebuilds
+        // the identical engine even if server ceilings changed in between.
+        // Too-large products open at full fidelity through factorized
+        // construction (`Engine::from_factorized` — the partition is
+        // computed from the base relations, never the product); a uniform
+        // sample (`Product::sample` → `Engine::from_ids`) is the explicit
+        // opt-in via `force_sample`, and the fallback when factorization
+        // exceeds its sweep budget.
+        let oversized = product.size() > limit;
+        let mut origin = SessionOrigin {
             source,
             strategy,
             max_product: limit,
             sample_seed: sample_seed.unwrap_or(0),
-            sampled: product.size() > limit,
+            sampled: oversized && force_sample,
+            factorized: oversized && !force_sample,
         };
         let engine = match journal::engine_from_product(product, &origin) {
             Ok(e) => e,
+            Err(message) if origin.factorized && message.contains("factorization too large") => {
+                // The block structure was too rich to sweep: fall back to
+                // sampling, and flip the origin so the journal records the
+                // construction that actually ran.
+                origin.factorized = false;
+                origin.sampled = true;
+                let product = match journal::build_product(&origin.source) {
+                    Ok(p) => p,
+                    Err(message) => return error(message),
+                };
+                match journal::engine_from_product(product, &origin) {
+                    Ok(e) => e,
+                    Err(message) => return error(message),
+                }
+            }
             Err(message) => return error(message),
         };
+        if origin.factorized {
+            let metrics = self.store.metrics();
+            metrics.factorized_sessions.inc();
+            metrics.signature_groups.add(engine.num_groups() as u64);
+        }
         let columns = columns_of(&engine);
         let tuples = engine.stats().total_tuples;
         let atoms = engine.universe().len();
         let sampled = origin.sampled;
+        let factorized = origin.factorized;
         let (session, evicted) = self.store.create_session(
             engine,
             kind.build(),
@@ -216,6 +246,7 @@ impl Handler {
             ("tuples", Json::from(tuples)),
             ("atoms", Json::from(atoms)),
             ("sampled", Json::Bool(sampled)),
+            ("factorized", Json::Bool(factorized)),
             ("persisted", Json::Bool(session.persisted)),
             ("columns", Json::Array(columns)),
         ];
@@ -248,6 +279,7 @@ impl Handler {
             ("interactions", Json::from(stats.interactions())),
             ("resolved", Json::Bool(session.engine.is_resolved())),
             ("sampled", Json::Bool(session.sampled)),
+            ("factorized", Json::Bool(session.engine.is_factorized())),
             ("persisted", Json::Bool(session.persisted)),
             ("columns", Json::Array(columns_of(&session.engine))),
         ])
@@ -421,6 +453,7 @@ impl Handler {
             ("resolved_fraction", Json::from(stats.resolved_fraction())),
             ("resolved", Json::Bool(session.engine.is_resolved())),
             ("sampled", Json::Bool(session.sampled)),
+            ("factorized", Json::Bool(session.engine.is_factorized())),
             ("strategy", Json::from(session.strategy_name.as_str())),
             ("summary", Json::from(stats.to_string())),
         ])
@@ -707,7 +740,7 @@ mod tests {
     }
 
     #[test]
-    fn oversized_product_is_sampled_not_rejected() {
+    fn oversized_product_opens_factorized_at_full_fidelity() {
         // Server ceiling of 100 tuples; the setgame scenario is 144.
         let h = Handler::with_limits(
             Arc::new(SessionStore::new(StoreConfig::default())),
@@ -718,10 +751,64 @@ mod tests {
         );
         let r = send(
             &h,
-            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"sample_seed":7}"#,
+            r#"{"op":"CreateSession","source":{"scenario":"setgame"}}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(r.get("sampled").unwrap().as_bool(), Some(false), "{r}");
+        assert_eq!(r.get("factorized").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            r.get("tuples").unwrap().as_u64(),
+            Some(144),
+            "full fidelity"
+        );
+
+        // A factorized session is fully usable: it asks questions and its
+        // Stats carry the factorized marker.
+        let id = r.get("session").unwrap().as_u64().unwrap();
+        let q = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
+        assert_eq!(q.get("resolved").unwrap().as_bool(), Some(false), "{q}");
+        let s = send(&h, &format!(r#"{{"op":"Stats","session":{id}}}"#));
+        assert_eq!(s.get("factorized").unwrap().as_bool(), Some(true));
+        assert_eq!(s.get("sampled").unwrap().as_bool(), Some(false));
+        assert_eq!(s.get("total_tuples").unwrap().as_u64(), Some(144));
+
+        // Metrics counted the session and its partition size.
+        let m = send(&h, r#"{"op":"Metrics"}"#);
+        let store = m.get("store").unwrap();
+        assert_eq!(
+            store.get("factorized_sessions").unwrap().as_u64(),
+            Some(1),
+            "{m}"
+        );
+        assert!(store.get("signature_groups").unwrap().as_u64().unwrap() >= 1);
+
+        // Small products still enumerate exactly.
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#,
+        );
+        assert_eq!(r.get("sampled").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("factorized").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("tuples").unwrap().as_u64(), Some(12));
+    }
+
+    #[test]
+    fn force_sample_opts_back_into_sampling() {
+        // Server ceiling of 100 tuples; the setgame scenario is 144.
+        let h = Handler::with_limits(
+            Arc::new(SessionStore::new(StoreConfig::default())),
+            ServerLimits {
+                max_product: 100,
+                ..Default::default()
+            },
+        );
+        let r = send(
+            &h,
+            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"force_sample":true,"sample_seed":7}"#,
         );
         assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r}");
         assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("factorized").unwrap().as_bool(), Some(false));
         assert_eq!(r.get("tuples").unwrap().as_u64(), Some(100));
 
         // A client max_product below the ceiling shrinks the sample; one
@@ -730,7 +817,7 @@ mod tests {
             let r = send(
                 &h,
                 &format!(
-                    r#"{{"op":"CreateSession","source":{{"scenario":"setgame"}},"max_product":{requested}}}"#
+                    r#"{{"op":"CreateSession","source":{{"scenario":"setgame"}},"max_product":{requested},"force_sample":true}}"#
                 ),
             );
             assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");
@@ -739,20 +826,13 @@ mod tests {
 
         // A sampled session is fully usable: it asks questions and its
         // Stats carry the sampled marker.
-        let id = r#"{"op":"CreateSession","source":{"scenario":"setgame"},"max_product":50}"#;
+        let id = r#"{"op":"CreateSession","source":{"scenario":"setgame"},"max_product":50,"force_sample":true}"#;
         let id = send(&h, id).get("session").unwrap().as_u64().unwrap();
         let q = send(&h, &format!(r#"{{"op":"NextQuestion","session":{id}}}"#));
         assert_eq!(q.get("resolved").unwrap().as_bool(), Some(false), "{q}");
         let s = send(&h, &format!(r#"{{"op":"Stats","session":{id}}}"#));
         assert_eq!(s.get("sampled").unwrap().as_bool(), Some(true));
-
-        // Small products still enumerate exactly.
-        let r = send(
-            &h,
-            r#"{"op":"CreateSession","source":{"scenario":"flights"}}"#,
-        );
-        assert_eq!(r.get("sampled").unwrap().as_bool(), Some(false));
-        assert_eq!(r.get("tuples").unwrap().as_u64(), Some(12));
+        assert_eq!(s.get("factorized").unwrap().as_bool(), Some(false));
     }
 
     #[test]
@@ -768,7 +848,7 @@ mod tests {
             let r = send(
                 &h,
                 &format!(
-                    r#"{{"op":"CreateSession","source":{{"scenario":"setgame"}},"sample_seed":{seed}}}"#
+                    r#"{{"op":"CreateSession","source":{{"scenario":"setgame"}},"force_sample":true,"sample_seed":{seed}}}"#
                 ),
             );
             let id = r.get("session").unwrap().as_u64().unwrap();

@@ -147,7 +147,11 @@ pub fn engine_from_product(product: Product, origin: &SessionOrigin) -> Result<E
         max_product: origin.max_product,
         ..Default::default()
     };
-    let built = if origin.sampled {
+    let built = if origin.factorized {
+        // Factorized construction covers the whole product exactly, so a
+        // resume needs no sample seed — the partition is deterministic.
+        Engine::from_factorized(product, &options)
+    } else if origin.sampled {
         let mut rng = StdRng::seed_from_u64(origin.sample_seed);
         let ids = product.sample(&mut rng, origin.max_product as usize);
         Engine::from_ids(product, &ids, &options)
@@ -369,6 +373,7 @@ mod tests {
             max_product: 5_000_000,
             sample_seed: 0,
             sampled: false,
+            factorized: false,
         }
     }
 
@@ -512,10 +517,34 @@ mod tests {
             max_product: 40,
             sample_seed: 7,
             sampled: true,
+            factorized: false,
         };
         let a = build_engine(&origin).unwrap();
         let b = build_engine(&origin).unwrap();
         assert_eq!(a.stats().total_tuples, 40);
+        assert_eq!(a.visible_ids(false), b.visible_ids(false));
+    }
+
+    #[test]
+    fn factorized_origin_rebuilds_the_identical_engine() {
+        // A factorized origin covers the whole 144-tuple setgame product
+        // even though max_product is far below it — full fidelity, and a
+        // deterministic rebuild (no sample seed involved).
+        let origin = SessionOrigin {
+            source: OriginSource::Scenario {
+                name: "setgame".into(),
+            },
+            strategy: None,
+            max_product: 40,
+            sample_seed: 0,
+            sampled: false,
+            factorized: true,
+        };
+        let a = build_engine(&origin).unwrap();
+        let b = build_engine(&origin).unwrap();
+        assert!(a.is_factorized());
+        assert_eq!(a.stats().total_tuples, 144);
+        assert_eq!(a.stats(), b.stats());
         assert_eq!(a.visible_ids(false), b.visible_ids(false));
     }
 }

@@ -196,6 +196,12 @@ pub struct ServerMetrics {
     pub sweeps: Arc<Counter>,
     /// Sessions the sweeper evicted across all passes.
     pub swept_sessions: Arc<Counter>,
+    /// Sessions whose oversized product opened through factorized
+    /// construction (full fidelity, no sampling).
+    pub factorized_sessions: Arc<Counter>,
+    /// Signature groups across those factorized sessions — the partition
+    /// size the sweep produced instead of enumerating the product.
+    pub signature_groups: Arc<Counter>,
 }
 
 impl Default for ServerMetrics {
@@ -235,6 +241,8 @@ impl ServerMetrics {
             disk_sessions: registry.gauge("store.disk_sessions"),
             sweeps: registry.counter("store.sweeps"),
             swept_sessions: registry.counter("store.swept_sessions"),
+            factorized_sessions: registry.counter("store.factorized_sessions"),
+            signature_groups: registry.counter("store.signature_groups"),
             ops,
             registry,
             started: Instant::now(),
@@ -376,6 +384,11 @@ impl ServerMetrics {
                     ("disk_sessions", Json::from(self.disk_sessions.get())),
                     ("sweeps", Json::from(self.sweeps.get())),
                     ("swept_sessions", Json::from(self.swept_sessions.get())),
+                    (
+                        "factorized_sessions",
+                        Json::from(self.factorized_sessions.get()),
+                    ),
+                    ("signature_groups", Json::from(self.signature_groups.get())),
                 ]),
             ),
         ]

@@ -11,7 +11,8 @@
 //! ```json
 //! {"op":"CreateSession","source":{"scenario":"flights"},"strategy":"LookaheadMinPrune"}
 //! {"op":"CreateSession","source":{"relations":[{"name":"flights","csv":"From,To\n..."}]}}
-//! {"op":"CreateSession","source":{"scenario":"setgame"},"max_product":1000,"sample_seed":7}
+//! {"op":"CreateSession","source":{"scenario":"setgame"},"max_product":1000}
+//! {"op":"CreateSession","source":{"scenario":"setgame"},"max_product":1000,"force_sample":true,"sample_seed":7}
 //! {"op":"NextQuestion","session":1}
 //! {"op":"TopK","session":1,"k":3}
 //! {"op":"Answer","session":1,"label":"+"}
@@ -50,11 +51,16 @@ pub enum Request {
         /// Strategy name (see [`parse_strategy`]); default lookahead-minprune.
         strategy: Option<String>,
         /// Enumerate at most this many product tuples (clamped to the
-        /// server ceiling); larger products are uniformly *sampled* down
-        /// to this size instead of being rejected.
+        /// server ceiling); larger products open through *factorized*
+        /// construction at full fidelity (falling back to a uniform
+        /// sample if factorization exceeds its sweep budget).
         max_product: Option<u64>,
         /// RNG seed for the product sample (default 0, reproducible).
         sample_seed: Option<u64>,
+        /// Skip factorized construction for oversized products and sample
+        /// straight away (the pre-factorization behavior, now explicit
+        /// opt-in).
+        force_sample: bool,
     },
     /// Ask for the next most-informative tuple (Figure 3.4).
     NextQuestion {
@@ -199,6 +205,10 @@ impl Request {
                         .map(str::to_string),
                     max_product: json.get("max_product").and_then(Json::as_u64),
                     sample_seed: json.get("sample_seed").and_then(Json::as_u64),
+                    force_sample: json
+                        .get("force_sample")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
                 })
             }
             "NextQuestion" => Ok(Request::NextQuestion {
@@ -419,6 +429,7 @@ mod tests {
                 strategy,
                 max_product,
                 sample_seed,
+                force_sample,
             } => {
                 assert_eq!(
                     source,
@@ -429,6 +440,7 @@ mod tests {
                 assert_eq!(strategy.as_deref(), Some("LookaheadMinPrune"));
                 assert_eq!(max_product, None);
                 assert_eq!(sample_seed, None);
+                assert!(!force_sample);
             }
             other => panic!("{other:?}"),
         }
@@ -437,17 +449,19 @@ mod tests {
     #[test]
     fn parses_create_with_sampling_knobs() {
         let r = Request::parse(
-            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"max_product":1000,"sample_seed":7}"#,
+            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"max_product":1000,"sample_seed":7,"force_sample":true}"#,
         )
         .unwrap();
         match r {
             Request::CreateSession {
                 max_product,
                 sample_seed,
+                force_sample,
                 ..
             } => {
                 assert_eq!(max_product, Some(1000));
                 assert_eq!(sample_seed, Some(7));
+                assert!(force_sample);
             }
             other => panic!("{other:?}"),
         }

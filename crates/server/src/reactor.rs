@@ -69,8 +69,8 @@
 use crate::handler::Handler;
 use crate::metrics::{ReactorMetrics, ServerMetrics};
 use crate::serve::{
-    idle_timeout_response, oversize_response, respond_to, shed_connection, Shutdown,
-    TransportLimits, DRAIN_DEADLINE, MAX_LINE_BYTES,
+    idle_timeout_response, oversize_response, respond_to, shed_connection, IpPermit, PerIpQuota,
+    Shutdown, TransportLimits, DRAIN_DEADLINE, MAX_LINE_BYTES,
 };
 use jim_aio::{Events, Interest, Poller, Waker};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -219,10 +219,13 @@ struct Conn {
     /// was accepted). Raw bytes do not move this — that is the whole
     /// slowloris defense.
     last_line: Instant,
+    /// This connection's claim on its address's per-IP quota (`None`
+    /// when the knob is off); dropped with the connection.
+    _permit: Option<IpPermit>,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, permit: Option<IpPermit>) -> Conn {
         Conn {
             stream,
             inbuf: Vec::new(),
@@ -238,6 +241,7 @@ impl Conn {
             dead: false,
             armed: Interest::READ,
             last_line: Instant::now(),
+            _permit: permit,
         }
     }
 
@@ -338,10 +342,14 @@ impl Conn {
     }
 }
 
+/// A socket the accept thread admitted, travelling to its reactor with
+/// the per-IP permit it holds (if the quota is on).
+type Admitted = (TcpStream, Option<IpPermit>);
+
 /// The accept thread's handle on one reactor.
 struct ReactorHandle {
     /// Sockets admitted but not yet registered with the reactor's poller.
-    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    inbox: Arc<Mutex<Vec<Admitted>>>,
     /// Pops the reactor out of `epoll_wait` to drain the inbox (also
     /// hooked into [`Shutdown`]).
     waker: Waker,
@@ -370,7 +378,7 @@ pub(crate) fn serve_epoll(
     let mut reactors = Vec::with_capacity(limits.reactors);
     for index in 0..limits.reactors {
         let waker = Waker::new()?;
-        let inbox: Arc<Mutex<Vec<TcpStream>>> = Arc::default();
+        let inbox: Arc<Mutex<Vec<Admitted>>> = Arc::default();
         let rmetrics = metrics.reactor(index);
         {
             let waker = waker.clone();
@@ -410,8 +418,15 @@ pub(crate) fn serve_epoll(
         });
     }
 
+    let per_ip = PerIpQuota::from_limits(&limits);
     let accept_result = accept_loop(
-        &listener, &shutdown, &limits, &admitted, &metrics, &reactors,
+        &listener,
+        &shutdown,
+        &limits,
+        per_ip.as_ref(),
+        &admitted,
+        &metrics,
+        &reactors,
     );
     if accept_result.is_err() {
         // The accept path is fatally broken; the server is coming down.
@@ -444,6 +459,7 @@ fn accept_loop(
     listener: &TcpListener,
     shutdown: &Shutdown,
     limits: &TransportLimits,
+    per_ip: Option<&Arc<PerIpQuota>>,
     admitted: &AtomicUsize,
     metrics: &ServerMetrics,
     reactors: &[ReactorHandle],
@@ -490,9 +506,30 @@ fn accept_loop(
                         shed_connection(stream);
                         continue;
                     }
+                    // Per-address quota: shed a greedy peer with the same
+                    // typed answer as the global cap. An unattributable
+                    // socket (peer_addr fails — already dead) sheds too.
+                    let permit = match per_ip {
+                        None => None,
+                        Some(quota) => {
+                            match stream.peer_addr().ok().and_then(|a| quota.admit(a.ip())) {
+                                Some(permit) => Some(permit),
+                                None => {
+                                    metrics.sheds.inc();
+                                    target.metrics.sheds.inc();
+                                    shed_connection(stream);
+                                    continue;
+                                }
+                            }
+                        }
+                    };
                     admitted.fetch_add(1, Ordering::SeqCst);
                     metrics.live_connections.add(1);
-                    target.inbox.lock().expect("reactor inbox").push(stream);
+                    target
+                        .inbox
+                        .lock()
+                        .expect("reactor inbox")
+                        .push((stream, permit));
                     let _ = target.waker.wake();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -519,7 +556,7 @@ struct ReactorCtx {
     shutdown: Shutdown,
     limits: TransportLimits,
     waker: Waker,
-    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    inbox: Arc<Mutex<Vec<Admitted>>>,
     admitted: Arc<AtomicUsize>,
     rmetrics: Arc<ReactorMetrics>,
 }
@@ -562,9 +599,10 @@ fn run_reactor(ctx: ReactorCtx) -> io::Result<()> {
         let _ = worker.join();
     }
     // Symmetric teardown (never `set(0)` — other reactors are still
-    // counting): whatever this reactor still holds is released here.
-    for stream in std::mem::take(&mut *ctx.inbox.lock().expect("reactor inbox")) {
-        drop(stream);
+    // counting): whatever this reactor still holds is released here
+    // (dropping the tuple also returns its per-IP slot).
+    for admitted in std::mem::take(&mut *ctx.inbox.lock().expect("reactor inbox")) {
+        drop(admitted);
         ctx.admitted.fetch_sub(1, Ordering::SeqCst);
         metrics.live_connections.add(-1);
     }
@@ -624,9 +662,10 @@ fn reactor_loop(
         }
 
         // Sockets the accept thread handed over since the last pass.
-        for stream in std::mem::take(&mut *ctx.inbox.lock().expect("reactor inbox")) {
+        for (stream, permit) in std::mem::take(&mut *ctx.inbox.lock().expect("reactor inbox")) {
             if draining.is_some() {
-                // Too late to serve it; release its admission slot.
+                // Too late to serve it; release its admission slot (the
+                // permit drops with the stream).
                 drop(stream);
                 ctx.admitted.fetch_sub(1, Ordering::SeqCst);
                 metrics.live_connections.add(-1);
@@ -636,7 +675,7 @@ fn reactor_loop(
             next_token += 1;
             match poller.add(stream.as_raw_fd(), token, Interest::READ) {
                 Ok(()) => {
-                    conns.insert(token, Conn::new(stream));
+                    conns.insert(token, Conn::new(stream, permit));
                     ctx.rmetrics.live_connections.add(1);
                     touched.push(token);
                 }

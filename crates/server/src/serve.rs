@@ -27,8 +27,9 @@
 use crate::handler::Handler;
 use crate::protocol::ServerError;
 use crate::store::SessionStore;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{IpAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -83,6 +84,11 @@ pub struct TransportLimits {
     /// worker pool before the reactor stops reading it (epoll only; the
     /// threads transport is strictly request/response per thread).
     pub max_inflight: usize,
+    /// Concurrent connections one peer address may hold (`None` = off,
+    /// the default). Past it, that peer's next connect is shed with the
+    /// same typed [`ServerError::Overloaded`] as the global cap — one
+    /// greedy client stops being able to eat the whole admission budget.
+    pub max_per_ip: Option<usize>,
 }
 
 impl Default for TransportLimits {
@@ -92,6 +98,7 @@ impl Default for TransportLimits {
             max_connections: DEFAULT_MAX_CONNECTIONS,
             idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            max_per_ip: None,
         }
     }
 }
@@ -102,7 +109,64 @@ impl TransportLimits {
         self.reactors = self.reactors.clamp(1, 64);
         self.max_connections = self.max_connections.max(1);
         self.max_inflight = self.max_inflight.max(1);
+        self.max_per_ip = self.max_per_ip.map(|n| n.max(1));
         self
+    }
+}
+
+/// The per-address admission table (see [`TransportLimits::max_per_ip`]).
+/// One shared instance per server; both transports consult it at accept,
+/// and every admitted connection holds an [`IpPermit`] whose drop gives
+/// the slot back however the connection ends.
+pub(crate) struct PerIpQuota {
+    cap: usize,
+    counts: Mutex<HashMap<IpAddr, usize>>,
+}
+
+impl PerIpQuota {
+    /// The quota the limits ask for, or `None` when the knob is off.
+    pub(crate) fn from_limits(limits: &TransportLimits) -> Option<Arc<PerIpQuota>> {
+        limits.max_per_ip.map(|cap| {
+            Arc::new(PerIpQuota {
+                cap,
+                counts: Mutex::new(HashMap::new()),
+            })
+        })
+    }
+
+    /// Claim a slot for `ip`: a permit while the address is under its
+    /// cap, else `None` (the caller sheds the connection).
+    pub(crate) fn admit(self: &Arc<Self>, ip: IpAddr) -> Option<IpPermit> {
+        let mut counts = self.counts.lock().expect("per-ip quota");
+        let count = counts.entry(ip).or_insert(0);
+        if *count >= self.cap {
+            return None;
+        }
+        *count += 1;
+        Some(IpPermit {
+            quota: Arc::clone(self),
+            ip,
+        })
+    }
+}
+
+/// One admitted connection's claim on its address's quota. Dropping it
+/// releases the slot and forgets drained addresses, so the table stays
+/// proportional to *active* peers, not every address ever seen.
+pub(crate) struct IpPermit {
+    quota: Arc<PerIpQuota>,
+    ip: IpAddr,
+}
+
+impl Drop for IpPermit {
+    fn drop(&mut self) {
+        let mut counts = self.quota.counts.lock().expect("per-ip quota");
+        if let Some(count) = counts.get_mut(&self.ip) {
+            *count -= 1;
+            if *count == 0 {
+                counts.remove(&self.ip);
+            }
+        }
     }
 }
 
@@ -358,6 +422,7 @@ fn serve_threads(
     listener.set_nonblocking(true)?;
     let metrics = Arc::clone(handler.store().metrics());
     let active = Arc::new(AtomicUsize::new(0));
+    let per_ip = PerIpQuota::from_limits(&limits);
     let limits = Arc::new(limits);
     while !shutdown.is_triggered() {
         match listener.accept() {
@@ -377,6 +442,22 @@ fn serve_threads(
                     shed_connection(stream);
                     continue;
                 }
+                // Per-address quota: a greedy peer is shed the same way
+                // an over-cap one is. An unattributable socket (peer_addr
+                // fails — it is already dead) is shed too.
+                let permit = match &per_ip {
+                    None => None,
+                    Some(quota) => {
+                        match stream.peer_addr().ok().and_then(|a| quota.admit(a.ip())) {
+                            Some(permit) => Some(permit),
+                            None => {
+                                metrics.sheds.inc();
+                                shed_connection(stream);
+                                continue;
+                            }
+                        }
+                    }
+                };
                 // One write per response line; Nagle would stall the
                 // question/answer ping-pong a delayed-ACK (~40ms) per turn.
                 let _ = stream.set_nodelay(true);
@@ -391,6 +472,7 @@ fn serve_threads(
                 };
                 std::thread::spawn(move || {
                     let _guard = guard;
+                    let _permit = permit; // released when the thread exits
                     if let Err(e) = serve_connection(stream, &handler, &shutdown, &limits) {
                         // Disconnects are routine; log and move on.
                         eprintln!("jim-serve: connection ended: {e}");

@@ -734,6 +734,7 @@ mod tests {
             max_product: 5_000_000,
             sample_seed: 0,
             sampled: false,
+            factorized: false,
         }
     }
 

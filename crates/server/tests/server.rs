@@ -394,8 +394,9 @@ fn list_sessions_does_not_keep_idle_sessions_alive() {
 #[test]
 fn client_cannot_raise_the_product_size_guard() {
     // 30 rows self-joined 3 ways = 27,000 tuples, over a 500-tuple server
-    // ceiling; a client-supplied huge max_product must not lift it — the
-    // session opens over a *sample* of exactly the ceiling instead.
+    // ceiling; a client-supplied huge max_product must not lift it — under
+    // `force_sample` the session opens over a *sample* of exactly the
+    // ceiling instead.
     let mut csv = String::from("x\n");
     for i in 0..30 {
         csv.push_str(&format!("{i}\n"));
@@ -408,7 +409,7 @@ fn client_cannot_raise_the_product_size_guard() {
         },
     );
     let line = format!(
-        r#"{{"op":"CreateSession","source":{{"relations":[{{"name":"r","csv":"{}"}}],"view":["r","r","r"]}},"max_product":18446744073709551615}}"#,
+        r#"{{"op":"CreateSession","source":{{"relations":[{{"name":"r","csv":"{}"}}],"view":["r","r","r"]}},"max_product":18446744073709551615,"force_sample":true}}"#,
         csv.replace('\n', "\\n")
     );
     let r = expect_ok(&h, &line);
@@ -418,10 +419,16 @@ fn client_cannot_raise_the_product_size_guard() {
         Some(500),
         "sample size clamped to the server ceiling: {r}"
     );
+    // Without force_sample the same oversized product opens factorized,
+    // at full fidelity — all 27,000 tuples despite the 500 ceiling.
+    let r = expect_ok(&h, &line.replace(r#","force_sample":true"#, ""));
+    assert_eq!(r.get("factorized").unwrap().as_bool(), Some(true), "{r}");
+    assert_eq!(r.get("sampled").unwrap().as_bool(), Some(false), "{r}");
+    assert_eq!(r.get("tuples").unwrap().as_u64(), Some(27_000), "{r}");
     // Lowering the guard shrinks the sample further.
     let lowered = CREATE_FLIGHTS_INLINE.replace(
         r#""strategy":"LookaheadMinPrune""#,
-        r#""strategy":"LookaheadMinPrune","max_product":4"#,
+        r#""strategy":"LookaheadMinPrune","max_product":4,"force_sample":true"#,
     );
     let r = expect_ok(&h, &lowered);
     assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");
@@ -437,12 +444,12 @@ fn client_cannot_raise_the_product_size_guard() {
 
 #[test]
 fn sampled_session_resolves_end_to_end() {
-    // A product over the limit opens via sampling and still drives the
-    // whole inference loop to resolution through the wire protocol.
+    // A product over the limit opens via sampling (explicit opt-in) and
+    // still drives the whole inference loop to resolution over the wire.
     let h = handler();
     let line = CREATE_FLIGHTS_INLINE.replace(
         r#""strategy":"LookaheadMinPrune""#,
-        r#""strategy":"LookaheadMinPrune","max_product":9,"sample_seed":5"#,
+        r#""strategy":"LookaheadMinPrune","max_product":9,"sample_seed":5,"force_sample":true"#,
     );
     let r = expect_ok(&h, &line);
     assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");

@@ -448,6 +448,54 @@ fn over_cap_connect_is_shed_with_typed_overloaded_and_slots_free_on_close() {
     }
 }
 
+#[test]
+fn per_ip_quota_sheds_the_greedy_peer_and_frees_on_close() {
+    for transport in transports() {
+        // Every test client comes from 127.0.0.1, so a per-ip cap of 2
+        // bites on the third connection while the global cap (default
+        // 1024) never does — proving the shed is the quota's.
+        let server = start_with_limits(
+            transport,
+            TransportLimits {
+                max_per_ip: Some(2),
+                ..Default::default()
+            },
+        );
+        let mut admitted: Vec<Client> = (0..2).map(|_| Client::connect(server.addr)).collect();
+        for c in admitted.iter_mut() {
+            c.send(r#"{"op":"ListSessions"}"#);
+        }
+        // Connection 3 from the same address: the same typed answer as
+        // the global cap — a notice and a close, never a queue slot.
+        match connect_probe(server.addr) {
+            Ok(_) => panic!("third connection from one address was admitted past the quota"),
+            Err(Some(r)) => assert_eq!(code(&r), Some("overloaded"), "{r}"),
+            Err(None) => panic!("shed without the typed notice"),
+        }
+        // The quota disturbed nobody already admitted.
+        for c in admitted.iter_mut() {
+            c.send(r#"{"op":"ListSessions"}"#);
+        }
+        // Closing one returns the slot to that address (a live count per
+        // ip, not a lifetime quota) — within close-detection latency.
+        drop(admitted.remove(0));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut readmitted = loop {
+            match connect_probe(server.addr) {
+                Ok(client) => break client,
+                Err(_) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "freed per-ip slot never re-admitted"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        };
+        readmitted.send(r#"{"op":"ListSessions"}"#);
+    }
+}
+
 /// The ISSUE-sized version: connection 257 of a 256-cap server (epoll
 /// only — the threads transport would need 256 OS threads to stage it).
 #[test]

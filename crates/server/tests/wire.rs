@@ -93,13 +93,22 @@ fn two_concurrent_sessions_over_tcp_infer_q2() {
 #[test]
 fn oversized_product_samples_and_resolves_over_tcp() {
     // The setgame scenario is a 144-tuple self-join; with max_product 40
-    // the server must open the session over a 40-tuple uniform sample
-    // instead of erroring, and the whole loop still runs to resolution.
+    // and `force_sample` the server must open the session over a 40-tuple
+    // uniform sample instead of erroring, and the whole loop still runs
+    // to resolution. (Without `force_sample` the same request opens
+    // factorized at full fidelity — checked first.)
     for transport in transports() {
         let server = start_server(transport);
         let mut client = Client::connect(server.addr);
         let r = client.send(
-            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"strategy":"local-general","max_product":40,"sample_seed":7}"#,
+            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"strategy":"local-general","max_product":40}"#,
+        );
+        assert_eq!(r.get("factorized").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(r.get("tuples").unwrap().as_u64(), Some(144));
+        let full = r.get("session").unwrap().as_u64().unwrap();
+        client.send(&format!(r#"{{"op":"CloseSession","session":{full}}}"#));
+        let r = client.send(
+            r#"{"op":"CreateSession","source":{"scenario":"setgame"},"strategy":"local-general","max_product":40,"sample_seed":7,"force_sample":true}"#,
         );
         assert_eq!(r.get("sampled").unwrap().as_bool(), Some(true), "{r}");
         assert_eq!(r.get("tuples").unwrap().as_u64(), Some(40));

@@ -118,6 +118,28 @@ proptest! {
     }
 
     #[test]
+    fn counting_kernels_agree_past_the_vector_popcount_threshold(
+        len in 60usize..=133,
+        seed_a in words(133),
+        seed_b in words(133),
+    ) {
+        // Lengths straddling the 64-word switch to the nibble-LUT vector
+        // popcount: below it (scalar popcnt path), exactly at it, and
+        // beyond with every tail shape (len % 8 covers 0..=7 leftover
+        // words after the two-vector loop).
+        let a = &seed_a[..len];
+        let b = &seed_b[..len];
+        for backend in candidates() {
+            prop_assert_eq!(backend.popcount(a), Backend::Off.popcount(a), "{}", backend);
+            prop_assert_eq!(
+                backend.intersection_count(a, b),
+                Backend::Off.intersection_count(a, b),
+                "{}", backend
+            );
+        }
+    }
+
+    #[test]
     fn tail_words_beyond_the_vector_body_matter(
         body in words(4),
         tail_a in any::<u64>(),

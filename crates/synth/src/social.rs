@@ -62,6 +62,43 @@ pub fn default_follows() -> Relation {
     follows(12, 8, 2014)
 }
 
+/// An event-log-shaped edge stream: `events` follow events over nodes
+/// `0..nodes`, **duplicates preserved** — the shape real activity logs
+/// have, where the same hot pairs recur over and over. The distinct-row
+/// count is bounded by `nodes · (nodes − 1)` no matter how long the log
+/// runs, so factorized construction over the self-join compresses the
+/// `events²` product tuples into a block structure that stops growing
+/// once the log saturates the edge domain. The forced witness edges of
+/// [`follows`] lead the log, keeping [`two_hop_goal`] and [`mutual_goal`]
+/// satisfiable at every length.
+pub fn follows_log(nodes: i64, events: usize, seed: u64) -> Relation {
+    assert!(nodes >= 5, "the forced witness edges need nodes 0..=4");
+    assert!(
+        events >= 4,
+        "the log starts with the 4 forced witness edges"
+    );
+    let mut edges: Vec<(i64, i64)> = Vec::with_capacity(events);
+    edges.extend([(0, 1), (1, 2), (3, 4), (4, 3)]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    while edges.len() < events {
+        let src = rng.gen_range(0..nodes);
+        let dst = rng.gen_range(0..nodes);
+        if src != dst {
+            edges.push((src, dst));
+        }
+    }
+    let rows = edges
+        .into_iter()
+        .map(|(src, dst)| Tuple::new(vec![Value::Int(src), Value::Int(dst)]))
+        .collect();
+    Relation::new(
+        RelationSchema::of("follows", &[("src", DataType::Int), ("dst", DataType::Int)])
+            .expect("static schema"),
+        rows,
+    )
+    .expect("generated rows match the schema")
+}
+
 /// `r1.dst ≍ r2.src` over `follows × follows`: the two-hop
 /// (follows-of-follows) paths.
 pub fn two_hop_goal(universe: &Arc<AtomUniverse>) -> JoinPredicate {
@@ -105,6 +142,36 @@ mod tests {
             assert!(rows.contains(&forced.to_string()), "missing {forced}");
         }
         assert!(a.len() >= 4 && a.len() <= 12);
+    }
+
+    #[test]
+    fn follows_log_is_deterministic_duplicate_heavy_and_inferable() {
+        let a = follows_log(8, 5_000, 3);
+        let b = follows_log(8, 5_000, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5_000);
+        let rows: Vec<String> = a.rows().iter().map(|t| t.to_string()).collect();
+        for forced in ["(0, 1)", "(1, 2)", "(3, 4)", "(4, 3)"] {
+            assert!(rows.contains(&forced.to_string()), "missing {forced}");
+        }
+        // 8 nodes admit at most 56 distinct non-self edges, so a 5000-event
+        // log necessarily repeats rows — the shape the generator exists for.
+        let distinct: std::collections::HashSet<&String> = rows.iter().collect();
+        assert!(distinct.len() <= 56);
+
+        // The log self-join factorizes, and both goals stay satisfiable.
+        let shared = follows_log(8, 200, 3).into_shared();
+        let p = Product::new(vec![shared.clone(), shared]).unwrap();
+        let e = Engine::from_factorized(p, &EngineOptions::default()).unwrap();
+        assert!(e.is_factorized());
+        assert!(!two_hop_goal(e.universe())
+            .eval(e.product())
+            .unwrap()
+            .is_empty());
+        assert!(!mutual_goal(e.universe())
+            .eval(e.product())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
