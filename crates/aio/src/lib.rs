@@ -438,7 +438,10 @@ static TERM_FD: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32::new
 /// blocked on [`Termination::wait`].
 #[cfg(target_os = "linux")]
 extern "C" fn term_handler(_sig: std::os::raw::c_int) {
-    let fd = TERM_FD.load(std::sync::atomic::Ordering::Relaxed);
+    // SeqCst to pair with the store in `watch_termination`: a handler
+    // that observes the fd must also observe the eventfd creation that
+    // preceded the store (jim-lint `atomics` pins TERM_FD to SeqCst).
+    let fd = TERM_FD.load(std::sync::atomic::Ordering::SeqCst);
     if fd >= 0 {
         let one: u64 = 1;
         unsafe { sys::write(fd, (&raw const one).cast(), std::mem::size_of::<u64>()) };

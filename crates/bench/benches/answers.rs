@@ -11,6 +11,8 @@
 //! measures that shared cost so it can be subtracted when reading the
 //! numbers.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jim_bench::runner::Workbench;
 use jim_core::{Engine, JoinPredicate, Label};

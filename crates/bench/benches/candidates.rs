@@ -7,6 +7,8 @@
 //! the reference implementation; the property tests prove the two paths
 //! pick identical candidates.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jim_bench::runner::Workbench;
 use jim_core::strategy::StrategyKind;

@@ -25,6 +25,8 @@
 //! overrides, `--no-write` skips), so it carries its own `Instant`-based
 //! harness and prints the shim's `bench …: … ns/iter` lines.
 
+#![forbid(unsafe_code)]
+
 use jim_core::session::run_most_informative;
 use jim_core::strategy::StrategyKind;
 use jim_core::{Engine, EngineOptions, GoalOracle, JoinPredicate};

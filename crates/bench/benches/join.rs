@@ -1,6 +1,8 @@
 //! Criterion bench for the relational substrate: hash-fold equi-join vs
 //! the nested-loop reference, across join shapes.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use jim_relation::{spec_by_names, Product};
 use jim_synth::tpch;

@@ -1,6 +1,8 @@
 //! Criterion bench for experiment E6 (timing half): the exponential blow-up
 //! of the optimal minimax planner as signature diversity grows.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jim_bench::runner::Workbench;
 use jim_core::strategy::optimal::OptimalPlanner;

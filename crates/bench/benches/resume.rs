@@ -15,6 +15,8 @@
 //! measures that shared part so it can be subtracted when reading the
 //! numbers. Equal final states are asserted before timing.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use jim_bench::runner::Workbench;
 use jim_core::session::run_most_informative;

@@ -2,6 +2,8 @@
 //! signature-grouped engine construction vs product size — the cost of the
 //! "group tuples by Θ(t)" design against a per-tuple strawman.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jim_bench::runner::Workbench;
 use jim_core::{AtomUniverse, Engine, EngineOptions};

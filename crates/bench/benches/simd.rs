@@ -11,6 +11,8 @@
 //! lines the shim does. Output lands in `BENCH_simd.json` at the
 //! workspace root (override with `--out <path>`; `--no-write` skips).
 
+#![forbid(unsafe_code)]
+
 use jim_simd::Backend;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};

@@ -2,6 +2,8 @@
 //! latency and full-inference wall time per strategy, on the TPC-H
 //! customer × orders instance.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jim_bench::runner::{run_instrumented, Workbench};
 use jim_core::strategy::StrategyKind;

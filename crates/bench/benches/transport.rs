@@ -27,6 +27,8 @@
 //! Both transports serve the identical handler and store, so any
 //! difference is pure transport overhead.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use jim_server::handler::Handler;
 use jim_server::serve::{serve_with, Shutdown, Transport, TransportLimits};

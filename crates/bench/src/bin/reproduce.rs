@@ -6,6 +6,8 @@
 //!   reproduce --list     # list experiment ids
 //!   reproduce --smoke    # fast CI sanity subset (e1 + e5)
 
+#![forbid(unsafe_code)]
+
 use jim_bench::experiments as ex;
 use jim_bench::tables::Table;
 

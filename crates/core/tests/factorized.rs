@@ -7,6 +7,8 @@
 //! sequence under every strategy — plus the edge cases (empty relation,
 //! all-rows-one-block, self-join with duplicate rows).
 
+#![forbid(unsafe_code)]
+
 use jim_core::strategy::choose_next;
 use jim_core::{AtomScope, Engine, EngineOptions, InferenceError, Label, StrategyKind};
 use jim_relation::{DataType, Product, Relation, RelationSchema, Tuple, Value};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 fn main() {
     jim_load::cli_main();
 }

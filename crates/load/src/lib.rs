@@ -605,7 +605,12 @@ impl Report {
                     // BENCH_load.json diff can be attributed to (or ruled
                     // out of) a kernel change at a glance.
                     ("simd_backend", Json::from(jim_simd::active_name())),
-                    ("simd_rev", Json::from(simd_rev())),
+                    ("simd_rev", Json::from(crate_rev("crates/simd"))),
+                    // Same provenance stamp for the lint rules: a
+                    // BENCH_load.json produced under a different rule
+                    // set (e.g. before a panic-path refactor the lint
+                    // forced) is attributable to it.
+                    ("lint_rev", Json::from(crate_rev("crates/lint"))),
                 ]),
             ),
             ("elapsed_secs", Json::from(self.elapsed.as_secs_f64())),
@@ -648,11 +653,13 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
-/// The last commit that touched the kernel crate (`crates/simd`) — a
-/// kernel-level provenance stamp, distinct from the workspace `git_rev`.
-fn simd_rev() -> String {
+/// The last commit that touched a crate's directory — a per-subsystem
+/// provenance stamp, distinct from the workspace `git_rev`. Used for
+/// the SIMD kernels (`crates/simd`) and the lint rule set
+/// (`crates/lint`).
+fn crate_rev(path: &str) -> String {
     std::process::Command::new("git")
-        .args(["log", "-n1", "--format=%H", "--", "crates/simd"])
+        .args(["log", "-n1", "--format=%H", "--", path])
         .output()
         .ok()
         .filter(|o| o.status.success())

@@ -168,7 +168,7 @@ impl Histogram {
             counts: self
                 .buckets
                 .iter()
-                .map(|b| b.load(Ordering::Relaxed))
+                .map(|bucket| bucket.load(Ordering::Relaxed))
                 .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),

@@ -2,6 +2,8 @@
 //! recording every sample into a single histogram — the invariant
 //! `jim-load` relies on when it aggregates per-worker latency.
 
+#![forbid(unsafe_code)]
+
 use jim_metrics::{Histogram, HistogramSnapshot, Registry};
 use proptest::prelude::*;
 

@@ -20,6 +20,8 @@
 //! or sample at most N product tuples) and `seed=N` (sample RNG seed)
 //! words; the server reports when a session runs over a sample.
 
+#![forbid(unsafe_code)]
+
 use jim_json::Json;
 use jim_server::handler::Handler;
 use jim_server::store::{SessionStore, StoreConfig};
@@ -484,8 +486,13 @@ fn main() {
         [flag, addr] if flag == "--connect" => match TcpStream::connect(addr) {
             Ok(stream) => {
                 let _ = stream.set_nodelay(true);
-                let reader =
-                    BufReader::new(stream.try_clone().expect("clone TCP stream for reading"));
+                let reader = match stream.try_clone() {
+                    Ok(read_half) => BufReader::new(read_half),
+                    Err(e) => {
+                        eprintln!("jim: cannot clone TCP stream for reading: {e}");
+                        std::process::exit(1);
+                    }
+                };
                 println!("connected to {addr}");
                 Conn::Tcp {
                     reader,

@@ -35,6 +35,8 @@
 //! Speaks the JSON-lines protocol of `jim_server::protocol`; try it with
 //! the `jim` REPL client or plain `nc`.
 
+#![forbid(unsafe_code)]
+
 use jim_server::handler::{Handler, ServerLimits};
 use jim_server::journal::JournalStore;
 use jim_server::serve::{serve_with, spawn_sweeper, Shutdown, Transport, TransportLimits};
@@ -52,6 +54,22 @@ fn usage() -> ! {
          [--max-per-ip N]"
     );
     std::process::exit(2);
+}
+
+/// The last commit that touched `crates/lint`, best-effort: the rule
+/// set a binary was built under is part of its provenance (matching
+/// the `lint_rev` field jim-load stamps into BENCH_load.json), but a
+/// deploy without git on PATH or outside a checkout still serves.
+fn lint_rev() -> String {
+    std::process::Command::new("git")
+        .args(["log", "-n1", "--format=%h", "--", "crates/lint"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 fn main() -> std::io::Result<()> {
@@ -191,7 +209,7 @@ fn main() -> std::io::Result<()> {
         "jim-serve: listening on {} via the {} transport ({} reactors, max {} connections, \
          idle timeout {}, {} in-flight/conn, per-ip cap {}; max {} sessions, {} shards, \
          ttl {:?}, factorize past {} tuples, answer batches up to {} labels, sessions {}, \
-         simd {})",
+         simd {}, lint rules @ {})",
         listener.local_addr()?,
         transport,
         transport_limits.reactors,
@@ -214,7 +232,8 @@ fn main() -> std::io::Result<()> {
             Some(dir) => format!("durable in {dir}"),
             None => "in memory only".to_string(),
         },
-        jim_simd::active_name()
+        jim_simd::active_name(),
+        lint_rev()
     );
     serve_with(listener, handler, transport, shutdown, transport_limits)
 }

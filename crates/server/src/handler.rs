@@ -6,8 +6,9 @@
 
 use crate::journal;
 use crate::metrics::Op;
-use crate::protocol::{error, ok, parse_strategy, Request, Source};
+use crate::protocol::{error, ok, parse_strategy, Request, ServerError, Source};
 use crate::store::{QuestionCache, Session, SessionStore};
+use crate::sync::LockExt;
 use jim_core::{explain, Engine, EngineOptions, SessionOrigin, StrategyKind, Transcript};
 use jim_json::Json;
 use jim_relation::ProductId;
@@ -151,10 +152,20 @@ impl Handler {
 
     fn with_session(&self, id: u64, f: impl FnOnce(&mut Session) -> Json) -> Json {
         match self.store.get(id) {
-            Some(handle) => {
-                let mut guard = handle.lock().expect("session lock");
-                f(&mut guard)
-            }
+            Some(handle) => match handle.lock() {
+                Ok(mut guard) => f(&mut guard),
+                // A poisoned session lock means an earlier request
+                // panicked mid-engine-mutation: the state (and the
+                // journal batch whose application panicked) cannot be
+                // trusted, so shed the session instead of serving — or
+                // resuming — a half-updated copy. Other sessions are
+                // untouched; infrastructure locks recover instead (see
+                // `crate::sync`).
+                Err(_) => {
+                    self.store.remove(id);
+                    ServerError::SessionPoisoned.response()
+                }
+            },
             None => error(format!("unknown session {id} (expired or never created)")),
         }
     }
@@ -239,7 +250,9 @@ impl Handler {
             sampled,
             Some(origin),
         );
-        let session = session.lock().expect("session lock");
+        // The store handed this handle out for the first time a moment
+        // ago; a fresh mutex cannot be poisoned, so recovery is safe.
+        let session = session.lock_unpoisoned();
         let mut fields = vec![
             ("session", Json::from(session.id)),
             ("strategy", Json::from(kind.to_string())),
@@ -269,7 +282,15 @@ impl Handler {
             }
             Ok(Some(handle)) => handle,
         };
-        let session = handle.lock().expect("session lock");
+        let session = match handle.lock() {
+            Ok(guard) => guard,
+            // Same shed policy as `with_session`: a resident session
+            // whose lock an earlier panic poisoned is not resumable.
+            Err(_) => {
+                self.store.remove(id);
+                return ServerError::SessionPoisoned.response();
+            }
+        };
         let stats = session.engine.stats();
         ok([
             ("session", Json::from(session.id)),
@@ -512,8 +533,10 @@ impl Handler {
                 // TTL/LRU stamps, or a monitoring poller keeps every
                 // abandoned session alive forever.
                 let handle = self.store.peek(id)?;
-                let guard: std::sync::MutexGuard<'_, Session> =
-                    handle.lock().expect("session lock");
+                // A poisoned session is omitted from the listing rather
+                // than shed here: listing is read-only, and the next
+                // direct op on the session sheds it via `with_session`.
+                let guard: std::sync::MutexGuard<'_, Session> = handle.lock().ok()?;
                 resident_count += 1;
                 Some(Json::object([
                     ("session", Json::from(id)),
@@ -596,15 +619,11 @@ fn tuple_fields(engine: &Engine, id: ProductId) -> Vec<(&'static str, Json)> {
 /// Qualified column names of the product schema.
 fn columns_of(engine: &Engine) -> Vec<Json> {
     let schema = engine.product().schema();
+    // Every attr yielded by `attrs()` has a qualified name; `filter_map`
+    // keeps the response path panic-free if that invariant ever slips.
     schema
         .attrs()
-        .map(|ga| {
-            Json::from(
-                schema
-                    .qualified_name(ga)
-                    .expect("attr enumerated from schema"),
-            )
-        })
+        .filter_map(|ga| schema.qualified_name(ga).ok().map(Json::from))
         .collect()
 }
 

@@ -69,6 +69,7 @@ pub mod reactor;
 pub mod scenario;
 pub mod serve;
 pub mod store;
+pub(crate) mod sync;
 
 pub use handler::{Handler, ServerLimits};
 pub use journal::{JournalStore, StoredSession};

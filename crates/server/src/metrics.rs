@@ -28,6 +28,7 @@
 //! disagree.
 
 use crate::protocol::Request;
+use crate::sync::LockExt;
 use jim_json::Json;
 use jim_metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use std::sync::{Arc, Mutex};
@@ -259,7 +260,7 @@ impl ServerMetrics {
     /// transport restart over the same store (tests do this) gets the
     /// same handles back — counters continue, they don't double-register.
     pub fn reactor(&self, index: usize) -> Arc<ReactorMetrics> {
-        let mut reactors = self.reactors.lock().expect("reactor metrics");
+        let mut reactors = self.reactors.lock_unpoisoned();
         while reactors.len() <= index {
             let i = reactors.len();
             reactors.push(Arc::new(ReactorMetrics {
@@ -348,8 +349,7 @@ impl ServerMetrics {
                         "reactors",
                         Json::Array(
                             self.reactors
-                                .lock()
-                                .expect("reactor metrics")
+                                .lock_unpoisoned()
                                 .iter()
                                 .map(|r| {
                                     Json::object([

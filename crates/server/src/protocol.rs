@@ -375,6 +375,9 @@ pub enum ServerError {
     Oversize,
     /// A request line was not valid UTF-8.
     InvalidUtf8,
+    /// A previous request panicked while mutating this session's engine
+    /// state; the half-updated session was shed rather than served.
+    SessionPoisoned,
 }
 
 impl ServerError {
@@ -385,6 +388,7 @@ impl ServerError {
             ServerError::IdleTimeout => "idle_timeout",
             ServerError::Oversize => "oversize",
             ServerError::InvalidUtf8 => "invalid_utf8",
+            ServerError::SessionPoisoned => "session_poisoned",
         }
     }
 
@@ -399,6 +403,10 @@ impl ServerError {
             ServerError::InvalidUtf8 => {
                 "request line is not valid UTF-8; the line was refused, \
                  no session state was touched"
+            }
+            ServerError::SessionPoisoned => {
+                "session state was poisoned by an earlier panic and has \
+                 been shed; create a new session"
             }
         }
     }

@@ -72,6 +72,7 @@ use crate::serve::{
     idle_timeout_response, oversize_response, respond_to, shed_connection, IpPermit, PerIpQuota,
     Shutdown, TransportLimits, DRAIN_DEADLINE, MAX_LINE_BYTES,
 };
+use crate::sync::{CondvarExt, LockExt};
 use jim_aio::{Events, Interest, Poller, Waker};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -129,14 +130,14 @@ struct JobQueueState {
 
 impl JobQueue {
     fn push(&self, job: Job) {
-        let mut state = self.state.lock().expect("job queue");
+        let mut state = self.state.lock_unpoisoned();
         state.jobs.push_back(job);
         self.cv.notify_one();
     }
 
     /// Block for the next job; `None` once closed and drained.
     fn pop(&self) -> Option<Job> {
-        let mut state = self.state.lock().expect("job queue");
+        let mut state = self.state.lock_unpoisoned();
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 return Some(job);
@@ -144,12 +145,12 @@ impl JobQueue {
             if state.closed {
                 return None;
             }
-            state = self.cv.wait(state).expect("job queue");
+            state = self.cv.wait_unpoisoned(state);
         }
     }
 
     fn close(&self) {
-        self.state.lock().expect("job queue").closed = true;
+        self.state.lock_unpoisoned().closed = true;
         self.cv.notify_all();
     }
 }
@@ -163,15 +164,12 @@ struct Completions {
 
 impl Completions {
     fn push(&self, token: u64, seq: u64, response: Option<String>) {
-        self.ready
-            .lock()
-            .expect("completions")
-            .push((token, seq, response));
+        self.ready.lock_unpoisoned().push((token, seq, response));
         let _ = self.waker.wake();
     }
 
     fn take(&self) -> Vec<(u64, u64, Option<String>)> {
-        std::mem::take(&mut *self.ready.lock().expect("completions"))
+        std::mem::take(&mut *self.ready.lock_unpoisoned())
     }
 }
 
@@ -375,7 +373,7 @@ pub(crate) fn serve_epoll(
     // cannot over-admit.
     let admitted = Arc::new(AtomicUsize::new(0));
 
-    let mut reactors = Vec::with_capacity(limits.reactors);
+    let mut reactors: Vec<ReactorHandle> = Vec::with_capacity(limits.reactors);
     for index in 0..limits.reactors {
         let waker = Waker::new()?;
         let inbox: Arc<Mutex<Vec<Admitted>>> = Arc::default();
@@ -388,27 +386,40 @@ pub(crate) fn serve_epoll(
         }
         let thread = {
             let handler = Arc::clone(&handler);
-            let shutdown = shutdown.clone();
+            let reactor_shutdown = shutdown.clone();
             let limits = limits.clone();
             let waker = waker.clone();
             let inbox = Arc::clone(&inbox);
             let admitted = Arc::clone(&admitted);
             let rmetrics = Arc::clone(&rmetrics);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("jim-reactor-{index}"))
                 .spawn(move || {
                     run_reactor(ReactorCtx {
                         index,
                         handler,
-                        shutdown,
+                        shutdown: reactor_shutdown,
                         limits,
                         waker,
                         inbox,
                         admitted,
                         rmetrics,
                     })
-                })
-                .expect("spawn reactor thread")
+                });
+            match spawned {
+                Ok(thread) => thread,
+                Err(e) => {
+                    // Could not bring up the full reactor set. Shed the
+                    // ones already running and surface the error instead
+                    // of serving with silently degraded capacity.
+                    shutdown.trigger();
+                    for reactor in reactors {
+                        let _ = reactor.waker.wake();
+                        let _ = reactor.thread.join();
+                    }
+                    return Err(e);
+                }
+            }
         };
         reactors.push(ReactorHandle {
             inbox,
@@ -525,11 +536,7 @@ fn accept_loop(
                     };
                     admitted.fetch_add(1, Ordering::SeqCst);
                     metrics.live_connections.add(1);
-                    target
-                        .inbox
-                        .lock()
-                        .expect("reactor inbox")
-                        .push((stream, permit));
+                    target.inbox.lock_unpoisoned().push((stream, permit));
                     let _ = target.waker.wake();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -572,25 +579,42 @@ fn run_reactor(ctx: ReactorCtx) -> io::Result<()> {
         ready: Mutex::new(Vec::new()),
         waker: ctx.waker.clone(),
     });
-    let workers: Vec<_> = (0..workers_per_reactor(ctx.limits.reactors))
-        .map(|w| {
-            let jobs = Arc::clone(&jobs);
-            let completions = Arc::clone(&completions);
-            let handler = Arc::clone(&ctx.handler);
-            let rmetrics = Arc::clone(&ctx.rmetrics);
-            std::thread::Builder::new()
-                .name(format!("jim-r{}-w{w}", ctx.index))
-                .spawn(move || {
-                    while let Some(job) = jobs.pop() {
-                        let metrics = handler.store().metrics();
-                        metrics.worker_queue_depth.add(-1);
-                        rmetrics.worker_queue_depth.add(-1);
-                        completions.push(job.token, job.seq, respond_to(&handler, &job.line));
-                    }
-                })
-                .expect("spawn worker thread")
-        })
-        .collect();
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for w in 0..workers_per_reactor(ctx.limits.reactors) {
+        let worker_jobs = Arc::clone(&jobs);
+        let completions = Arc::clone(&completions);
+        let handler = Arc::clone(&ctx.handler);
+        let rmetrics = Arc::clone(&ctx.rmetrics);
+        let spawned = std::thread::Builder::new()
+            .name(format!("jim-r{}-w{w}", ctx.index))
+            .spawn(move || {
+                while let Some(job) = worker_jobs.pop() {
+                    let metrics = handler.store().metrics();
+                    metrics.worker_queue_depth.add(-1);
+                    rmetrics.worker_queue_depth.add(-1);
+                    completions.push(job.token, job.seq, respond_to(&handler, &job.line));
+                }
+            });
+        match spawned {
+            Ok(t) => workers.push(t),
+            Err(e) if workers.is_empty() => {
+                // No worker at all means no request would ever complete:
+                // fail the reactor outright rather than accept and hang.
+                jobs.close();
+                return Err(e);
+            }
+            Err(e) => {
+                // Degraded but functional: log and run with the pool we
+                // have — jobs just queue a little deeper.
+                eprintln!(
+                    "jim-serve: reactor {} running with {} worker(s) (spawn failed: {e})",
+                    ctx.index,
+                    workers.len()
+                );
+                break;
+            }
+        }
+    }
 
     let result = reactor_loop(&ctx, &poller, &jobs, &completions, &metrics);
 
@@ -601,7 +625,7 @@ fn run_reactor(ctx: ReactorCtx) -> io::Result<()> {
     // Symmetric teardown (never `set(0)` — other reactors are still
     // counting): whatever this reactor still holds is released here
     // (dropping the tuple also returns its per-IP slot).
-    for admitted in std::mem::take(&mut *ctx.inbox.lock().expect("reactor inbox")) {
+    for admitted in std::mem::take(&mut *ctx.inbox.lock_unpoisoned()) {
         drop(admitted);
         ctx.admitted.fetch_sub(1, Ordering::SeqCst);
         metrics.live_connections.add(-1);
@@ -662,7 +686,7 @@ fn reactor_loop(
         }
 
         // Sockets the accept thread handed over since the last pass.
-        for (stream, permit) in std::mem::take(&mut *ctx.inbox.lock().expect("reactor inbox")) {
+        for (stream, permit) in std::mem::take(&mut *ctx.inbox.lock_unpoisoned()) {
             if draining.is_some() {
                 // Too late to serve it; release its admission slot (the
                 // permit drops with the stream).

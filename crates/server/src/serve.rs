@@ -27,6 +27,7 @@
 use crate::handler::Handler;
 use crate::protocol::ServerError;
 use crate::store::SessionStore;
+use crate::sync::{CondvarExt, LockExt};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, TcpListener, TcpStream};
@@ -137,7 +138,7 @@ impl PerIpQuota {
     /// Claim a slot for `ip`: a permit while the address is under its
     /// cap, else `None` (the caller sheds the connection).
     pub(crate) fn admit(self: &Arc<Self>, ip: IpAddr) -> Option<IpPermit> {
-        let mut counts = self.counts.lock().expect("per-ip quota");
+        let mut counts = self.counts.lock_unpoisoned();
         let count = counts.entry(ip).or_insert(0);
         if *count >= self.cap {
             return None;
@@ -160,7 +161,7 @@ pub(crate) struct IpPermit {
 
 impl Drop for IpPermit {
     fn drop(&mut self) {
-        let mut counts = self.quota.counts.lock().expect("per-ip quota");
+        let mut counts = self.quota.counts.lock_unpoisoned();
         if let Some(count) = counts.get_mut(&self.ip) {
             *count -= 1;
             if *count == 0 {
@@ -273,7 +274,7 @@ impl Shutdown {
     /// Request shutdown. Idempotent; never blocks on server progress.
     pub fn trigger(&self) {
         {
-            let mut triggered = self.inner.lock.lock().expect("shutdown lock");
+            let mut triggered = self.inner.lock.lock_unpoisoned();
             if *triggered {
                 return;
             }
@@ -282,7 +283,7 @@ impl Shutdown {
             self.inner.cv.notify_all();
         }
         let hooks = {
-            let mut state = self.inner.hooks.lock().expect("shutdown hooks");
+            let mut state = self.inner.hooks.lock_unpoisoned();
             state.fired = true;
             std::mem::take(&mut state.pending)
         };
@@ -302,17 +303,12 @@ impl Shutdown {
     /// poll both live here, so a trigger interrupts them immediately.
     pub fn wait_timeout(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut triggered = self.inner.lock.lock().expect("shutdown lock");
+        let mut triggered = self.inner.lock.lock_unpoisoned();
         while !*triggered {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 return false;
             };
-            triggered = self
-                .inner
-                .cv
-                .wait_timeout(triggered, remaining)
-                .expect("shutdown lock")
-                .0;
+            triggered = self.inner.cv.wait_timeout_unpoisoned(triggered, remaining);
         }
         true
     }
@@ -323,7 +319,7 @@ impl Shutdown {
     /// double run).
     pub(crate) fn on_trigger(&self, hook: impl Fn() + Send + Sync + 'static) {
         {
-            let mut state = self.inner.hooks.lock().expect("shutdown hooks");
+            let mut state = self.inner.hooks.lock_unpoisoned();
             if !state.fired {
                 state.pending.push(Box::new(hook));
                 return;

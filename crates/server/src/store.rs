@@ -47,6 +47,7 @@
 
 use crate::journal::JournalStore;
 use crate::metrics::ServerMetrics;
+use crate::sync::LockExt;
 use jim_core::{Engine, Label, SessionOrigin, Strategy};
 use jim_relation::ProductId;
 use std::collections::HashMap;
@@ -225,10 +226,7 @@ impl SessionStore {
 
     /// Number of live sessions across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("store lock").len())
-            .sum()
+        self.shards.iter().map(|s| s.lock_unpoisoned().len()).sum()
     }
 
     /// True iff no session is live.
@@ -303,11 +301,8 @@ impl SessionStore {
         let now = Instant::now();
         // The global cap needs a consistent view: take every shard lock in
         // index order (deadlock-free; creates are rare next to lookups).
-        let mut guards: Vec<MutexGuard<'_, HashMap<u64, Entry>>> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("store lock"))
-            .collect();
+        let mut guards: Vec<MutexGuard<'_, HashMap<u64, Entry>>> =
+            self.shards.iter().map(|s| s.lock_unpoisoned()).collect();
         let shard = (id & self.mask) as usize;
         if let Some(e) = guards[shard].get_mut(&id) {
             e.last_touched = now;
@@ -337,9 +332,13 @@ impl SessionStore {
                 })
                 .min();
             if let Some((_, lru, si)) = victim {
-                let entry = guards[si].remove(&lru).expect("victim exists");
-                self.count_eviction(entry.persisted);
-                evicted = Some(lru);
+                // The victim was found under these same guards, so it must
+                // still be present; if it somehow is not, skip the eviction
+                // rather than panic while holding every shard lock.
+                if let Some(entry) = guards[si].remove(&lru) {
+                    self.count_eviction(entry.persisted);
+                    evicted = Some(lru);
+                }
             }
         }
         let session = Arc::new(Mutex::new(session));
@@ -409,7 +408,7 @@ impl SessionStore {
     }
 
     fn get_resident(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        let mut entries = self.shard(id).lock().expect("store lock");
+        let mut entries = self.shard(id).lock_unpoisoned();
         entries.get_mut(&id).map(|e| {
             e.last_touched = Instant::now();
             self.metrics.store_hits.inc();
@@ -448,8 +447,7 @@ impl SessionStore {
                     // handles are locked).
                     if let Some(entry) = self
                         .shard(session.id)
-                        .lock()
-                        .expect("store lock")
+                        .lock_unpoisoned()
                         .get_mut(&session.id)
                     {
                         entry.persisted = false;
@@ -463,7 +461,7 @@ impl SessionStore {
     /// for observers (listing, metrics) that must not keep idle sessions
     /// alive or reorder eviction.
     pub fn peek(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        let entries = self.shard(id).lock().expect("store lock");
+        let entries = self.shard(id).lock_unpoisoned();
         entries.get(&id).map(|e| Arc::clone(&e.session))
     }
 
@@ -471,12 +469,7 @@ impl SessionStore {
     /// journal** — unlike eviction, this is destruction. `true` if it
     /// existed in memory or on disk.
     pub fn remove(&self, id: u64) -> bool {
-        let resident = self
-            .shard(id)
-            .lock()
-            .expect("store lock")
-            .remove(&id)
-            .is_some();
+        let resident = self.shard(id).lock_unpoisoned().remove(&id).is_some();
         if resident {
             self.metrics.resident_sessions.add(-1);
         }
@@ -493,7 +486,7 @@ impl SessionStore {
         journal
             .ids()
             .into_iter()
-            .filter(|&id| !self.shard(id).lock().expect("store lock").contains_key(&id))
+            .filter(|&id| !self.shard(id).lock_unpoisoned().contains_key(&id))
             .collect()
     }
 
@@ -502,13 +495,7 @@ impl SessionStore {
         let mut ids: Vec<u64> = self
             .shards
             .iter()
-            .flat_map(|s| {
-                s.lock()
-                    .expect("store lock")
-                    .keys()
-                    .copied()
-                    .collect::<Vec<u64>>()
-            })
+            .flat_map(|s| s.lock_unpoisoned().keys().copied().collect::<Vec<u64>>())
             .collect();
         ids.sort_unstable();
         ids
@@ -535,7 +522,7 @@ impl SessionStore {
             .shards
             .iter()
             .flat_map(|s| {
-                let mut entries = s.lock().expect("store lock");
+                let mut entries = s.lock_unpoisoned();
                 Self::sweep_locked(&mut entries, now, self.config.ttl)
             })
             .collect();

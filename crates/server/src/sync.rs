@@ -1,0 +1,63 @@
+//! Poison-recovering lock acquisition for the server's infrastructure
+//! mutexes.
+//!
+//! `std`'s mutex poisoning turns one panicked request into a cascading
+//! outage: every later `.lock().expect(..)` on the same mutex panics
+//! too, taking down unrelated connections. For the server's
+//! *infrastructure* state — job queues, completion buffers, reactor
+//! inboxes, per-ip counts, shutdown flags, metrics registries — the
+//! data under the lock is a plain collection that is never left
+//! half-updated across an await of user code, so recovering the guard
+//! is strictly better than propagating the panic. (Session engine
+//! state is the exception and is handled separately: a poisoned
+//! session is *shed*, not recovered — see `Handler::with_session`.)
+//!
+//! The method is named `lock_unpoisoned` (not a free helper) so lock
+//! acquisitions keep the `receiver.method()` shape that `jim-lint`'s
+//! lock-order rule keys on: `self.state.lock_unpoisoned()` still names
+//! the mutex field at the call site.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+pub(crate) trait LockExt<T> {
+    /// Acquire, recovering the guard from a poisoned mutex.
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+pub(crate) trait CondvarExt {
+    /// `Condvar::wait`, recovering the guard from a poisoned mutex.
+    fn wait_unpoisoned<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T>;
+
+    /// `Condvar::wait_timeout`, recovering the guard from a poisoned
+    /// mutex; the timeout flag is dropped because every caller loops on
+    /// its own deadline predicate anyway.
+    fn wait_timeout_unpoisoned<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, T>;
+}
+
+impl CondvarExt for Condvar {
+    fn wait_unpoisoned<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait_timeout_unpoisoned<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, T> {
+        match self.wait_timeout(guard, timeout) {
+            Ok((g, _)) => g,
+            Err(e) => e.into_inner().0,
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! drifts from dispatch (double counts, missed paths, wrong op
 //! attribution), these equalities break.
 
+#![forbid(unsafe_code)]
+
 mod support;
 
 use jim_json::Json;

@@ -4,6 +4,8 @@
 //! over the same directory** picks up the sessions a dead process left
 //! behind and drives them to the paper's query.
 
+#![forbid(unsafe_code)]
+
 mod support;
 
 use jim_json::Json;

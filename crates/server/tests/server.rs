@@ -2,6 +2,8 @@
 //! against an in-memory handler (the "duplex transport": request line in,
 //! response line out, no socket).
 
+#![forbid(unsafe_code)]
+
 use jim_core::{Engine, EngineOptions, Transcript};
 use jim_json::Json;
 use jim_relation::Product;

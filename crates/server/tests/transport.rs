@@ -9,6 +9,8 @@
 //! connections without a thread per socket, and spreading them across
 //! multiple reactors.
 
+#![forbid(unsafe_code)]
+
 mod support;
 
 use jim_json::Json;

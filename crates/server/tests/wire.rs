@@ -7,6 +7,8 @@
 //! flights/hotels sessions concurrently with the `LookaheadMinPrune`
 //! strategy, answer until `resolved`, and receive the goal join's SQL.
 
+#![forbid(unsafe_code)]
+
 mod support;
 
 use jim_server::handler::{Handler, ServerLimits};

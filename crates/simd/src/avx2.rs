@@ -65,9 +65,102 @@ pub fn available() -> bool {
     std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
 }
 
+// --- Safe entry points -------------------------------------------------
+//
+// The `*_kernel` functions below carry `#[target_feature]`, so calling
+// one is `unsafe` (the caller asserts the CPU features exist). These
+// wrappers are the only place that obligation is discharged: the
+// dispatch layer in `lib.rs` routes to `Backend::Avx2` strictly behind
+// `Backend::checked()`, which demotes the backend unless [`available`]
+// — i.e. `is_x86_feature_detected!` — passed. That keeps every
+// `unsafe` token in this one file (jim-lint rule `unsafe` enforces it),
+// and the debug assertion catches any future caller that conjures the
+// backend without detection.
+
+macro_rules! checked_entry {
+    () => {
+        debug_assert!(
+            available(),
+            "AVX2 entry without feature detection; route through Backend::checked()"
+        )
+    };
+}
+
+/// Number of set bits across the slice.
+pub fn popcount(a: &[u64]) -> u64 {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt (see module comment above).
+    unsafe { popcount_kernel(a) }
+}
+
+/// `a ⊆ b`, i.e. `a & !b == 0`.
+pub fn subset(a: &[u64], b: &[u64]) -> bool {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { subset_kernel(a, b) }
+}
+
+/// True iff the slices share at least one set bit.
+pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { intersects_kernel(a, b) }
+}
+
+/// `|a ∩ b|`.
+pub fn intersection_count(a: &[u64], b: &[u64]) -> u64 {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { intersection_count_kernel(a, b) }
+}
+
+/// `out = a & b`.
+pub fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { and_into_kernel(a, b, out) }
+}
+
+/// `a &= b` in place.
+pub fn and_assign(a: &mut [u64], b: &[u64]) {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { and_assign_kernel(a, b) }
+}
+
+/// `out = a | b`.
+pub fn or_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { or_into_kernel(a, b, out) }
+}
+
+/// `out = a & !b`.
+pub fn and_not_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { and_not_into_kernel(a, b, out) }
+}
+
+/// `x ⊆ r` for some row `r` of `rows` (row-major, width = `x.len()`).
+pub fn subset_any(x: &[u64], rows: &[u64]) -> bool {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { subset_any_kernel(x, rows) }
+}
+
+/// For each row of `rows`, whether it is `⊆` some row of `negs`.
+pub fn subsumed_mask(rows: &[u64], negs: &[u64], width: usize, out: &mut Vec<bool>) {
+    checked_entry!();
+    // SAFETY: detection proved avx2+popcnt.
+    unsafe { subsumed_mask_kernel(rows, negs, width, out) }
+}
+
+// --- Kernels -----------------------------------------------------------
+
 /// Number of set bits across the slice.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn popcount(a: &[u64]) -> u64 {
+fn popcount_kernel(a: &[u64]) -> u64 {
     if a.len() >= VECTOR_POPCOUNT_WORDS {
         return popcount_nibble_lut(a);
     }
@@ -133,7 +226,7 @@ unsafe fn load(words: &[u64], i: usize) -> __m256i {
 /// `a ⊆ b`, i.e. `a & !b == 0` — `vpandn` + `vptest`, eight words per
 /// step (two vectors, strays OR-combined so each step pays one `vptest`).
 #[target_feature(enable = "avx2,popcnt")]
-pub fn subset(a: &[u64], b: &[u64]) -> bool {
+fn subset_kernel(a: &[u64], b: &[u64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len().min(b.len());
     let mut i = 0usize;
@@ -162,7 +255,7 @@ pub fn subset(a: &[u64], b: &[u64]) -> bool {
 
 /// True iff the slices share at least one set bit.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+fn intersects_kernel(a: &[u64], b: &[u64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len().min(b.len());
     let mut i = 0usize;
@@ -181,7 +274,7 @@ pub fn intersects(a: &[u64], b: &[u64]) -> bool {
 /// [`VECTOR_POPCOUNT_WORDS`] the AND feeds the nibble-LUT counter
 /// instead, so the whole kernel stays in vector registers.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn intersection_count(a: &[u64], b: &[u64]) -> u64 {
+fn intersection_count_kernel(a: &[u64], b: &[u64]) -> u64 {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len().min(b.len());
     if n >= VECTOR_POPCOUNT_WORDS {
@@ -240,7 +333,7 @@ fn intersection_count_nibble_lut(a: &[u64], b: &[u64]) -> u64 {
 
 /// `out = a & b`.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+fn and_into_kernel(a: &[u64], b: &[u64], out: &mut [u64]) {
     for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
         *o = x & y;
     }
@@ -248,7 +341,7 @@ pub fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
 
 /// `a &= b` in place.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn and_assign(a: &mut [u64], b: &[u64]) {
+fn and_assign_kernel(a: &mut [u64], b: &[u64]) {
     for (x, &y) in a.iter_mut().zip(b.iter()) {
         *x &= y;
     }
@@ -256,7 +349,7 @@ pub fn and_assign(a: &mut [u64], b: &[u64]) {
 
 /// `out = a | b`.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn or_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+fn or_into_kernel(a: &[u64], b: &[u64], out: &mut [u64]) {
     for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
         *o = x | y;
     }
@@ -264,7 +357,7 @@ pub fn or_into(a: &[u64], b: &[u64], out: &mut [u64]) {
 
 /// `out = a & !b`.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn and_not_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+fn and_not_into_kernel(a: &[u64], b: &[u64], out: &mut [u64]) {
     for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
         *o = x & !y;
     }
@@ -273,7 +366,7 @@ pub fn and_not_into(a: &[u64], b: &[u64], out: &mut [u64]) {
 /// `x ⊆ r` for some row `r` of `rows` (row-major, width = `x.len()`).
 /// A zero-width `x` encodes no rows at all, so the answer is `false`.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn subset_any(x: &[u64], rows: &[u64]) -> bool {
+fn subset_any_kernel(x: &[u64], rows: &[u64]) -> bool {
     let w = x.len();
     if w == 0 {
         return false;
@@ -282,13 +375,13 @@ pub fn subset_any(x: &[u64], rows: &[u64]) -> bool {
     // count costs a 64-bit division per call, which dwarfs the subset
     // test itself at antichain widths.
     let n = rows.len() / w;
-    (0..n).any(|j| subset(x, &rows[j * w..j * w + w]))
+    (0..n).any(|j| subset_kernel(x, &rows[j * w..j * w + w]))
 }
 
 /// For each row of `rows`, whether it is `⊆` some row of `negs`; both are
 /// row-major with the given `width`. `out` is overwritten.
 #[target_feature(enable = "avx2,popcnt")]
-pub fn subsumed_mask(rows: &[u64], negs: &[u64], width: usize, out: &mut Vec<bool>) {
+fn subsumed_mask_kernel(rows: &[u64], negs: &[u64], width: usize, out: &mut Vec<bool>) {
     out.clear();
     if width == 0 {
         return;
@@ -299,11 +392,11 @@ pub fn subsumed_mask(rows: &[u64], negs: &[u64], width: usize, out: &mut Vec<boo
         // The common sweep — one fresh negative per label batch. Slicing
         // it once lets the row loop run without per-row index math.
         let neg = &negs[..width];
-        out.extend(rows.chunks_exact(width).map(|row| subset(row, neg)));
+        out.extend(rows.chunks_exact(width).map(|row| subset_kernel(row, neg)));
         return;
     }
     out.extend(
         rows.chunks_exact(width)
-            .map(|row| (0..nnegs).any(|j| subset(row, &negs[j * width..j * width + width]))),
+            .map(|row| (0..nnegs).any(|j| subset_kernel(row, &negs[j * width..j * width + width]))),
     );
 }

@@ -42,9 +42,11 @@
 //! pin `generic` and `avx2` against the scalar reference directly,
 //! whatever backend is active.
 //!
-//! Like `jim-aio`, this is a deliberately confined `unsafe` surface
-//! (raw-pointer vector loads in `avx2.rs`, feature-gated calls here);
-//! everything above it is safe Rust.
+//! Like `jim-aio`, this is a deliberately confined `unsafe` surface:
+//! every `unsafe` token lives in `avx2.rs` (raw-pointer vector loads
+//! plus the safe entry points that discharge the `target_feature`
+//! obligation); this file and everything above it are safe Rust, and
+//! `jim-lint`'s `unsafe` rule holds the line.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -108,8 +110,9 @@ impl Backend {
             Backend::Off => scalar::popcount(a),
             Backend::Generic => generic::popcount(a),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::popcount(a) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::popcount(a),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -122,8 +125,9 @@ impl Backend {
             Backend::Off => scalar::subset(a, b),
             Backend::Generic => generic::subset(a, b),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::subset(a, b) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::subset(a, b),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -136,8 +140,9 @@ impl Backend {
             Backend::Off => scalar::intersects(a, b),
             Backend::Generic => generic::intersects(a, b),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::intersects(a, b) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::intersects(a, b),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -150,8 +155,9 @@ impl Backend {
             Backend::Off => scalar::intersection_count(a, b),
             Backend::Generic => generic::intersection_count(a, b),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::intersection_count(a, b) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::intersection_count(a, b),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -164,8 +170,9 @@ impl Backend {
             Backend::Off => scalar::and_into(a, b, out),
             Backend::Generic => generic::and_into(a, b, out),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::and_into(a, b, out) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::and_into(a, b, out),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -178,8 +185,9 @@ impl Backend {
             Backend::Off => scalar::and_assign(a, b),
             Backend::Generic => generic::and_assign(a, b),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::and_assign(a, b) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::and_assign(a, b),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -192,8 +200,9 @@ impl Backend {
             Backend::Off => scalar::or_into(a, b, out),
             Backend::Generic => generic::or_into(a, b, out),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::or_into(a, b, out) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::or_into(a, b, out),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -206,8 +215,9 @@ impl Backend {
             Backend::Off => scalar::and_not_into(a, b, out),
             Backend::Generic => generic::and_not_into(a, b, out),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::and_not_into(a, b, out) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::and_not_into(a, b, out),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -223,8 +233,9 @@ impl Backend {
             Backend::Off => scalar::subset_any(x, rows),
             Backend::Generic => generic::subset_any(x, rows),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::subset_any(x, rows) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::subset_any(x, rows),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
@@ -243,17 +254,18 @@ impl Backend {
             Backend::Off => scalar::subsumed_mask(rows, negs, width, out),
             Backend::Generic => generic::subsumed_mask(rows, negs, width, out),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `checked()` only yields Avx2 when detection passed.
-            Backend::Avx2 => unsafe { avx2::subsumed_mask(rows, negs, width, out) },
+            // `checked()` only yields Avx2 when detection passed, which is
+            // what the safe avx2 entry points debug-assert.
+            Backend::Avx2 => avx2::subsumed_mask(rows, negs, width, out),
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2 => unreachable!("unavailable backends are demoted by checked()"),
         }
     }
 
     /// Demote an unavailable backend to the best available one, so the
-    /// `unsafe` AVX2 calls above are reachable only behind a passed
-    /// feature check even if a caller conjures `Backend::Avx2` on the
-    /// wrong CPU.
+    /// AVX2 entry points (whose kernels assume the features exist) are
+    /// reachable only behind a passed feature check even if a caller
+    /// conjures `Backend::Avx2` on the wrong CPU.
     #[inline]
     fn checked(self) -> Backend {
         if self == Backend::Avx2 && !self.available() {
@@ -311,8 +323,8 @@ pub fn active_name() -> &'static str {
 
 /// Force the dispatch to a specific backend (`Some`) or back to fresh
 /// env/CPU resolution (`None`). Panics if the requested backend is not
-/// available on this CPU — forcing must never make the `unsafe` AVX2
-/// path reachable without its feature check.
+/// available on this CPU — forcing must never make the AVX2 kernels
+/// reachable without their feature check.
 pub fn force(backend: Option<Backend>) {
     match backend {
         Some(b) => {

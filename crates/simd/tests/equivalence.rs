@@ -10,6 +10,8 @@
 //! backend to something else, and never touch the global dispatch state
 //! (which keeps them race-free under the parallel test runner).
 
+#![forbid(unsafe_code)]
+
 use jim_simd::Backend;
 use proptest::prelude::*;
 

@@ -7,6 +7,8 @@
 //!
 //! Run with `cargo run --example crowdsourcing`.
 
+#![forbid(unsafe_code)]
+
 use jim::core::session::run_most_informative;
 use jim::core::strategy::StrategyKind;
 use jim::core::{CostModel, Engine, EngineOptions, JoinPredicate, MajorityOracle};

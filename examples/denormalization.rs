@@ -9,6 +9,8 @@
 //!
 //! Run with `cargo run --example denormalization`.
 
+#![forbid(unsafe_code)]
+
 use jim::core::session::run_most_informative;
 use jim::core::strategy::StrategyKind;
 use jim::core::{Engine, EngineOptions, FnOracle, Label};

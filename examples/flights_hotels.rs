@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --example flights_hotels`.
 
+#![forbid(unsafe_code)]
+
 use jim::core::session::{run_free, run_most_informative, run_top_k, RandomPicker};
 use jim::core::strategy::StrategyKind;
 use jim::core::{Engine, EngineOptions, GoalOracle, TupleClass};

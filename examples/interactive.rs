@@ -8,6 +8,8 @@
 //! With stdin closed (e.g. CI), the session answers automatically using the
 //! paper's Q2 goal, so the example is always runnable.
 
+#![forbid(unsafe_code)]
+
 use jim::core::session::run_most_informative;
 use jim::core::strategy::StrategyKind;
 use jim::core::{Engine, EngineOptions, FnOracle, GoalOracle, Label, Oracle};

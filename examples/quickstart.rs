@@ -6,6 +6,8 @@
 //! mind; JIM discovers it by asking membership questions about candidate
 //! flight/hotel pairs, pruning uninformative candidates after each answer.
 
+#![forbid(unsafe_code)]
+
 use jim::core::session::run_most_informative;
 use jim::core::strategy::StrategyKind;
 use jim::core::{Engine, EngineOptions, GoalOracle, JoinPredicate};

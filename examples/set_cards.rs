@@ -6,6 +6,8 @@
 //!
 //! Run with `cargo run --example set_cards`.
 
+#![forbid(unsafe_code)]
+
 use jim::core::session::run_most_informative;
 use jim::core::strategy::StrategyKind;
 use jim::core::{Engine, EngineOptions, GoalOracle, Label, Oracle};
